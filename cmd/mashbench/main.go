@@ -1,0 +1,232 @@
+// Command mashbench is the db_bench-style driver: micro-benchmarks
+// (fillseq, fillrandom, readrandom, readseq, readwhilewriting) over any
+// placement policy, plus `-exp figN|tabN|all` to regenerate the paper's
+// tables and figures via the experiment harness.
+//
+// Usage:
+//
+//	mashbench -benchmarks fillrandom,readrandom -num 100000 -policy mash
+//	mashbench -exp fig8
+//	mashbench -exp all -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"rocksmash/internal/db"
+	"rocksmash/internal/harness"
+	"rocksmash/internal/histogram"
+	"rocksmash/internal/sstable"
+	"rocksmash/internal/ycsb"
+)
+
+func main() {
+	var (
+		dbDir      = flag.String("db", "", "database directory (default: temp)")
+		policy     = flag.String("policy", "mash", "placement policy: mash|local-only|cloud-only|cloud-lru")
+		benchmarks = flag.String("benchmarks", "fillrandom,readrandom", "comma-separated benchmark list")
+		num        = flag.Int("num", 50000, "number of keys")
+		reads      = flag.Int("reads", 20000, "number of reads for read benchmarks")
+		valueSize  = flag.Int("valuesize", 400, "value size in bytes")
+		exp        = flag.String("exp", "", "run a paper experiment (fig1..fig12, tab2..tab4, all) instead of benchmarks")
+		quick      = flag.Bool("quick", false, "shrink experiment datasets ~10x")
+		seed       = flag.Int64("seed", 42, "workload RNG seed")
+		compress   = flag.Bool("compress", false, "flate-compress SSTable data blocks")
+	)
+	flag.Parse()
+
+	if *exp == "list" {
+		for _, e := range harness.List() {
+			fmt.Printf("%-8s %s\n", e.Name, e.Title)
+		}
+		return
+	}
+	if *exp != "" {
+		cfg := harness.Config{BaseDir: *dbDir, Quick: *quick, Out: os.Stdout, Seed: *seed}
+		if err := harness.Run(*exp, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "mashbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	p, err := parsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mashbench:", err)
+		os.Exit(1)
+	}
+	dir := *dbDir
+	if dir == "" {
+		dir, err = os.MkdirTemp("", "mashbench-*")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mashbench:", err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(dir)
+	}
+	opts := db.DefaultOptions()
+	opts.Policy = p
+	if *compress {
+		opts.Compression = sstable.CompressionFlate
+	}
+	d, err := db.OpenAt(dir, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mashbench: open:", err)
+		os.Exit(1)
+	}
+	defer d.Close()
+
+	fmt.Printf("mashbench: policy=%s num=%d valuesize=%d dir=%s\n", p, *num, *valueSize, dir)
+	for _, b := range strings.Split(*benchmarks, ",") {
+		b = strings.TrimSpace(b)
+		if b == "" {
+			continue
+		}
+		if err := runBench(d, b, *num, *reads, *valueSize, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "mashbench: %s: %v\n", b, err)
+			os.Exit(1)
+		}
+	}
+	m := d.Metrics()
+	fmt.Printf("\nlevels: files=%v\nlocal=%0.2fMB cloud=%0.2fMB pcacheHit=%.3f blockHit=%.3f\n",
+		m.LevelFiles, float64(m.LocalBytes)/(1<<20), float64(m.CloudBytes)/(1<<20), m.PCacheHit, m.BlockHit)
+	if rep, ok := d.CloudCost(); ok {
+		fmt.Println("cloud bill:", rep)
+	}
+}
+
+func parsePolicy(s string) (db.Policy, error) {
+	switch s {
+	case "mash":
+		return db.PolicyMash, nil
+	case "local-only", "local":
+		return db.PolicyLocalOnly, nil
+	case "cloud-only", "cloud":
+		return db.PolicyCloudOnly, nil
+	case "cloud-lru":
+		return db.PolicyCloudLRU, nil
+	}
+	return 0, fmt.Errorf("unknown policy %q", s)
+}
+
+func runBench(d *db.DB, name string, num, reads, valueSize int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	val := make([]byte, valueSize)
+	h := histogram.New()
+	start := time.Now()
+	ops := 0
+
+	switch name {
+	case "fillseq":
+		for i := 0; i < num; i++ {
+			s := time.Now()
+			if err := d.Put([]byte(fmt.Sprintf("key%012d", i)), val); err != nil {
+				return err
+			}
+			h.Record(time.Since(s))
+			ops++
+		}
+	case "fillrandom":
+		for i := 0; i < num; i++ {
+			s := time.Now()
+			if err := d.Put(ycsb.Key(uint64(rng.Intn(num))), val); err != nil {
+				return err
+			}
+			h.Record(time.Since(s))
+			ops++
+		}
+	case "readrandom":
+		gen := ycsb.NewGenerator(ycsb.WorkloadC, uint64(num), valueSize, seed)
+		for i := 0; i < reads; i++ {
+			op := gen.Next()
+			s := time.Now()
+			if _, err := d.Get(op.Key); err != nil && err != db.ErrNotFound {
+				return err
+			}
+			h.Record(time.Since(s))
+			ops++
+		}
+	case "readseq":
+		it, err := d.NewIterator()
+		if err != nil {
+			return err
+		}
+		for it.First(); it.Valid() && ops < reads; it.Next() {
+			ops++
+		}
+		if err := it.Close(); err != nil {
+			return err
+		}
+	case "readwhilewriting":
+		gen := ycsb.NewGenerator(ycsb.WorkloadA, uint64(num), valueSize, seed)
+		for i := 0; i < reads; i++ {
+			op := gen.Next()
+			s := time.Now()
+			switch op.Kind {
+			case ycsb.OpRead:
+				if _, err := d.Get(op.Key); err != nil && err != db.ErrNotFound {
+					return err
+				}
+			default:
+				if err := d.Put(op.Key, val); err != nil {
+					return err
+				}
+			}
+			h.Record(time.Since(s))
+			ops++
+		}
+	case "overwrite":
+		// Rewrite existing keys repeatedly, stressing compaction debt.
+		for i := 0; i < num; i++ {
+			s := time.Now()
+			if err := d.Put(ycsb.Key(uint64(i%max(num/4, 1))), val); err != nil {
+				return err
+			}
+			h.Record(time.Since(s))
+			ops++
+		}
+	case "deleterandom":
+		for i := 0; i < num; i++ {
+			s := time.Now()
+			if err := d.Delete(ycsb.Key(uint64(rng.Intn(num)))); err != nil {
+				return err
+			}
+			h.Record(time.Since(s))
+			ops++
+		}
+	case "seekrandom":
+		for i := 0; i < reads; i++ {
+			s := time.Now()
+			it, err := d.NewIterator()
+			if err != nil {
+				return err
+			}
+			it.Seek(ycsb.Key(uint64(rng.Intn(num))))
+			for j := 0; j < 10 && it.Valid(); j++ {
+				it.Next()
+			}
+			if err := it.Close(); err != nil {
+				return err
+			}
+			h.Record(time.Since(s))
+			ops++
+		}
+	case "compact":
+		if err := d.CompactAll(); err != nil {
+			return err
+		}
+		ops = 1
+	default:
+		return fmt.Errorf("unknown benchmark (have fillseq fillrandom overwrite deleterandom readrandom readseq seekrandom readwhilewriting compact)")
+	}
+	dur := time.Since(start)
+	rate := float64(ops) / dur.Seconds()
+	fmt.Printf("%-18s : %10.0f ops/s  (%d ops in %s)  %s\n",
+		name, rate, ops, dur.Round(time.Millisecond), h)
+	return nil
+}

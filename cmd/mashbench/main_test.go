@@ -1,0 +1,50 @@
+package main
+
+import (
+	"testing"
+
+	"rocksmash/internal/db"
+)
+
+func TestParsePolicy(t *testing.T) {
+	cases := map[string]db.Policy{
+		"mash":       db.PolicyMash,
+		"local-only": db.PolicyLocalOnly,
+		"local":      db.PolicyLocalOnly,
+		"cloud-only": db.PolicyCloudOnly,
+		"cloud":      db.PolicyCloudOnly,
+		"cloud-lru":  db.PolicyCloudLRU,
+	}
+	for in, want := range cases {
+		got, err := parsePolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("parsePolicy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parsePolicy("bogus"); err == nil {
+		t.Fatal("bogus policy should error")
+	}
+}
+
+func TestRunBenchAllBenchmarks(t *testing.T) {
+	opts := db.DefaultOptions()
+	opts.CloudLatency.GetFirstByte = 0
+	opts.CloudLatency.PutFirstByte = 0
+	opts.CloudLatency.MetaRTT = 0
+	d, err := db.OpenAt(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for _, b := range []string{
+		"fillseq", "fillrandom", "overwrite", "deleterandom",
+		"readrandom", "readseq", "seekrandom", "readwhilewriting", "compact",
+	} {
+		if err := runBench(d, b, 200, 100, 64, 1); err != nil {
+			t.Fatalf("%s: %v", b, err)
+		}
+	}
+	if err := runBench(d, "nope", 10, 10, 10, 1); err == nil {
+		t.Fatal("unknown benchmark should error")
+	}
+}

@@ -1,0 +1,99 @@
+// Command mashrecover demonstrates and measures crash recovery: it
+// populates a store with WAL-only data, crashes it, and times recovery
+// under the chosen WAL mode — stock serial replay or the extended WAL's
+// parallel, skip-flushed replay.
+//
+// Usage:
+//
+//	mashrecover -walmb 64 -parallelism 4
+//	mashrecover -walmb 64 -extended=false -parallelism 1   # stock RocksDB behaviour
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rocksmash/internal/db"
+	"rocksmash/internal/ycsb"
+)
+
+func main() {
+	var (
+		dir         = flag.String("db", "", "database directory (default: temp)")
+		walMB       = flag.Int("walmb", 32, "approximate WAL volume to recover, in MiB")
+		parallelism = flag.Int("parallelism", 4, "recovery goroutines")
+		extended    = flag.Bool("extended", true, "use the extended WAL (segment seq index)")
+		segMB       = flag.Int("segmb", 4, "WAL segment size in MiB")
+		verify      = flag.Bool("verify", true, "verify every recovered key")
+		backup      = flag.Bool("backup", false, "replicate sealed WAL segments to the cloud tier")
+	)
+	flag.Parse()
+
+	d := *dir
+	if d == "" {
+		var err error
+		if d, err = os.MkdirTemp("", "mashrecover-*"); err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(d)
+	}
+
+	opts := db.DefaultOptions()
+	opts.MemtableBytes = 1 << 30 // keep everything in the WAL
+	opts.WALSegmentBytes = int64(*segMB) << 20
+	opts.ExtendedWAL = *extended
+	opts.RecoveryParallelism = *parallelism
+	opts.WALCloudBackup = *backup
+
+	store, err := db.OpenAt(d, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	const valLen = 1024
+	n := (*walMB << 20) / (valLen + 32)
+	fmt.Printf("writing %d records (~%d MiB of WAL)...\n", n, *walMB)
+	val := make([]byte, valLen)
+	for i := 0; i < n; i++ {
+		if err := store.Put(ycsb.Key(uint64(i)), val); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Println("simulating crash (no flush, no clean close)")
+	store.Crash()
+
+	start := time.Now()
+	recovered, err := db.OpenAt(d, opts)
+	if err != nil {
+		fatal(err)
+	}
+	defer recovered.Close()
+	dur := time.Since(start)
+
+	rep := recovered.RecoveryReport()
+	fmt.Printf("\nrecovery completed in %s\n  %s\n", dur.Round(time.Millisecond), rep)
+	fmt.Printf("  throughput: %.1f MiB/s of WAL replayed\n",
+		float64(rep.WALBytes)/(1<<20)/dur.Seconds())
+
+	if *verify {
+		missing := 0
+		for i := 0; i < n; i++ {
+			if _, err := recovered.Get(ycsb.Key(uint64(i))); err != nil {
+				missing++
+			}
+		}
+		if missing == 0 {
+			fmt.Printf("  verification: all %d records intact — zero data loss\n", n)
+		} else {
+			fmt.Printf("  verification: %d/%d records MISSING\n", missing, n)
+			os.Exit(1)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mashrecover:", err)
+	os.Exit(1)
+}

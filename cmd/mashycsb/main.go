@@ -1,0 +1,141 @@
+// Command mashycsb runs YCSB core workloads against the store through the
+// public API, reporting throughput and read/write latency percentiles.
+//
+// Usage:
+//
+//	mashycsb -workload A -records 100000 -ops 50000 -policy mash
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rocksmash/internal/db"
+	"rocksmash/internal/histogram"
+	"rocksmash/internal/ycsb"
+)
+
+func main() {
+	var (
+		dbDir     = flag.String("db", "", "database directory (default: temp)")
+		policy    = flag.String("policy", "mash", "placement policy: mash|local-only|cloud-only|cloud-lru")
+		workload  = flag.String("workload", "B", "YCSB core workload A-F")
+		records   = flag.Int("records", 50000, "records to load")
+		ops       = flag.Int("ops", 20000, "operations to run")
+		valueSize = flag.Int("valuesize", 400, "value size in bytes")
+		seed      = flag.Int64("seed", 42, "workload RNG seed")
+	)
+	flag.Parse()
+
+	wl, err := ycsb.ByName(*workload)
+	if err != nil {
+		fatal(err)
+	}
+	var p db.Policy
+	switch *policy {
+	case "mash":
+		p = db.PolicyMash
+	case "local-only", "local":
+		p = db.PolicyLocalOnly
+	case "cloud-only", "cloud":
+		p = db.PolicyCloudOnly
+	case "cloud-lru":
+		p = db.PolicyCloudLRU
+	default:
+		fatal(fmt.Errorf("unknown policy %q", *policy))
+	}
+
+	dir := *dbDir
+	if dir == "" {
+		if dir, err = os.MkdirTemp("", "mashycsb-*"); err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(dir)
+	}
+	opts := db.DefaultOptions()
+	opts.Policy = p
+	d, err := db.OpenAt(dir, opts)
+	if err != nil {
+		fatal(err)
+	}
+	defer d.Close()
+
+	// Load phase.
+	fmt.Printf("loading %d records (%dB values) under policy %s...\n", *records, *valueSize, p)
+	val := make([]byte, *valueSize)
+	loadStart := time.Now()
+	for i := 0; i < *records; i++ {
+		if err := d.Put(ycsb.Key(uint64(i)), val); err != nil {
+			fatal(err)
+		}
+	}
+	if err := d.CompactAll(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("load done in %s\n", time.Since(loadStart).Round(time.Millisecond))
+
+	// Run phase.
+	gen := ycsb.NewGenerator(wl, uint64(*records), *valueSize, *seed)
+	readH, writeH := histogram.New(), histogram.New()
+	runStart := time.Now()
+	for i := 0; i < *ops; i++ {
+		op := gen.Next()
+		s := time.Now()
+		switch op.Kind {
+		case ycsb.OpRead:
+			if _, err := d.Get(op.Key); err != nil && err != db.ErrNotFound {
+				fatal(err)
+			}
+			readH.Record(time.Since(s))
+		case ycsb.OpUpdate, ycsb.OpInsert:
+			if err := d.Put(op.Key, op.Value); err != nil {
+				fatal(err)
+			}
+			writeH.Record(time.Since(s))
+		case ycsb.OpScan:
+			it, err := d.NewIterator()
+			if err != nil {
+				fatal(err)
+			}
+			it.Seek(op.Key)
+			for j := 0; j < op.ScanLen && it.Valid(); j++ {
+				it.Next()
+			}
+			if err := it.Close(); err != nil {
+				fatal(err)
+			}
+			readH.Record(time.Since(s))
+		case ycsb.OpReadModifyWrite:
+			if _, err := d.Get(op.Key); err != nil && err != db.ErrNotFound {
+				fatal(err)
+			}
+			if err := d.Put(op.Key, op.Value); err != nil {
+				fatal(err)
+			}
+			writeH.Record(time.Since(s))
+		}
+	}
+	dur := time.Since(runStart)
+
+	fmt.Printf("\nYCSB-%s on %s: %.0f ops/s (%d ops in %s)\n",
+		wl.Name, p, float64(*ops)/dur.Seconds(), *ops, dur.Round(time.Millisecond))
+	if readH.Count() > 0 {
+		fmt.Println("  reads :", readH)
+	}
+	if writeH.Count() > 0 {
+		fmt.Println("  writes:", writeH)
+	}
+	m := d.Metrics()
+	fmt.Printf("  local=%.2fMB cloud=%.2fMB pcacheHit=%.3f blockHit=%.3f stalls=%d\n",
+		float64(m.LocalBytes)/(1<<20), float64(m.CloudBytes)/(1<<20), m.PCacheHit, m.BlockHit, m.WriteStalls)
+	if rep, ok := d.CloudCost(); ok {
+		fmt.Println("  cloud bill:", rep)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mashycsb:", err)
+	os.Exit(1)
+}

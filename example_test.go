@@ -1,0 +1,112 @@
+package rocksmash_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"rocksmash"
+)
+
+// Example demonstrates the basic open/put/get/scan cycle.
+func Example() {
+	dir, err := os.MkdirTemp("", "rocksmash-example-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := rocksmash.Open(dir, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	db.Put([]byte("fruit:apple"), []byte("red"))
+	db.Put([]byte("fruit:banana"), []byte("yellow"))
+	db.Put([]byte("veg:carrot"), []byte("orange"))
+
+	v, _ := db.Get([]byte("fruit:apple"))
+	fmt.Printf("apple is %s\n", v)
+
+	it, _ := db.NewIterator()
+	defer it.Close()
+	for it.Seek([]byte("fruit:")); it.Valid(); it.Next() {
+		if string(it.Key()) >= "fruit;" {
+			break
+		}
+		fmt.Printf("%s = %s\n", it.Key(), it.Value())
+	}
+	// Output:
+	// apple is red
+	// fruit:apple = red
+	// fruit:banana = yellow
+}
+
+// ExampleDB_Write shows atomic multi-key commits.
+func ExampleDB_Write() {
+	dir, _ := os.MkdirTemp("", "rocksmash-example-*")
+	defer os.RemoveAll(dir)
+	db, err := rocksmash.Open(dir, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	b := rocksmash.NewWriteBatch()
+	b.Set([]byte("from"), []byte("90"))
+	b.Set([]byte("to"), []byte("10"))
+	b.Delete([]byte("pending"))
+	if err := db.Write(b); err != nil {
+		log.Fatal(err)
+	}
+	v, _ := db.Get([]byte("to"))
+	fmt.Printf("to=%s\n", v)
+	// Output:
+	// to=10
+}
+
+// ExampleDB_GetSnapshot shows consistent reads against a moving store.
+func ExampleDB_GetSnapshot() {
+	dir, _ := os.MkdirTemp("", "rocksmash-example-*")
+	defer os.RemoveAll(dir)
+	db, err := rocksmash.Open(dir, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	db.Put([]byte("counter"), []byte("1"))
+	snap := db.GetSnapshot()
+	defer snap.Release()
+	db.Put([]byte("counter"), []byte("2"))
+
+	old, _ := snap.Get([]byte("counter"))
+	cur, _ := db.Get([]byte("counter"))
+	fmt.Printf("snapshot=%s current=%s\n", old, cur)
+	// Output:
+	// snapshot=1 current=2
+}
+
+// ExampleIterator_Prev shows reverse iteration.
+func ExampleIterator_Prev() {
+	dir, _ := os.MkdirTemp("", "rocksmash-example-*")
+	defer os.RemoveAll(dir)
+	db, err := rocksmash.Open(dir, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	for _, k := range []string{"a", "b", "c"} {
+		db.Put([]byte(k), []byte("v"))
+	}
+	it, _ := db.NewIterator()
+	defer it.Close()
+	for it.Last(); it.Valid(); it.Prev() {
+		fmt.Printf("%s ", it.Key())
+	}
+	fmt.Println()
+	// Output:
+	// c b a
+}

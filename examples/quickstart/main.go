@@ -1,0 +1,75 @@
+// Quickstart: open a store, write, read, scan, and inspect placement.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"rocksmash"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "rocksmash-quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// nil options = PolicyMash defaults: hot data local, cold data cloud.
+	db, err := rocksmash.Open(dir, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Point writes and reads.
+	if err := db.Put([]byte("user:1"), []byte(`{"name":"ada"}`)); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Put([]byte("user:2"), []byte(`{"name":"grace"}`)); err != nil {
+		log.Fatal(err)
+	}
+	v, err := db.Get([]byte("user:1"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("user:1 = %s\n", v)
+
+	// Atomic batches.
+	b := rocksmash.NewWriteBatch()
+	b.Set([]byte("user:3"), []byte(`{"name":"edsger"}`))
+	b.Delete([]byte("user:2"))
+	if err := db.Write(b); err != nil {
+		log.Fatal(err)
+	}
+
+	// Range scans.
+	it, err := db.NewIterator()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer it.Close()
+	fmt.Println("all users:")
+	for it.Seek([]byte("user:")); it.Valid(); it.Next() {
+		fmt.Printf("  %s = %s\n", it.Key(), it.Value())
+	}
+	if it.Err() != nil {
+		log.Fatal(it.Err())
+	}
+
+	// Snapshots give consistent reads while writes continue.
+	snap := db.GetSnapshot()
+	defer snap.Release()
+	db.Put([]byte("user:1"), []byte(`{"name":"ada lovelace"}`))
+	old, _ := snap.Get([]byte("user:1"))
+	cur, _ := db.Get([]byte("user:1"))
+	fmt.Printf("snapshot sees %s; head sees %s\n", old, cur)
+
+	// Where did the data land?
+	m := db.Metrics()
+	fmt.Printf("placement: %d bytes local, %d bytes cloud (policy=%s)\n",
+		m.LocalBytes, m.CloudBytes, m.Policy)
+}

@@ -1,0 +1,98 @@
+// Recovery: demonstrates the extended write-ahead log. The program writes
+// data that never reaches an SSTable, crashes the store, and then recovers
+// it twice — once with stock serial WAL replay and once with the eWAL's
+// parallel replay — verifying both recover every record and reporting the
+// time each took.
+//
+//	go run ./examples/recovery
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"rocksmash"
+)
+
+const (
+	records = 20000
+	valLen  = 1024
+)
+
+func key(i int) []byte { return []byte(fmt.Sprintf("record%010d", i)) }
+
+func populateAndCrash(dir string, opts rocksmash.Options) {
+	db, err := rocksmash.Open(dir, &opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	val := make([]byte, valLen)
+	for i := 0; i < records; i++ {
+		copy(val, fmt.Sprintf("value-%d", i))
+		if err := db.Put(key(i), val); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("  wrote %d records (~%d MiB of WAL), crashing without flush\n",
+		records, records*(valLen+32)>>20)
+	db.Crash()
+}
+
+func recoverAndVerify(dir string, opts rocksmash.Options) time.Duration {
+	db, err := rocksmash.Open(dir, &opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	rep := db.RecoveryReport()
+	dur := rep.Duration
+	fmt.Printf("  recovered in %s: %s\n", dur.Round(time.Millisecond), rep)
+	missing := 0
+	for i := 0; i < records; i++ {
+		if _, err := db.Get(key(i)); err != nil {
+			missing++
+		}
+	}
+	if missing != 0 {
+		log.Fatalf("DATA LOSS: %d records missing", missing)
+	}
+	fmt.Printf("  verified: all %d records intact\n", records)
+	return dur
+}
+
+func main() {
+	base, err := os.MkdirTemp("", "rocksmash-recovery-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(base)
+
+	common := rocksmash.DefaultOptions()
+	common.MemtableBytes = 1 << 30 // keep everything in the WAL for the demo
+	common.WALSegmentBytes = 2 << 20
+
+	fmt.Println("[1] stock WAL: serial replay")
+	serial := common
+	serial.ExtendedWAL = false
+	serial.RecoveryParallelism = 1
+	dirA := filepath.Join(base, "serial")
+	populateAndCrash(dirA, serial)
+	tSerial := recoverAndVerify(dirA, serial)
+
+	fmt.Println("[2] extended WAL: parallel replay (4 goroutines)")
+	parallel := common
+	parallel.ExtendedWAL = true
+	parallel.RecoveryParallelism = 4
+	dirB := filepath.Join(base, "parallel")
+	populateAndCrash(dirB, parallel)
+	tParallel := recoverAndVerify(dirB, parallel)
+
+	if tParallel > 0 {
+		fmt.Printf("\nspeedup from eWAL parallel recovery: %.2fx\n",
+			tSerial.Seconds()/tParallel.Seconds())
+	}
+}

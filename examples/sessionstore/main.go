@@ -1,0 +1,125 @@
+// Sessionstore: a write-heavy workload — user sessions that are created,
+// repeatedly updated, and eventually deleted. Shows the write path (WAL +
+// memtable + flushes), tombstone reclamation through compaction, and the
+// cost report that motivates keeping the bulk of data in cloud storage.
+//
+//	go run ./examples/sessionstore
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	"rocksmash"
+)
+
+type session struct {
+	User     int       `json:"user"`
+	LastSeen time.Time `json:"last_seen"`
+	Payload  string    `json:"payload"`
+}
+
+const (
+	users   = 5000
+	actions = 40000
+)
+
+func sessionKey(user int) []byte { return []byte(fmt.Sprintf("sess:%08d", user)) }
+
+func main() {
+	dir, err := os.MkdirTemp("", "rocksmash-sessions-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	opts := rocksmash.DefaultOptions()
+	opts.MemtableBytes = 1 << 20
+	opts.LevelBaseBytes = 4 << 20
+	opts.TargetFileBytes = 1 << 20
+
+	db, err := rocksmash.Open(dir, &opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	rng := rand.New(rand.NewSource(99))
+	live := map[int]bool{}
+	start := time.Now()
+	var creates, updates, logouts int
+	for i := 0; i < actions; i++ {
+		user := rng.Intn(users)
+		switch {
+		case !live[user]:
+			// Login: create the session.
+			s := session{User: user, LastSeen: time.Now(), Payload: randPayload(rng)}
+			put(db, sessionKey(user), s)
+			live[user] = true
+			creates++
+		case rng.Intn(10) == 0:
+			// Logout: delete the session.
+			if err := db.Delete(sessionKey(user)); err != nil {
+				log.Fatal(err)
+			}
+			delete(live, user)
+			logouts++
+		default:
+			// Activity: update the session in place.
+			s := session{User: user, LastSeen: time.Now(), Payload: randPayload(rng)}
+			put(db, sessionKey(user), s)
+			updates++
+		}
+	}
+	dur := time.Since(start)
+	fmt.Printf("%d actions in %s (%.0f ops/s): %d logins, %d updates, %d logouts\n",
+		actions, dur.Round(time.Millisecond), float64(actions)/dur.Seconds(),
+		creates, updates, logouts)
+
+	// Compact away the dead versions and count what survived.
+	if err := db.CompactAll(); err != nil {
+		log.Fatal(err)
+	}
+	it, err := db.NewIterator()
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := 0
+	for it.Seek([]byte("sess:")); it.Valid(); it.Next() {
+		n++
+	}
+	if err := it.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("live sessions after compaction: %d (expected %d)\n", n, len(live))
+
+	m := db.Metrics()
+	fmt.Printf("tree: files/level=%v, %.1f MiB local, %.1f MiB cloud, %d flushes, %d compactions\n",
+		m.LevelFiles, float64(m.LocalBytes)/(1<<20), float64(m.CloudBytes)/(1<<20),
+		m.Flushes, m.Compactions)
+	if rep, ok := db.CloudCost(); ok {
+		fmt.Println("cloud bill:", rep)
+	}
+}
+
+func put(db *rocksmash.DB, key []byte, s session) {
+	v, err := json.Marshal(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Put(key, v); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func randPayload(rng *rand.Rand) string {
+	b := make([]byte, 200)
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(26))
+	}
+	return string(b)
+}

@@ -1,0 +1,127 @@
+// Webcache: the paper's motivating web-scale scenario — a large,
+// read-heavy, highly skewed working set that would be too expensive to
+// keep entirely on local SSD. The store keeps the hot head of the zipfian
+// distribution on local media (upper levels + LSM-aware persistent cache)
+// while the long tail lives in cloud storage.
+//
+//	go run ./examples/webcache
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+	"time"
+
+	"rocksmash"
+)
+
+const (
+	pages    = 30000
+	pageSize = 512
+	requests = 8000
+)
+
+// zipf picks page indices with web-like popularity skew (theta 0.99),
+// scrambled so hot pages are spread across the keyspace.
+type zipf struct {
+	rng   *rand.Rand
+	n     float64
+	zetan float64
+	eta   float64
+	alpha float64
+}
+
+func newZipf(n int, seed int64) *zipf {
+	const theta = 0.99
+	z := &zipf{rng: rand.New(rand.NewSource(seed)), n: float64(n)}
+	for i := 1; i <= n; i++ {
+		z.zetan += 1 / math.Pow(float64(i), theta)
+	}
+	zeta2 := 1 + 1/math.Pow(2, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/z.n, 1-theta)) / (1 - zeta2/z.zetan)
+	return z
+}
+
+func (z *zipf) next() uint64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, 0.99) {
+		return 1
+	}
+	return uint64(z.n * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+func pageKey(i uint64) []byte {
+	h := i * 0x9e3779b97f4a7c15
+	h ^= h >> 32
+	return []byte(fmt.Sprintf("page%019d", h))
+}
+
+func main() {
+	dir, err := os.MkdirTemp("", "rocksmash-webcache-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	opts := rocksmash.DefaultOptions()
+	opts.MemtableBytes = 1 << 20  // small geometry so tiering shows up at demo scale
+	opts.LevelBaseBytes = 4 << 20 // L1 target
+	opts.TargetFileBytes = 1 << 20
+	opts.PCacheBytes = 8 << 20
+
+	db, err := rocksmash.Open(dir, &opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Ingest the page corpus.
+	fmt.Printf("ingesting %d pages...\n", pages)
+	page := make([]byte, pageSize)
+	for i := 0; i < pages; i++ {
+		copy(page, fmt.Sprintf("<html>page %d</html>", i))
+		if err := db.Put(pageKey(uint64(i)), page); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := db.CompactAll(); err != nil {
+		log.Fatal(err)
+	}
+	m := db.Metrics()
+	fmt.Printf("corpus placed: %.1f MiB local, %.1f MiB cloud\n",
+		float64(m.LocalBytes)/(1<<20), float64(m.CloudBytes)/(1<<20))
+
+	// Serve a zipfian request stream (theta 0.99 ≈ web popularity).
+	fmt.Printf("serving %d zipfian requests...\n", requests)
+	z := newZipf(pages, 7)
+	start := time.Now()
+	var slow int
+	for i := 0; i < requests; i++ {
+		s := time.Now()
+		if _, err := db.Get(pageKey(z.next())); err != nil && err != rocksmash.ErrNotFound {
+			log.Fatal(err)
+		}
+		if time.Since(s) > 2*time.Millisecond {
+			slow++ // paid a cloud round trip
+		}
+	}
+	dur := time.Since(start)
+
+	m = db.Metrics()
+	fmt.Printf("\nserved %.0f req/s; %.2f%% of requests hit cloud latency\n",
+		float64(requests)/dur.Seconds(), 100*float64(slow)/requests)
+	fmt.Printf("persistent cache: hit ratio %.3f, %.1f MiB cached, %d B of index\n",
+		m.PCacheHit, float64(m.PCacheUsed)/(1<<20), m.PCacheMeta)
+	fmt.Printf("in-memory block cache hit ratio: %.3f\n", m.BlockHit)
+	if rep, ok := db.CloudCost(); ok {
+		fmt.Println("cloud bill:", rep)
+	}
+}

@@ -1,0 +1,3 @@
+module rocksmash
+
+go 1.22

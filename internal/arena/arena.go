@@ -1,0 +1,58 @@
+// Package arena provides a chunked append-only allocator. The memtable
+// skiplist allocates all node and key/value storage from an arena so that an
+// entire memtable can be released in one step and so allocation on the write
+// path stays cheap and contention-free under a single writer.
+package arena
+
+import "sync/atomic"
+
+const (
+	// chunkSize is the default size of each allocation chunk.
+	chunkSize = 1 << 20 // 1 MiB
+)
+
+// Arena is a chunked bump allocator. Alloc is safe for a single writer
+// running concurrently with readers of previously returned buffers; the
+// Size method may be called from any goroutine.
+type Arena struct {
+	chunks [][]byte
+	cur    []byte
+	off    int
+	size   atomic.Int64
+}
+
+// New returns an empty arena.
+func New() *Arena {
+	return &Arena{}
+}
+
+// Alloc returns a zeroed byte slice of length n carved from the arena.
+func (a *Arena) Alloc(n int) []byte {
+	if a.off+n > len(a.cur) {
+		c := chunkSize
+		if n > c {
+			c = n
+		}
+		a.cur = make([]byte, c)
+		a.off = 0
+		a.chunks = append(a.chunks, a.cur)
+	}
+	b := a.cur[a.off : a.off+n : a.off+n]
+	a.off += n
+	a.size.Add(int64(n))
+	return b
+}
+
+// Append copies src into the arena and returns the stable copy.
+func (a *Arena) Append(src []byte) []byte {
+	b := a.Alloc(len(src))
+	copy(b, src)
+	return b
+}
+
+// Size returns the total number of bytes handed out by Alloc. It is a lower
+// bound on memory held by the arena (chunk slack is excluded) and is the
+// figure the memtable uses for flush triggering.
+func (a *Arena) Size() int64 {
+	return a.size.Load()
+}

@@ -1,0 +1,66 @@
+package arena
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestAllocSizes(t *testing.T) {
+	a := New()
+	b1 := a.Alloc(10)
+	if len(b1) != 10 {
+		t.Fatalf("len = %d", len(b1))
+	}
+	b2 := a.Alloc(20)
+	if len(b2) != 20 {
+		t.Fatalf("len = %d", len(b2))
+	}
+	if a.Size() != 30 {
+		t.Fatalf("size = %d", a.Size())
+	}
+}
+
+func TestAllocLargerThanChunk(t *testing.T) {
+	a := New()
+	big := a.Alloc(3 << 20)
+	if len(big) != 3<<20 {
+		t.Fatalf("len = %d", len(big))
+	}
+	// Subsequent small allocations still work.
+	small := a.Alloc(8)
+	if len(small) != 8 {
+		t.Fatalf("len = %d", len(small))
+	}
+}
+
+func TestAppendCopies(t *testing.T) {
+	a := New()
+	src := []byte("hello")
+	cp := a.Append(src)
+	src[0] = 'X'
+	if !bytes.Equal(cp, []byte("hello")) {
+		t.Fatalf("append did not copy: %q", cp)
+	}
+}
+
+func TestAllocationsDoNotOverlap(t *testing.T) {
+	a := New()
+	b1 := a.Alloc(16)
+	b2 := a.Alloc(16)
+	for i := range b1 {
+		b1[i] = 0xAA
+	}
+	for _, v := range b2 {
+		if v != 0 {
+			t.Fatal("allocations overlap")
+		}
+	}
+}
+
+func TestAllocCapacityClamped(t *testing.T) {
+	a := New()
+	b := a.Alloc(4)
+	if cap(b) != 4 {
+		t.Fatalf("cap = %d, want 4 (three-index slice)", cap(b))
+	}
+}

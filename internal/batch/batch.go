@@ -1,0 +1,151 @@
+// Package batch implements the atomic write-batch encoding shared by the
+// write path and the write-ahead log. The wire format follows RocksDB:
+//
+//	| seq uint64 LE | count uint32 LE | record* |
+//	record: kind(1) | varint keyLen | key | [varint valLen | value]   (value only for SET)
+//
+// A batch is assigned its base sequence number at commit time; record i in
+// the batch carries sequence seq+i.
+package batch
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"rocksmash/internal/keys"
+)
+
+const headerLen = 12
+
+// ErrCorrupt reports a malformed batch payload.
+var ErrCorrupt = errors.New("batch: corrupt payload")
+
+// Batch accumulates writes to be applied atomically.
+type Batch struct {
+	data []byte
+}
+
+// New returns an empty batch.
+func New() *Batch {
+	return &Batch{data: make([]byte, headerLen, headerLen+64)}
+}
+
+// FromPayload wraps an encoded payload (e.g. read back from the WAL).
+func FromPayload(p []byte) (*Batch, error) {
+	if len(p) < headerLen {
+		return nil, ErrCorrupt
+	}
+	return &Batch{data: p}, nil
+}
+
+// Set queues a key/value write.
+func (b *Batch) Set(key, value []byte) {
+	b.data = append(b.data, byte(keys.KindSet))
+	b.data = binary.AppendUvarint(b.data, uint64(len(key)))
+	b.data = append(b.data, key...)
+	b.data = binary.AppendUvarint(b.data, uint64(len(value)))
+	b.data = append(b.data, value...)
+	b.setCount(b.Count() + 1)
+}
+
+// Delete queues a point tombstone.
+func (b *Batch) Delete(key []byte) {
+	b.data = append(b.data, byte(keys.KindDelete))
+	b.data = binary.AppendUvarint(b.data, uint64(len(key)))
+	b.data = append(b.data, key...)
+	b.setCount(b.Count() + 1)
+}
+
+// Count returns the number of queued operations.
+func (b *Batch) Count() uint32 { return binary.LittleEndian.Uint32(b.data[8:12]) }
+
+func (b *Batch) setCount(n uint32) { binary.LittleEndian.PutUint32(b.data[8:12], n) }
+
+// Seq returns the base sequence number stamped on the batch.
+func (b *Batch) Seq() uint64 { return binary.LittleEndian.Uint64(b.data[:8]) }
+
+// SetSeq stamps the base sequence number; called by the commit path.
+func (b *Batch) SetSeq(seq uint64) { binary.LittleEndian.PutUint64(b.data[:8], seq) }
+
+// Payload returns the encoded bytes, suitable for a WAL record.
+func (b *Batch) Payload() []byte { return b.data }
+
+// Size returns the encoded size in bytes.
+func (b *Batch) Size() int { return len(b.data) }
+
+// Empty reports whether no operations are queued.
+func (b *Batch) Empty() bool { return b.Count() == 0 }
+
+// Reset clears the batch for reuse.
+func (b *Batch) Reset() {
+	b.data = b.data[:headerLen]
+	for i := range b.data {
+		b.data[i] = 0
+	}
+}
+
+// Append concatenates other's operations onto b (used for group commit).
+func (b *Batch) Append(other *Batch) {
+	n := b.Count() + other.Count()
+	b.data = append(b.data, other.data[headerLen:]...)
+	b.setCount(n)
+}
+
+// Op is one decoded operation.
+type Op struct {
+	Kind  keys.Kind
+	Seq   uint64
+	Key   []byte
+	Value []byte
+}
+
+// Iterate calls fn for every operation with its assigned sequence number.
+// It stops early and returns fn's error if non-nil, or ErrCorrupt on a
+// malformed payload.
+func (b *Batch) Iterate(fn func(op Op) error) error {
+	p := b.data[headerLen:]
+	seq := b.Seq()
+	want := b.Count()
+	var n uint32
+	for len(p) > 0 {
+		kind := keys.Kind(p[0])
+		p = p[1:]
+		klen, sz := binary.Uvarint(p)
+		if sz <= 0 || uint64(len(p)-sz) < klen {
+			return ErrCorrupt
+		}
+		key := p[sz : sz+int(klen)]
+		p = p[sz+int(klen):]
+		var val []byte
+		switch kind {
+		case keys.KindSet:
+			vlen, sz := binary.Uvarint(p)
+			if sz <= 0 || uint64(len(p)-sz) < vlen {
+				return ErrCorrupt
+			}
+			val = p[sz : sz+int(vlen)]
+			p = p[sz+int(vlen):]
+		case keys.KindDelete:
+		default:
+			return fmt.Errorf("%w: unknown kind %d", ErrCorrupt, kind)
+		}
+		if err := fn(Op{Kind: kind, Seq: seq + uint64(n), Key: key, Value: val}); err != nil {
+			return err
+		}
+		n++
+	}
+	if n != want {
+		return fmt.Errorf("%w: count %d != header %d", ErrCorrupt, n, want)
+	}
+	return nil
+}
+
+// MaxSeq returns the sequence of the batch's final operation. Only
+// meaningful after SetSeq on a non-empty batch.
+func (b *Batch) MaxSeq() uint64 {
+	if b.Count() == 0 {
+		return b.Seq()
+	}
+	return b.Seq() + uint64(b.Count()) - 1
+}

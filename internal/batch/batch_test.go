@@ -1,0 +1,172 @@
+package batch
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"rocksmash/internal/keys"
+)
+
+func TestSetDeleteIterate(t *testing.T) {
+	b := New()
+	b.Set([]byte("k1"), []byte("v1"))
+	b.Delete([]byte("k2"))
+	b.Set([]byte("k3"), []byte("v3"))
+	b.SetSeq(100)
+
+	if b.Count() != 3 {
+		t.Fatalf("count = %d", b.Count())
+	}
+	var ops []Op
+	if err := b.Iterate(func(op Op) error {
+		ops = append(ops, Op{op.Kind, op.Seq, append([]byte(nil), op.Key...), append([]byte(nil), op.Value...)})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []Op{
+		{keys.KindSet, 100, []byte("k1"), []byte("v1")},
+		{keys.KindDelete, 101, []byte("k2"), nil},
+		{keys.KindSet, 102, []byte("k3"), []byte("v3")},
+	}
+	if len(ops) != len(want) {
+		t.Fatalf("got %d ops", len(ops))
+	}
+	for i := range want {
+		if ops[i].Kind != want[i].Kind || ops[i].Seq != want[i].Seq ||
+			!bytes.Equal(ops[i].Key, want[i].Key) || !bytes.Equal(ops[i].Value, want[i].Value) {
+			t.Fatalf("op %d = %+v want %+v", i, ops[i], want[i])
+		}
+	}
+	if b.MaxSeq() != 102 {
+		t.Fatalf("maxseq = %d", b.MaxSeq())
+	}
+}
+
+func TestPayloadRoundTrip(t *testing.T) {
+	b := New()
+	b.Set([]byte("a"), []byte("1"))
+	b.Delete([]byte("b"))
+	b.SetSeq(7)
+
+	b2, err := FromPayload(append([]byte(nil), b.Payload()...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.Seq() != 7 || b2.Count() != 2 {
+		t.Fatalf("decoded seq=%d count=%d", b2.Seq(), b2.Count())
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	b := New()
+	if !b.Empty() || b.Count() != 0 {
+		t.Fatal("new batch should be empty")
+	}
+	if err := b.Iterate(func(Op) error { t.Fatal("no ops expected"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := New()
+	b.Set([]byte("k"), []byte("v"))
+	b.SetSeq(9)
+	b.Reset()
+	if !b.Empty() || b.Seq() != 0 || b.Size() != 12 {
+		t.Fatalf("reset left state: count=%d seq=%d size=%d", b.Count(), b.Seq(), b.Size())
+	}
+}
+
+func TestAppendGroupCommit(t *testing.T) {
+	b1 := New()
+	b1.Set([]byte("a"), []byte("1"))
+	b2 := New()
+	b2.Delete([]byte("b"))
+	b2.Set([]byte("c"), []byte("3"))
+
+	b1.Append(b2)
+	b1.SetSeq(50)
+	if b1.Count() != 3 {
+		t.Fatalf("count = %d", b1.Count())
+	}
+	var seqs []uint64
+	b1.Iterate(func(op Op) error { seqs = append(seqs, op.Seq); return nil })
+	if fmt.Sprint(seqs) != "[50 51 52]" {
+		t.Fatalf("seqs = %v", seqs)
+	}
+}
+
+func TestCorruptPayloads(t *testing.T) {
+	if _, err := FromPayload([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short payload should fail")
+	}
+	b := New()
+	b.Set([]byte("key"), []byte("value"))
+	p := append([]byte(nil), b.Payload()...)
+	// Truncate mid-record.
+	b3, _ := FromPayload(p[:len(p)-3])
+	if err := b3.Iterate(func(Op) error { return nil }); err == nil {
+		t.Fatal("truncated record should fail")
+	}
+	// Unknown kind.
+	p2 := append([]byte(nil), b.Payload()...)
+	p2[12] = 99
+	b4, _ := FromPayload(p2)
+	if err := b4.Iterate(func(Op) error { return nil }); err == nil {
+		t.Fatal("unknown kind should fail")
+	}
+	// Count mismatch.
+	p3 := append([]byte(nil), b.Payload()...)
+	p3[8] = 5
+	b5, _ := FromPayload(p3)
+	if err := b5.Iterate(func(Op) error { return nil }); err == nil {
+		t.Fatal("count mismatch should fail")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	type kv struct {
+		Key, Val []byte
+		Del      bool
+	}
+	f := func(ops []kv, seq uint32) bool {
+		b := New()
+		for _, o := range ops {
+			if o.Del {
+				b.Delete(o.Key)
+			} else {
+				b.Set(o.Key, o.Val)
+			}
+		}
+		b.SetSeq(uint64(seq))
+		dec, err := FromPayload(b.Payload())
+		if err != nil {
+			return false
+		}
+		i := 0
+		err = dec.Iterate(func(op Op) error {
+			o := ops[i]
+			i++
+			if op.Seq != uint64(seq)+uint64(i-1) {
+				return fmt.Errorf("seq")
+			}
+			if o.Del {
+				if op.Kind != keys.KindDelete || !bytes.Equal(op.Key, o.Key) {
+					return fmt.Errorf("del mismatch")
+				}
+			} else {
+				if op.Kind != keys.KindSet || !bytes.Equal(op.Key, o.Key) || !bytes.Equal(op.Value, o.Val) {
+					return fmt.Errorf("set mismatch")
+				}
+			}
+			return nil
+		})
+		return err == nil && i == len(ops)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

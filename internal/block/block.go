@@ -1,0 +1,366 @@
+// Package block implements the key/value block format shared by SSTable
+// data and index blocks. Entries are prefix-compressed against the previous
+// key, with periodic restart points for binary search:
+//
+//	entry:   varint(shared) varint(unshared) varint(valueLen) keyDelta value
+//	trailer: restartOffset*uint32 ... restartCount uint32
+//
+// Keys within a block must be added in strictly increasing internal-key
+// order.
+package block
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"rocksmash/internal/keys"
+)
+
+// ErrCorrupt reports a structurally invalid block.
+var ErrCorrupt = errors.New("block: corrupt entry")
+
+// Builder assembles a block.
+type Builder struct {
+	buf             []byte
+	restarts        []uint32
+	restartInterval int
+	counter         int
+	lastKey         []byte
+	n               int
+}
+
+// NewBuilder returns a builder that writes a restart point every
+// restartInterval entries (16 is the conventional default).
+func NewBuilder(restartInterval int) *Builder {
+	if restartInterval < 1 {
+		restartInterval = 1
+	}
+	return &Builder{restartInterval: restartInterval, restarts: []uint32{0}}
+}
+
+// Add appends an entry. key must sort after every previously added key.
+func (b *Builder) Add(key, value []byte) {
+	shared := 0
+	if b.counter < b.restartInterval {
+		n := len(b.lastKey)
+		if len(key) < n {
+			n = len(key)
+		}
+		for shared < n && b.lastKey[shared] == key[shared] {
+			shared++
+		}
+	} else {
+		b.restarts = append(b.restarts, uint32(len(b.buf)))
+		b.counter = 0
+	}
+	b.buf = binary.AppendUvarint(b.buf, uint64(shared))
+	b.buf = binary.AppendUvarint(b.buf, uint64(len(key)-shared))
+	b.buf = binary.AppendUvarint(b.buf, uint64(len(value)))
+	b.buf = append(b.buf, key[shared:]...)
+	b.buf = append(b.buf, value...)
+
+	b.lastKey = append(b.lastKey[:0], key...)
+	b.counter++
+	b.n++
+}
+
+// Count returns the number of entries added.
+func (b *Builder) Count() int { return b.n }
+
+// EstimatedSize returns the size the finished block will have.
+func (b *Builder) EstimatedSize() int {
+	return len(b.buf) + 4*len(b.restarts) + 4
+}
+
+// Empty reports whether no entries were added.
+func (b *Builder) Empty() bool { return b.n == 0 }
+
+// Finish appends the restart trailer and returns the encoded block. The
+// builder must not be reused afterwards except via Reset.
+func (b *Builder) Finish() []byte {
+	for _, r := range b.restarts {
+		b.buf = binary.LittleEndian.AppendUint32(b.buf, r)
+	}
+	b.buf = binary.LittleEndian.AppendUint32(b.buf, uint32(len(b.restarts)))
+	return b.buf
+}
+
+// Reset clears the builder for reuse.
+func (b *Builder) Reset() {
+	b.buf = b.buf[:0]
+	b.restarts = b.restarts[:1]
+	b.restarts[0] = 0
+	b.counter = 0
+	b.lastKey = b.lastKey[:0]
+	b.n = 0
+}
+
+// Reader provides random and sequential access to a finished block.
+type Reader struct {
+	data     []byte // entry region only
+	restarts []uint32
+}
+
+// NewReader parses an encoded block.
+func NewReader(data []byte) (*Reader, error) {
+	if len(data) < 4 {
+		return nil, ErrCorrupt
+	}
+	n := binary.LittleEndian.Uint32(data[len(data)-4:])
+	trailer := 4 * (int(n) + 1)
+	if n == 0 || trailer > len(data) {
+		return nil, ErrCorrupt
+	}
+	restartStart := len(data) - trailer
+	restarts := make([]uint32, n)
+	for i := range restarts {
+		restarts[i] = binary.LittleEndian.Uint32(data[restartStart+4*i:])
+		if int(restarts[i]) > restartStart {
+			return nil, ErrCorrupt
+		}
+	}
+	return &Reader{data: data[:restartStart], restarts: restarts}, nil
+}
+
+// Iter iterates the entries of one block.
+type Iter struct {
+	r      *Reader
+	off    int // offset of current entry
+	next   int // offset just past current entry
+	key    []byte
+	value  []byte
+	valid  bool
+	err    error
+	restIx int // restart index at or before the current entry
+}
+
+// NewIter returns an unpositioned iterator over the block.
+func (r *Reader) NewIter() *Iter { return &Iter{r: r} }
+
+// decodeAt decodes the entry at offset off, using it.key as the shared
+// prefix source, and advances the iterator state.
+func (it *Iter) decodeAt(off int) bool {
+	data := it.r.data
+	if off >= len(data) {
+		it.valid = false
+		return false
+	}
+	shared, n1 := binary.Uvarint(data[off:])
+	if n1 <= 0 {
+		it.fail()
+		return false
+	}
+	unshared, n2 := binary.Uvarint(data[off+n1:])
+	if n2 <= 0 {
+		it.fail()
+		return false
+	}
+	vlen, n3 := binary.Uvarint(data[off+n1+n2:])
+	if n3 <= 0 {
+		it.fail()
+		return false
+	}
+	p := off + n1 + n2 + n3
+	if int(shared) > len(it.key) || p+int(unshared)+int(vlen) > len(data) {
+		it.fail()
+		return false
+	}
+	it.key = append(it.key[:int(shared)], data[p:p+int(unshared)]...)
+	it.value = data[p+int(unshared) : p+int(unshared)+int(vlen)]
+	it.off = off
+	it.next = p + int(unshared) + int(vlen)
+	it.valid = true
+	return true
+}
+
+func (it *Iter) fail() {
+	it.valid = false
+	it.err = ErrCorrupt
+}
+
+// Valid reports whether the iterator is positioned on an entry.
+func (it *Iter) Valid() bool { return it.valid }
+
+// Err returns the first corruption error encountered, if any.
+func (it *Iter) Err() error { return it.err }
+
+// Key returns the current full key. The slice is reused by Next/Seek calls.
+func (it *Iter) Key() []byte { return it.key }
+
+// Value returns the current value, aliasing the block's buffer.
+func (it *Iter) Value() []byte { return it.value }
+
+// First positions at the first entry.
+func (it *Iter) First() {
+	it.key = it.key[:0]
+	it.restIx = 0
+	it.decodeAt(0)
+}
+
+// Next advances to the following entry.
+func (it *Iter) Next() {
+	if !it.valid {
+		return
+	}
+	if it.restIx+1 < len(it.r.restarts) && it.next >= int(it.r.restarts[it.restIx+1]) {
+		it.restIx++
+	}
+	it.decodeAt(it.next)
+}
+
+// SeekGE positions at the first entry with key >= target in internal-key
+// order.
+func (it *Iter) SeekGE(target []byte) {
+	// Binary search restart points for the last restart whose key < target.
+	lo, hi := 0, len(it.r.restarts)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		k, ok := it.r.restartKey(mid)
+		if !ok {
+			it.fail()
+			return
+		}
+		if keys.Compare(k, target) < 0 {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	it.restIx = lo
+	it.key = it.key[:0]
+	if !it.decodeAt(int(it.r.restarts[lo])) {
+		return
+	}
+	for it.valid && keys.Compare(it.key, target) < 0 {
+		it.Next()
+	}
+}
+
+// SeekLT positions at the last entry with key < target, or invalidates.
+func (it *Iter) SeekLT(target []byte) {
+	// Scan forward remembering the last entry < target. Blocks are small,
+	// so the linear fallback after the restart search is acceptable.
+	lo, hi := 0, len(it.r.restarts)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		k, ok := it.r.restartKey(mid)
+		if !ok {
+			it.fail()
+			return
+		}
+		if keys.Compare(k, target) < 0 {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	it.restIx = lo
+	it.key = it.key[:0]
+	if !it.decodeAt(int(it.r.restarts[lo])) {
+		return
+	}
+	if keys.Compare(it.key, target) >= 0 {
+		it.valid = false
+		return
+	}
+	for {
+		prevOff := it.off
+		prevRest := it.restIx
+		it.Next()
+		if !it.valid || keys.Compare(it.key, target) >= 0 {
+			it.key = it.key[:0]
+			it.restIx = prevRest
+			// Re-decode from the restart to rebuild the prefix chain.
+			it.replayTo(prevOff)
+			return
+		}
+	}
+}
+
+// Last positions at the final entry.
+func (it *Iter) Last() {
+	it.restIx = len(it.r.restarts) - 1
+	it.key = it.key[:0]
+	if !it.decodeAt(int(it.r.restarts[it.restIx])) {
+		return
+	}
+	for it.next < len(it.r.data) {
+		if !it.decodeAt(it.next) {
+			return
+		}
+	}
+}
+
+// Prev moves to the previous entry by replaying from the nearest restart.
+func (it *Iter) Prev() {
+	if !it.valid {
+		return
+	}
+	target := it.off
+	if target == 0 {
+		it.valid = false
+		return
+	}
+	// Find restart strictly before the current entry.
+	ri := it.restIx
+	if int(it.r.restarts[ri]) >= target {
+		ri--
+		if ri < 0 {
+			it.valid = false
+			return
+		}
+	}
+	it.restIx = ri
+	it.key = it.key[:0]
+	if !it.decodeAt(int(it.r.restarts[ri])) {
+		return
+	}
+	for it.next < target {
+		if !it.decodeAt(it.next) {
+			return
+		}
+		if it.restIx+1 < len(it.r.restarts) && it.off >= int(it.r.restarts[it.restIx+1]) {
+			it.restIx++
+		}
+	}
+}
+
+// replayTo re-decodes entries from the current restart point up to and
+// including the entry at offset target.
+func (it *Iter) replayTo(target int) {
+	if !it.decodeAt(int(it.r.restarts[it.restIx])) {
+		return
+	}
+	for it.off < target {
+		if !it.decodeAt(it.next) {
+			return
+		}
+	}
+}
+
+// restartKey decodes the full key stored at restart index i (restart entries
+// always have shared == 0).
+func (r *Reader) restartKey(i int) ([]byte, bool) {
+	off := int(r.restarts[i])
+	data := r.data
+	if off >= len(data) {
+		return nil, false
+	}
+	shared, n1 := binary.Uvarint(data[off:])
+	if n1 <= 0 || shared != 0 {
+		return nil, false
+	}
+	unshared, n2 := binary.Uvarint(data[off+n1:])
+	if n2 <= 0 {
+		return nil, false
+	}
+	_, n3 := binary.Uvarint(data[off+n1+n2:])
+	if n3 <= 0 {
+		return nil, false
+	}
+	p := off + n1 + n2 + n3
+	if p+int(unshared) > len(data) {
+		return nil, false
+	}
+	return data[p : p+int(unshared)], true
+}

@@ -1,0 +1,224 @@
+package block
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"rocksmash/internal/keys"
+)
+
+func ik(k string, seq uint64) []byte {
+	return keys.MakeInternalKey(nil, []byte(k), seq, keys.KindSet)
+}
+
+func buildBlock(t *testing.T, entries [][2]string, restartInterval int) *Reader {
+	t.Helper()
+	b := NewBuilder(restartInterval)
+	for i, e := range entries {
+		b.Add(ik(e[0], uint64(1000-i)), []byte(e[1]))
+	}
+	r, err := NewReader(b.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRoundTripSequential(t *testing.T) {
+	var entries [][2]string
+	for i := 0; i < 100; i++ {
+		entries = append(entries, [2]string{fmt.Sprintf("key%04d", i), fmt.Sprintf("val%d", i)})
+	}
+	for _, ri := range []int{1, 2, 16, 1000} {
+		r := buildBlock(t, entries, ri)
+		it := r.NewIter()
+		it.First()
+		for i := 0; i < len(entries); i++ {
+			if !it.Valid() {
+				t.Fatalf("ri=%d: exhausted at %d", ri, i)
+			}
+			if got := string(keys.UserKey(it.Key())); got != entries[i][0] {
+				t.Fatalf("ri=%d: key %d = %q want %q", ri, i, got, entries[i][0])
+			}
+			if got := string(it.Value()); got != entries[i][1] {
+				t.Fatalf("ri=%d: value %d = %q", ri, i, got)
+			}
+			it.Next()
+		}
+		if it.Valid() {
+			t.Fatalf("ri=%d: extra entries", ri)
+		}
+		if it.Err() != nil {
+			t.Fatalf("ri=%d: err %v", ri, it.Err())
+		}
+	}
+}
+
+func TestSeekGE(t *testing.T) {
+	var entries [][2]string
+	for i := 0; i < 50; i += 2 {
+		entries = append(entries, [2]string{fmt.Sprintf("k%03d", i), "v"})
+	}
+	r := buildBlock(t, entries, 4)
+	it := r.NewIter()
+
+	it.SeekGE(keys.MakeSeekKey(nil, []byte("k007"), keys.MaxSequence))
+	if !it.Valid() || string(keys.UserKey(it.Key())) != "k008" {
+		t.Fatalf("seek k007 landed wrong")
+	}
+	it.SeekGE(keys.MakeSeekKey(nil, []byte("k000"), keys.MaxSequence))
+	if !it.Valid() || string(keys.UserKey(it.Key())) != "k000" {
+		t.Fatal("seek first failed")
+	}
+	it.SeekGE(keys.MakeSeekKey(nil, []byte("zzz"), keys.MaxSequence))
+	if it.Valid() {
+		t.Fatal("seek past end should invalidate")
+	}
+}
+
+func TestSeekLT(t *testing.T) {
+	entries := [][2]string{{"a", "1"}, {"c", "2"}, {"e", "3"}, {"g", "4"}}
+	r := buildBlock(t, entries, 2)
+	it := r.NewIter()
+
+	it.SeekLT(ik("d", keys.MaxSequence))
+	if !it.Valid() || string(keys.UserKey(it.Key())) != "c" {
+		t.Fatalf("SeekLT(d) got valid=%v", it.Valid())
+	}
+	it.SeekLT(ik("a", keys.MaxSequence))
+	if it.Valid() {
+		t.Fatal("SeekLT before first should invalidate")
+	}
+	it.SeekLT(ik("zzz", 0))
+	if !it.Valid() || string(keys.UserKey(it.Key())) != "g" {
+		t.Fatal("SeekLT(zzz) should land on last")
+	}
+}
+
+func TestLastAndPrev(t *testing.T) {
+	entries := [][2]string{{"a", "1"}, {"b", "2"}, {"c", "3"}, {"d", "4"}, {"e", "5"}}
+	r := buildBlock(t, entries, 2)
+	it := r.NewIter()
+	it.Last()
+	var got []string
+	for it.Valid() {
+		got = append(got, string(keys.UserKey(it.Key())))
+		it.Prev()
+	}
+	want := "e d c b a"
+	if g := fmt.Sprint(got); g != "["+want+"]" {
+		t.Fatalf("reverse walk = %v", got)
+	}
+}
+
+func TestEmptyishBlockRejected(t *testing.T) {
+	if _, err := NewReader(nil); err == nil {
+		t.Fatal("nil block should fail")
+	}
+	if _, err := NewReader([]byte{0, 0, 0}); err == nil {
+		t.Fatal("short block should fail")
+	}
+}
+
+func TestCorruptRestartCount(t *testing.T) {
+	b := NewBuilder(16)
+	b.Add(ik("a", 1), []byte("v"))
+	data := b.Finish()
+	// Claim an absurd restart count.
+	data[len(data)-1] = 0xff
+	if _, err := NewReader(data); err == nil {
+		t.Fatal("corrupt restart count should fail")
+	}
+}
+
+func TestEstimatedSize(t *testing.T) {
+	b := NewBuilder(16)
+	if b.EstimatedSize() < 8 {
+		t.Fatal("even empty block has trailer overhead")
+	}
+	before := b.EstimatedSize()
+	b.Add(ik("key", 1), bytes.Repeat([]byte("v"), 100))
+	if b.EstimatedSize() <= before+100 {
+		t.Fatal("estimated size should include entry bytes")
+	}
+	got := b.EstimatedSize()
+	if got != len(b.Finish()) {
+		t.Fatalf("estimate %d != actual %d", got, len(b.Finish()))
+	}
+}
+
+func TestBuilderReset(t *testing.T) {
+	b := NewBuilder(4)
+	b.Add(ik("x", 1), []byte("1"))
+	b.Reset()
+	if !b.Empty() || b.Count() != 0 {
+		t.Fatal("reset should clear builder")
+	}
+	b.Add(ik("a", 1), []byte("2"))
+	r, err := NewReader(b.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := r.NewIter()
+	it.First()
+	if !it.Valid() || string(keys.UserKey(it.Key())) != "a" {
+		t.Fatal("block after reset is wrong")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8, restartInterval uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := map[string]string{}
+		for i := 0; i < int(n); i++ {
+			m[fmt.Sprintf("k%04d", rng.Intn(1000))] = fmt.Sprint(rng.Int63())
+		}
+		var ks []string
+		for k := range m {
+			ks = append(ks, k)
+		}
+		sort.Strings(ks)
+		if len(ks) == 0 {
+			return true
+		}
+		b := NewBuilder(int(restartInterval%20) + 1)
+		for i, k := range ks {
+			b.Add(ik(k, uint64(10000-i)), []byte(m[k]))
+		}
+		r, err := NewReader(b.Finish())
+		if err != nil {
+			return false
+		}
+		// Every key must be findable by SeekGE and carry the right value.
+		it := r.NewIter()
+		for _, k := range ks {
+			it.SeekGE(keys.MakeSeekKey(nil, []byte(k), keys.MaxSequence))
+			if !it.Valid() || string(keys.UserKey(it.Key())) != k || string(it.Value()) != m[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedPrefixCompression(t *testing.T) {
+	// Keys with long shared prefixes should compress well.
+	b1 := NewBuilder(16)
+	b2 := NewBuilder(1) // no sharing
+	prefix := bytes.Repeat([]byte("p"), 64)
+	for i := 0; i < 64; i++ {
+		k := keys.MakeInternalKey(nil, append(append([]byte{}, prefix...), byte(i)), 1, keys.KindSet)
+		b1.Add(k, []byte("v"))
+		b2.Add(k, []byte("v"))
+	}
+	if len(b1.Finish()) >= len(b2.Finish()) {
+		t.Fatal("prefix compression should shrink the block")
+	}
+}

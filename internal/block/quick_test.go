@@ -1,0 +1,98 @@
+package block
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"rocksmash/internal/keys"
+)
+
+// TestQuickSeekLTMatchesLinearScan checks SeekLT against the obvious
+// linear-scan definition for random blocks and targets.
+func TestQuickSeekLTMatchesLinearScan(t *testing.T) {
+	f := func(seed int64, n uint8, restartInterval uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		uniq := map[string]bool{}
+		for i := 0; i < int(n%60)+2; i++ {
+			uniq[fmt.Sprintf("k%03d", rng.Intn(200))] = true
+		}
+		var ks []string
+		for k := range uniq {
+			ks = append(ks, k)
+		}
+		sort.Strings(ks)
+		b := NewBuilder(int(restartInterval%8) + 1)
+		var ikeys [][]byte
+		for i, k := range ks {
+			ik := keys.MakeInternalKey(nil, []byte(k), uint64(1000-i), keys.KindSet)
+			b.Add(ik, []byte("v"))
+			ikeys = append(ikeys, ik)
+		}
+		r, err := NewReader(b.Finish())
+		if err != nil {
+			return false
+		}
+		it := r.NewIter()
+		for trial := 0; trial < 30; trial++ {
+			target := keys.MakeSeekKey(nil, []byte(fmt.Sprintf("k%03d", rng.Intn(220))), keys.MaxSequence)
+			it.SeekLT(target)
+			// Linear reference: last ikey < target.
+			wantIdx := -1
+			for i, ik := range ikeys {
+				if keys.Compare(ik, target) < 0 {
+					wantIdx = i
+				}
+			}
+			if wantIdx == -1 {
+				if it.Valid() {
+					return false
+				}
+				continue
+			}
+			if !it.Valid() || keys.Compare(it.Key(), ikeys[wantIdx]) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPrevIsInverseOfNext walks forward recording positions, then
+// verifies Prev retraces them exactly from the end.
+func TestQuickPrevIsInverseOfNext(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder(4)
+		count := int(n%40) + 2
+		for i := 0; i < count; i++ {
+			ik := keys.MakeInternalKey(nil, []byte(fmt.Sprintf("key%04d", i*3)), uint64(rng.Intn(100)+1), keys.KindSet)
+			b.Add(ik, []byte(fmt.Sprint(i)))
+		}
+		r, err := NewReader(b.Finish())
+		if err != nil {
+			return false
+		}
+		it := r.NewIter()
+		var forward []string
+		for it.First(); it.Valid(); it.Next() {
+			forward = append(forward, string(it.Key()))
+		}
+		it.Last()
+		for i := len(forward) - 1; i >= 0; i-- {
+			if !it.Valid() || string(it.Key()) != forward[i] {
+				return false
+			}
+			it.Prev()
+		}
+		return !it.Valid()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

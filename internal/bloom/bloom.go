@@ -1,0 +1,97 @@
+// Package bloom implements the block-based bloom filter used in SSTable
+// filter blocks. It follows the LevelDB/RocksDB construction: k probe
+// positions derived from a single 32-bit hash by double hashing, with the
+// probe count stored in the final byte of the encoded filter.
+package bloom
+
+// Filter is an encoded bloom filter: bit array followed by one byte holding
+// the probe count.
+type Filter []byte
+
+// Hash is the 32-bit hash used for filter probes (LevelDB's bloom hash, a
+// Murmur-inspired scheme, seed 0xbc9f1d34).
+func Hash(b []byte) uint32 {
+	const (
+		seed = 0xbc9f1d34
+		m    = 0xc6a4a793
+	)
+	h := uint32(seed) ^ uint32(len(b))*m
+	for ; len(b) >= 4; b = b[4:] {
+		h += uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+		h *= m
+		h ^= h >> 16
+	}
+	switch len(b) {
+	case 3:
+		h += uint32(b[2]) << 16
+		fallthrough
+	case 2:
+		h += uint32(b[1]) << 8
+		fallthrough
+	case 1:
+		h += uint32(b[0])
+		h *= m
+		h ^= h >> 24
+	}
+	return h
+}
+
+// New builds a filter over the given key hashes with bitsPerKey bits of
+// space per key. Use Hash to produce the hashes.
+func New(hashes []uint32, bitsPerKey int) Filter {
+	if bitsPerKey < 1 {
+		bitsPerKey = 1
+	}
+	// k = bitsPerKey * ln(2), clamped to [1,30].
+	k := uint32(float64(bitsPerKey) * 0.69)
+	if k < 1 {
+		k = 1
+	}
+	if k > 30 {
+		k = 30
+	}
+	nBits := len(hashes) * bitsPerKey
+	if nBits < 64 {
+		nBits = 64
+	}
+	nBytes := (nBits + 7) / 8
+	nBits = nBytes * 8
+
+	f := make(Filter, nBytes+1)
+	f[nBytes] = byte(k)
+	for _, h := range hashes {
+		delta := h>>17 | h<<15
+		for j := uint32(0); j < k; j++ {
+			pos := h % uint32(nBits)
+			f[pos/8] |= 1 << (pos % 8)
+			h += delta
+		}
+	}
+	return f
+}
+
+// MayContain reports whether the key with hash h may be in the set encoded
+// by f. False positives are possible; false negatives are not.
+func (f Filter) MayContain(h uint32) bool {
+	if len(f) < 2 {
+		return false
+	}
+	nBits := uint32((len(f) - 1) * 8)
+	k := uint32(f[len(f)-1])
+	if k > 30 {
+		// Reserved for future encodings; err on the side of matching.
+		return true
+	}
+	delta := h>>17 | h<<15
+	for j := uint32(0); j < k; j++ {
+		pos := h % nBits
+		if f[pos/8]&(1<<(pos%8)) == 0 {
+			return false
+		}
+		h += delta
+	}
+	return true
+}
+
+// MayContainKey is MayContain over the raw key.
+func (f Filter) MayContainKey(key []byte) bool { return f.MayContain(Hash(key)) }

@@ -1,0 +1,107 @@
+package bloom
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func buildFilter(keys [][]byte, bitsPerKey int) Filter {
+	hashes := make([]uint32, len(keys))
+	for i, k := range keys {
+		hashes[i] = Hash(k)
+	}
+	return New(hashes, bitsPerKey)
+}
+
+func TestEmptyFilter(t *testing.T) {
+	f := buildFilter(nil, 10)
+	if f.MayContainKey([]byte("anything")) {
+		// An empty filter may return false positives in theory, but with no
+		// bits set it must return false.
+		t.Fatal("empty filter must not match")
+	}
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	var ks [][]byte
+	for i := 0; i < 10000; i++ {
+		ks = append(ks, []byte(fmt.Sprintf("key-%d", i)))
+	}
+	f := buildFilter(ks, 10)
+	for _, k := range ks {
+		if !f.MayContainKey(k) {
+			t.Fatalf("false negative for %q", k)
+		}
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	var ks [][]byte
+	for i := 0; i < 10000; i++ {
+		ks = append(ks, []byte(fmt.Sprintf("key-%d", i)))
+	}
+	f := buildFilter(ks, 10)
+	fp := 0
+	const probes = 10000
+	for i := 0; i < probes; i++ {
+		if f.MayContainKey([]byte(fmt.Sprintf("other-%d", i))) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	// 10 bits/key gives ~1% theoretically; allow generous headroom.
+	if rate > 0.03 {
+		t.Fatalf("false positive rate %.4f too high", rate)
+	}
+}
+
+func TestQuickNoFalseNegatives(t *testing.T) {
+	f := func(seeds []uint32) bool {
+		if len(seeds) == 0 {
+			return true
+		}
+		ks := make([][]byte, len(seeds))
+		hashes := make([]uint32, len(seeds))
+		for i, s := range seeds {
+			b := make([]byte, 4)
+			binary.LittleEndian.PutUint32(b, s)
+			ks[i] = b
+			hashes[i] = Hash(b)
+		}
+		filter := New(hashes, 10)
+		for _, k := range ks {
+			if !filter.MayContainKey(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashDistinguishesKeys(t *testing.T) {
+	// Smoke test: hashes of similar keys differ.
+	seen := map[uint32]bool{}
+	coll := 0
+	for i := 0; i < 10000; i++ {
+		h := Hash([]byte(fmt.Sprintf("k%d", i)))
+		if seen[h] {
+			coll++
+		}
+		seen[h] = true
+	}
+	if coll > 5 {
+		t.Fatalf("%d hash collisions in 10k keys", coll)
+	}
+}
+
+func TestTinyBitsPerKeyClamped(t *testing.T) {
+	f := buildFilter([][]byte{[]byte("a")}, 0)
+	if !f.MayContainKey([]byte("a")) {
+		t.Fatal("clamped filter must still contain inserted key")
+	}
+}

@@ -1,0 +1,162 @@
+// Package cache implements the sharded in-memory LRU block cache that sits
+// in front of both storage tiers (RocksDB's "block cache" analogue).
+// Entries are charged by byte size against a global capacity split evenly
+// across shards.
+package cache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+const numShards = 16
+
+// Key identifies a cached block: the table file number and the block's
+// offset within it.
+type Key struct {
+	FileNum uint64
+	Offset  uint64
+}
+
+type entry struct {
+	key  Key
+	data []byte
+	elem *list.Element
+}
+
+type shard struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	items    map[Key]*entry
+	order    *list.List // front = most recent
+}
+
+// Cache is a fixed-capacity LRU over blocks.
+type Cache struct {
+	shards [numShards]shard
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// New returns a cache bounded to capacity bytes. Capacity ≤ 0 disables
+// caching (all lookups miss, inserts are dropped).
+func New(capacity int64) *Cache {
+	c := &Cache{}
+	per := capacity / numShards
+	for i := range c.shards {
+		c.shards[i] = shard{capacity: per, items: map[Key]*entry{}, order: list.New()}
+	}
+	return c
+}
+
+func (c *Cache) shardFor(k Key) *shard {
+	h := k.FileNum*0x9e3779b97f4a7c15 ^ k.Offset*0xbf58476d1ce4e5b9
+	return &c.shards[h%numShards]
+}
+
+// Get returns the cached block, if present. The returned slice must be
+// treated as read-only.
+func (c *Cache) Get(k Key) ([]byte, bool) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	e, ok := s.items[k]
+	if ok {
+		s.order.MoveToFront(e.elem)
+	}
+	s.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+		return e.data, true
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// Put inserts or refreshes a block. Blocks larger than the shard capacity
+// are not cached.
+func (c *Cache) Put(k Key, data []byte) {
+	s := c.shardFor(k)
+	charge := int64(len(data))
+	if charge > s.capacity || s.capacity <= 0 {
+		return
+	}
+	s.mu.Lock()
+	if e, ok := s.items[k]; ok {
+		s.used += charge - int64(len(e.data))
+		e.data = data
+		s.order.MoveToFront(e.elem)
+	} else {
+		e := &entry{key: k, data: data}
+		e.elem = s.order.PushFront(e)
+		s.items[k] = e
+		s.used += charge
+	}
+	for s.used > s.capacity {
+		back := s.order.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*entry)
+		s.order.Remove(back)
+		delete(s.items, victim.key)
+		s.used -= int64(len(victim.data))
+	}
+	s.mu.Unlock()
+}
+
+// InvalidateFile drops every cached block of a table (called when the file
+// is deleted by compaction).
+func (c *Cache) InvalidateFile(fileNum uint64) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for k, e := range s.items {
+			if k.FileNum == fileNum {
+				s.order.Remove(e.elem)
+				delete(s.items, k)
+				s.used -= int64(len(e.data))
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Used returns the total charged bytes.
+func (c *Cache) Used() int64 {
+	var n int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.used
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Len returns the number of cached blocks.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.items)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// HitRatio returns hits/(hits+misses), or 0 before any lookup.
+func (c *Cache) HitRatio() float64 {
+	h, m := c.hits.Load(), c.misses.Load()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// Counters returns the raw hit/miss counts.
+func (c *Cache) Counters() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}

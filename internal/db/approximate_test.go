@@ -1,0 +1,58 @@
+package db
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestApproximateSizeWholeRange(t *testing.T) {
+	d, _ := openTest(t, PolicyMash)
+	defer d.Close()
+	fillKeys(t, d, 3000, 200)
+	if err := d.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	m := d.Metrics()
+	est := d.ApproximateSize(nil, nil)
+	if est.Total() == 0 {
+		t.Fatal("estimate is zero for a populated store")
+	}
+	// Unbounded range must equal the full file footprint.
+	if est.LocalBytes != m.LocalBytes || est.CloudBytes != m.CloudBytes {
+		t.Fatalf("unbounded estimate %+v != metrics local=%d cloud=%d",
+			est, m.LocalBytes, m.CloudBytes)
+	}
+}
+
+func TestApproximateSizeSubRange(t *testing.T) {
+	d, _ := openTest(t, PolicyLocalOnly)
+	defer d.Close()
+	// Uniform keys so proration is meaningful.
+	for i := 0; i < 4000; i++ {
+		mustPut(t, d, fmt.Sprintf("key%06d", i), fmt.Sprintf("v%0100d", i))
+	}
+	if err := d.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	whole := d.ApproximateSize(nil, nil).Total()
+	half := d.ApproximateSize([]byte("key000000"), []byte("key002000")).Total()
+	frac := float64(half) / float64(whole)
+	if frac < 0.3 || frac > 0.7 {
+		t.Fatalf("half-range estimate fraction = %.2f, want ~0.5", frac)
+	}
+	empty := d.ApproximateSize([]byte("zzz"), nil).Total()
+	if empty != 0 {
+		t.Fatalf("out-of-range estimate = %d", empty)
+	}
+}
+
+func TestApproximateSizeEmptyStore(t *testing.T) {
+	d, _ := openTest(t, PolicyMash)
+	defer d.Close()
+	if est := d.ApproximateSize(nil, nil); est.Total() != 0 {
+		t.Fatalf("empty store estimate = %+v", est)
+	}
+	if d.smallestUserKey() != nil {
+		t.Fatal("empty store has no smallest key")
+	}
+}

@@ -1,0 +1,108 @@
+package db
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestBackupAndRestore takes a backup of a tiered store and opens it as an
+// independent store with identical contents.
+func TestBackupAndRestore(t *testing.T) {
+	d, _ := openTest(t, PolicyMash)
+	defer d.Close()
+	ref := fillKeys(t, d, 2000, 100)
+	if err := d.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Metrics().CloudBytes == 0 {
+		t.Skip("dataset did not reach cloud levels")
+	}
+
+	backupDir := t.TempDir()
+	if err := d.Backup(backupDir); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := OpenAt(backupDir, testOptions(PolicyMash))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	for k, v := range ref {
+		got, err := restored.Get([]byte(k))
+		if err != nil || string(got) != v {
+			t.Fatalf("restored Get(%q) = %q, %v", k, got, err)
+		}
+	}
+	// The restored store is fully functional.
+	if err := restored.Put([]byte("post-restore"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBackupIsConsistencyPoint verifies writes after the backup don't leak
+// into it, and that the original store is unaffected.
+func TestBackupIsConsistencyPoint(t *testing.T) {
+	d, _ := openTest(t, PolicyMash)
+	defer d.Close()
+	mustPut(t, d, "before", "1")
+	backupDir := t.TempDir()
+	if err := d.Backup(backupDir); err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, d, "after", "2")
+
+	restored, err := OpenAt(backupDir, testOptions(PolicyMash))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if v, err := restored.Get([]byte("before")); err != nil || string(v) != "1" {
+		t.Fatalf("before = %q, %v", v, err)
+	}
+	if _, err := restored.Get([]byte("after")); !errors.Is(err, ErrNotFound) {
+		t.Fatal("post-backup write leaked into the backup")
+	}
+	// Original store still has both.
+	mustGet(t, d, "before", "1")
+	mustGet(t, d, "after", "2")
+}
+
+// TestBackupSurvivesOriginalCompaction ensures the backup does not break
+// when the original store later compacts and deletes the files the backup
+// copied.
+func TestBackupSurvivesOriginalCompaction(t *testing.T) {
+	d, _ := openTest(t, PolicyMash)
+	defer d.Close()
+	ref := fillKeys(t, d, 1500, 100)
+	backupDir := t.TempDir()
+	if err := d.Backup(backupDir); err != nil {
+		t.Fatal(err)
+	}
+	// Churn the original heavily: overwrite everything and compact, which
+	// deletes every file the backup was taken from.
+	for i := 0; i < 1500; i++ {
+		mustPut(t, d, fmt.Sprintf("key%06d", i), "overwritten")
+	}
+	if err := d.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := OpenAt(backupDir, testOptions(PolicyMash))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	n := 0
+	for k, v := range ref {
+		got, err := restored.Get([]byte(k))
+		if err != nil || string(got) != v {
+			t.Fatalf("restored Get(%q) = %q, %v", k, got, err)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("empty reference")
+	}
+}

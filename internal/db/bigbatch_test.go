@@ -1,0 +1,45 @@
+package db
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"rocksmash/internal/batch"
+)
+
+// TestBatchLargerThanMemtable commits a batch that exceeds the whole
+// memtable budget; it must be admitted (once the memtable is empty) rather
+// than livelocking the write path.
+func TestBatchLargerThanMemtable(t *testing.T) {
+	opts := testOptions(PolicyMash) // 64 KiB memtable
+	d, err := OpenAt(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	// Put something first so the memtable is non-empty.
+	mustPut(t, d, "pre", "x")
+
+	b := batch.New()
+	big := bytes.Repeat([]byte("y"), 16<<10)
+	for i := 0; i < 16; i++ { // 256 KiB total, 4x the memtable budget
+		b.Set([]byte(fmt.Sprintf("big%02d", i)), big)
+	}
+	if err := d.Write(b); err != nil {
+		t.Fatal(err)
+	}
+	mustGet(t, d, "pre", "x")
+	for i := 0; i < 16; i++ {
+		v, err := d.Get([]byte(fmt.Sprintf("big%02d", i)))
+		if err != nil || !bytes.Equal(v, big) {
+			t.Fatalf("big%02d: len=%d err=%v", i, len(v), err)
+		}
+	}
+	// And it must survive flush + reopen.
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	mustGet(t, d, "big00", string(big))
+}

@@ -1,0 +1,319 @@
+package db
+
+import (
+	"bytes"
+	"fmt"
+
+	"rocksmash/internal/keys"
+	"rocksmash/internal/manifest"
+	"rocksmash/internal/sstable"
+	"rocksmash/internal/storage"
+)
+
+// compaction describes one unit of compaction work.
+type compaction struct {
+	level   int // inputs come from this level...
+	output  int // ...and merge into this one
+	inputs  []*manifest.FileMetadata
+	overlap []*manifest.FileMetadata // files at output level
+}
+
+// pickCompaction selects the most over-budget level, or nil when the tree
+// is within shape.
+func (d *DB) pickCompaction() *compaction {
+	v := d.vs.Current()
+	bestScore := 1.0
+	bestLevel := -1
+
+	if s := float64(len(v.Levels[0])) / float64(d.opts.L0CompactTrigger); s >= bestScore {
+		bestScore, bestLevel = s, 0
+	}
+	for l := 1; l < manifest.NumLevels-1; l++ {
+		size := v.LevelSize(l)
+		if size == 0 {
+			continue
+		}
+		if s := float64(size) / float64(d.opts.levelTargetBytes(l)); s > bestScore {
+			bestScore, bestLevel = s, l
+		}
+	}
+	if bestLevel < 0 {
+		return nil
+	}
+
+	c := &compaction{level: bestLevel, output: bestLevel + 1}
+	if bestLevel == 0 {
+		// Take every L0 file: they may overlap each other arbitrarily.
+		c.inputs = append(c.inputs, v.Levels[0]...)
+	} else {
+		// Round-robin through the level so every key range gets its turn.
+		files := v.Levels[bestLevel]
+		ptr := d.compactPtr[bestLevel]
+		pick := files[0]
+		for _, f := range files {
+			if ptr != nil && bytes.Compare(keys.UserKey(f.Largest), ptr) > 0 {
+				pick = f
+				break
+			}
+		}
+		c.inputs = []*manifest.FileMetadata{pick}
+	}
+
+	lo, hi := keyRange(c.inputs)
+	c.overlap = v.Overlapping(c.output, lo, hi)
+	return c
+}
+
+// keyRange returns the user-key bounds covered by files.
+func keyRange(files []*manifest.FileMetadata) (lo, hi []byte) {
+	for _, f := range files {
+		fl, fh := keys.UserKey(f.Smallest), keys.UserKey(f.Largest)
+		if lo == nil || bytes.Compare(fl, lo) < 0 {
+			lo = fl
+		}
+		if hi == nil || bytes.Compare(fh, hi) > 0 {
+			hi = fh
+		}
+	}
+	return lo, hi
+}
+
+// maybeCompact runs one compaction if any level is over threshold.
+// It reports whether work was done. Compactions are serialized: both the
+// background loop and CompactAll may call this concurrently.
+func (d *DB) maybeCompact() (bool, error) {
+	d.compactionMu.Lock()
+	defer d.compactionMu.Unlock()
+	c := d.pickCompaction()
+	if c == nil {
+		return false, nil
+	}
+	if err := d.doCompaction(c); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// smallestSnapshot returns the oldest sequence number any live snapshot
+// might read, bounding which old versions compaction may drop.
+func (d *DB) smallestSnapshot() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	min := d.lastSeq.Load()
+	for seq := range d.snaps {
+		if seq < min {
+			min = seq
+		}
+	}
+	return min
+}
+
+// isBaseLevelForRange reports whether no level deeper than c.output holds
+// data overlapping [lo,hi] — if so, tombstones in that range can be
+// dropped entirely.
+func (d *DB) isBaseLevelForRange(c *compaction, lo, hi []byte) bool {
+	v := d.vs.Current()
+	for l := c.output + 1; l < manifest.NumLevels; l++ {
+		if len(v.Overlapping(l, lo, hi)) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// doCompaction merges c's inputs into the output level, applying the
+// paper's placement rule for the output tier and the compaction-aware
+// persistent-cache transitions (heat inheritance, whole-file drops).
+func (d *DB) doCompaction(c *compaction) error {
+	outTier := d.opts.tierForLevel(c.output)
+	smallestSnap := d.smallestSnapshot()
+	lo, hi := keyRange(append(append([]*manifest.FileMetadata{}, c.inputs...), c.overlap...))
+	dropDeletes := d.isBaseLevelForRange(c, lo, hi)
+
+	// Measure input heat before anything is dropped: hot inputs mean the
+	// output's key range is being read, so its blocks deserve admission.
+	var inputHeat int64
+	for _, f := range append(append([]*manifest.FileMetadata{}, c.inputs...), c.overlap...) {
+		inputHeat += d.pcache.FileHeat(f.Num)
+	}
+
+	// Build the merged input iterator.
+	var children []internalIterator
+	all := append(append([]*manifest.FileMetadata{}, c.inputs...), c.overlap...)
+	for _, f := range all {
+		h, err := d.tables.get(f)
+		if err != nil {
+			for _, ch := range children {
+				ch.Close()
+			}
+			return err
+		}
+		children = append(children, newCompactionTableIter(h, d.tables))
+	}
+	merged := newMergingIter(children...)
+	defer merged.Close()
+
+	var (
+		outputs  []*builtTable
+		builder  *sstable.Builder
+		out      *memWriter
+		curNum   uint64
+		lastUkey []byte
+		haveUkey bool
+		lastKept uint64 = keys.MaxSequence // seq of the last kept entry for lastUkey
+	)
+	finishOutput := func() error {
+		if builder == nil {
+			return nil
+		}
+		props, err := builder.Finish()
+		if err != nil {
+			return err
+		}
+		if props.NumEntries > 0 {
+			outputs = append(outputs, &builtTable{
+				meta: manifest.FileMetadata{
+					Num: curNum, Size: uint64(out.buf.Len()),
+					Smallest: props.Smallest, Largest: props.Largest,
+					MinSeq: props.MinSeq, MaxSeq: props.MaxSeq,
+					Tier: outTier,
+				},
+				metaOff: builder.MetaOffset(),
+				data:    out.buf.Bytes(),
+			})
+		}
+		builder, out = nil, nil
+		return nil
+	}
+
+	for merged.First(); merged.Valid(); merged.Next() {
+		ik := merged.Key()
+		uk := keys.UserKey(ik)
+		seq, kind := keys.DecodeTrailer(ik)
+
+		newUserKey := !haveUkey || !bytes.Equal(uk, lastUkey)
+		if newUserKey {
+			lastUkey = append(lastUkey[:0], uk...)
+			haveUkey = true
+			lastKept = keys.MaxSequence
+		}
+
+		drop := false
+		if lastKept <= smallestSnap {
+			// A newer entry for this key is already visible at every
+			// snapshot; this one can never be read.
+			drop = true
+		} else if kind == keys.KindDelete && seq <= smallestSnap && dropDeletes {
+			// The tombstone itself is no longer needed once nothing below
+			// the output level can resurrect the key.
+			drop = true
+			lastKept = seq
+		}
+		if drop {
+			d.stats.CompactDroppedKeys.Add(1)
+			continue
+		}
+		lastKept = seq
+
+		// Split outputs only between user keys: all versions of one key
+		// must land in one file or the level's non-overlap invariant (and
+		// the read path's one-file-per-level assumption) breaks.
+		if builder != nil && newUserKey &&
+			int64(builder.EstimatedSize()) >= d.opts.TargetFileBytes {
+			if err := finishOutput(); err != nil {
+				return err
+			}
+		}
+		if builder == nil {
+			curNum = d.vs.NewFileNum()
+			out = &memWriter{}
+			builder = sstable.NewBuilder(out, sstable.BuilderOptions{
+				BlockBytes:      d.opts.BlockBytes,
+				BloomBitsPerKey: d.opts.BloomBitsPerKey,
+				Compression:     d.opts.Compression,
+			})
+		}
+		if err := builder.Add(ik, merged.Value()); err != nil {
+			return err
+		}
+	}
+	if err := merged.Err(); err != nil {
+		return err
+	}
+	if err := finishOutput(); err != nil {
+		return err
+	}
+
+	// Upload outputs; warm the persistent cache when inheriting heat.
+	warm := d.opts.Policy == PolicyMash && d.opts.CompactionInheritance &&
+		outTier == storage.TierCloud && inputHeat > 0
+	for _, t := range outputs {
+		if err := d.uploadTable(t); err != nil {
+			return fmt.Errorf("db: compaction upload: %w", err)
+		}
+		if warm {
+			if err := d.warmPCache(t); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Install the edit.
+	edit := &manifest.VersionEdit{}
+	for _, f := range c.inputs {
+		edit.Deleted = append(edit.Deleted, manifest.DeletedFile{Level: c.level, Num: f.Num})
+	}
+	for _, f := range c.overlap {
+		edit.Deleted = append(edit.Deleted, manifest.DeletedFile{Level: c.output, Num: f.Num})
+	}
+	for _, t := range outputs {
+		edit.Added = append(edit.Added, manifest.AddedFile{Level: c.output, Meta: t.meta})
+	}
+	if err := d.vs.LogAndApply(edit); err != nil {
+		return err
+	}
+	if c.level > 0 && len(c.inputs) > 0 {
+		if d.compactPtr == nil {
+			d.compactPtr = map[int][]byte{}
+		}
+		d.compactPtr[c.level] = append([]byte(nil),
+			keys.UserKey(c.inputs[len(c.inputs)-1].Largest)...)
+	}
+
+	// Retire the inputs: caches first (constant-time region frees for the
+	// LSM-aware cache), then the objects themselves.
+	for _, f := range all {
+		d.tables.evict(f.Num)
+		d.blockCache.InvalidateFile(f.Num)
+		d.pcache.DropFile(f.Num)
+		if err := d.backendFor(f.Tier).Delete(manifest.TableName(f.Num)); err != nil {
+			return err
+		}
+		if f.Tier == storage.TierCloud {
+			if err := d.local.Delete(metaSidecarName(f.Num)); err != nil {
+				return err
+			}
+		}
+	}
+
+	d.stats.Compactions.Add(1)
+	d.stats.CompactBytesIn.Add(int64(sumSizes(all)))
+	d.stats.CompactBytesOut.Add(int64(sumBuilt(outputs)))
+	return nil
+}
+
+func sumSizes(files []*manifest.FileMetadata) uint64 {
+	var n uint64
+	for _, f := range files {
+		n += f.Size
+	}
+	return n
+}
+
+func sumBuilt(ts []*builtTable) uint64 {
+	var n uint64
+	for _, t := range ts {
+		n += t.meta.Size
+	}
+	return n
+}

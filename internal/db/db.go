@@ -1,0 +1,602 @@
+package db
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"rocksmash/internal/batch"
+	"rocksmash/internal/cache"
+	"rocksmash/internal/manifest"
+	"rocksmash/internal/memtable"
+	"rocksmash/internal/pcache"
+	"rocksmash/internal/storage"
+	"rocksmash/internal/wal"
+)
+
+// ErrClosed is returned by operations on a closed DB.
+var ErrClosed = errors.New("db: closed")
+
+// ErrNotFound is returned by Get when the key does not exist.
+var ErrNotFound = errors.New("db: key not found")
+
+// DB is the LSM-tree store. It is safe for concurrent use.
+type DB struct {
+	opts  Options
+	local storage.Backend
+	cloud storage.Backend
+	// cloudSim is non-nil when the DB owns a simulated cloud backend and
+	// can produce cost reports.
+	cloudSim *storage.Cloud
+
+	vs         *manifest.Set
+	wal        *wal.Manager
+	blockCache *cache.Cache
+	pcache     pcache.BlockCache
+	tables     *tableCache
+
+	// commitMu serializes the write path (WAL append + memtable apply).
+	commitMu sync.Mutex
+	// compactionMu serializes compaction pick+execute units.
+	compactionMu sync.Mutex
+
+	// mu guards memtable rotation and background state.
+	mu      sync.Mutex
+	mem     *memtable.MemTable
+	imm     *memtable.MemTable // sealed memtable being flushed
+	immWake *sync.Cond         // signalled when imm drains
+	// recovered holds read-only memtables rebuilt by WAL recovery (one
+	// per replayed segment, enabling parallel replay). They contain only
+	// sequence numbers older than mem/imm and drain into L0 at the next
+	// flush.
+	recovered  []*memtable.MemTable
+	lastSeq    atomic.Uint64
+	bgErr      error
+	snaps      map[uint64]int // active snapshot seq -> refcount
+	compactPtr map[int][]byte // per-level round-robin compaction cursor
+
+	bgWork chan struct{}
+	bgQuit chan struct{}
+	bgDone chan struct{}
+	closed atomic.Bool
+
+	stats Stats
+
+	recovery RecoveryReport
+}
+
+// Open creates or reopens a DB with explicit backends. local must also host
+// the WAL and manifest; cloud may be nil for PolicyLocalOnly.
+func Open(opts Options, local storage.Backend, cloud storage.Backend) (*DB, error) {
+	opts = opts.sanitize()
+	if cloud == nil && opts.Policy != PolicyLocalOnly {
+		return nil, errors.New("db: policy requires a cloud backend")
+	}
+	d := &DB{
+		opts:       opts,
+		local:      local,
+		cloud:      cloud,
+		blockCache: cache.New(opts.BlockCacheBytes),
+		mem:        memtable.New(),
+		bgWork:     make(chan struct{}, 1),
+		bgQuit:     make(chan struct{}),
+		bgDone:     make(chan struct{}),
+	}
+	if cs, ok := cloud.(*storage.Cloud); ok {
+		d.cloudSim = cs
+	}
+	d.immWake = sync.NewCond(&d.mu)
+	d.tables = newTableCache(d, opts.MaxOpenTables)
+
+	var err error
+	if d.vs, err = manifest.Open(local); err != nil {
+		return nil, err
+	}
+	d.lastSeq.Store(d.vs.LastSeq())
+
+	if err := d.initPCache(); err != nil {
+		return nil, err
+	}
+
+	walOpts := wal.Options{
+		Dir:          "wal",
+		SegmentBytes: opts.WALSegmentBytes,
+		Sync:         opts.WALSync,
+		Extended:     opts.ExtendedWAL,
+	}
+	if opts.WALCloudBackup && cloud != nil {
+		walOpts.Backup = cloud
+	}
+	if d.wal, err = wal.Open(local, walOpts, 1); err != nil {
+		return nil, err
+	}
+	if err := d.recover(); err != nil {
+		return nil, err
+	}
+	go d.backgroundLoop()
+	return d, nil
+}
+
+// OpenAt opens a DB under dir, creating local storage at dir/local, the
+// simulated cloud at dir/cloud, and the persistent cache at dir/pcache.
+func OpenAt(dir string, opts Options) (*DB, error) {
+	opts = opts.sanitize()
+	local, err := storage.NewLocal(filepath.Join(dir, "local"))
+	if err != nil {
+		return nil, err
+	}
+	var cloud storage.Backend
+	if opts.Policy != PolicyLocalOnly {
+		c, err := storage.NewCloud(filepath.Join(dir, "cloud"), opts.CloudLatency, opts.CloudCost)
+		if err != nil {
+			return nil, err
+		}
+		cloud = c
+	}
+	opts.pcacheDir = filepath.Join(dir, "pcache")
+	return Open(opts, local, cloud)
+}
+
+func (d *DB) initPCache() error {
+	dir := d.opts.pcacheDir
+	if dir == "" {
+		if l, ok := d.local.(*storage.Local); ok {
+			dir = filepath.Join(l.Root(), "..", "pcache")
+		} else {
+			dir = "pcache"
+		}
+	}
+	switch {
+	case d.opts.Policy == PolicyMash && d.opts.PCacheBytes > 0:
+		pc, err := pcache.New(pcache.Options{
+			Dir:           dir,
+			CapacityBytes: d.opts.PCacheBytes,
+			RegionBytes:   d.opts.PCacheRegionBytes,
+		})
+		if err != nil {
+			return err
+		}
+		d.pcache = pc
+	case d.opts.Policy == PolicyCloudLRU && d.opts.PCacheBytes > 0:
+		pc, err := pcache.NewGenericLRU(dir, d.opts.PCacheBytes)
+		if err != nil {
+			return err
+		}
+		d.pcache = pc
+	default:
+		d.pcache = pcache.NewNull()
+	}
+	return nil
+}
+
+func (d *DB) backendFor(t storage.Tier) storage.Backend {
+	if t == storage.TierCloud {
+		return d.cloud
+	}
+	return d.local
+}
+
+// Put stores a key/value pair.
+func (d *DB) Put(key, value []byte) error {
+	b := batch.New()
+	b.Set(key, value)
+	return d.Write(b)
+}
+
+// Delete removes a key.
+func (d *DB) Delete(key []byte) error {
+	b := batch.New()
+	b.Delete(key)
+	return d.Write(b)
+}
+
+// Write applies a batch atomically.
+func (d *DB) Write(b *batch.Batch) error {
+	if d.closed.Load() {
+		return ErrClosed
+	}
+	if b.Empty() {
+		return nil
+	}
+	if err := d.makeRoomForWrite(int64(b.Size())); err != nil {
+		return err
+	}
+
+	d.commitMu.Lock()
+	defer d.commitMu.Unlock()
+	seq := d.lastSeq.Load() + 1
+	b.SetSeq(seq)
+	if _, err := d.wal.Append(b.Payload(), seq, b.MaxSeq()); err != nil {
+		return err
+	}
+	mem := d.currentMem()
+	err := b.Iterate(func(op batch.Op) error {
+		mem.Add(op.Seq, op.Kind, op.Key, op.Value)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	d.lastSeq.Store(b.MaxSeq())
+	d.vs.SetLastSeq(b.MaxSeq())
+	d.stats.Writes.Add(int64(b.Count()))
+	d.stats.BytesWritten.Add(int64(b.Size()))
+	return nil
+}
+
+func (d *DB) currentMem() *memtable.MemTable {
+	d.mu.Lock()
+	m := d.mem
+	d.mu.Unlock()
+	return m
+}
+
+// makeRoomForWrite seals the memtable when full and applies backpressure
+// when flushing or L0 falls behind.
+func (d *DB) makeRoomForWrite(incoming int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		if d.bgErr != nil {
+			return d.bgErr
+		}
+		switch {
+		case d.mem.ApproximateSize()+incoming < d.opts.MemtableBytes,
+			d.mem.Empty():
+			// A batch larger than the memtable budget must still be
+			// admitted once the memtable is empty, or it could never
+			// commit.
+			return nil
+		case d.imm != nil:
+			// A flush is already in flight; wait for it.
+			d.immWake.Wait()
+		case len(d.vs.Current().Levels[0]) >= d.opts.L0StallFiles:
+			// Too many L0 files; wait for compaction to catch up.
+			d.stats.WriteStalls.Add(1)
+			d.immWake.Wait()
+		default:
+			// Seal the memtable. Roll the WAL so the sealed memtable's
+			// tail aligns with a segment boundary (eWAL design).
+			d.imm = d.mem
+			d.mem = memtable.New()
+			if err := d.wal.Roll(); err != nil {
+				d.bgErr = err
+				return err
+			}
+			d.scheduleWork()
+			return nil
+		}
+	}
+}
+
+func (d *DB) scheduleWork() {
+	select {
+	case d.bgWork <- struct{}{}:
+	default:
+	}
+}
+
+// Get returns the value for key at the latest sequence number.
+func (d *DB) Get(key []byte) ([]byte, error) {
+	return d.GetAt(key, d.lastSeq.Load())
+}
+
+// GetAt returns the value for key visible at snapshot seq.
+func (d *DB) GetAt(key []byte, seq uint64) ([]byte, error) {
+	if d.closed.Load() {
+		return nil, ErrClosed
+	}
+	d.stats.Reads.Add(1)
+
+	d.mu.Lock()
+	mem, imm := d.mem, d.imm
+	recovered := d.recovered
+	d.mu.Unlock()
+
+	if v, found, live := mem.Get(key, seq); found {
+		if !live {
+			return nil, ErrNotFound
+		}
+		return append([]byte(nil), v...), nil
+	}
+	if imm != nil {
+		if v, found, live := imm.Get(key, seq); found {
+			if !live {
+				return nil, ErrNotFound
+			}
+			return append([]byte(nil), v...), nil
+		}
+	}
+	if len(recovered) > 0 {
+		// Recovered memtables are unordered relative to each other; pick
+		// the newest visible entry across all of them.
+		if v, live, ok := getFromRecovered(recovered, key, seq); ok {
+			if !live {
+				return nil, ErrNotFound
+			}
+			return v, nil
+		}
+	}
+
+	v := d.vs.Current()
+	var (
+		value []byte
+		state int // 0 = not found, 1 = live, 2 = tombstone
+	)
+	err := v.FilesFor(key, func(level int, f *manifest.FileMetadata) (bool, error) {
+		if seq < f.MinSeq && level > 0 {
+			// Nothing in this file is visible at the snapshot.
+			return false, nil
+		}
+		h, err := d.tables.get(f)
+		if err != nil {
+			return false, err
+		}
+		defer h.release()
+		val, found, live, err := h.reader.Get(key, seq)
+		if err != nil {
+			return false, err
+		}
+		if !found {
+			return false, nil
+		}
+		if live {
+			value, state = val, 1
+		} else {
+			state = 2
+		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if state == 1 {
+		return value, nil
+	}
+	return nil, ErrNotFound
+}
+
+// Has reports whether key exists.
+func (d *DB) Has(key []byte) (bool, error) {
+	_, err := d.Get(key)
+	if err == ErrNotFound {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Snapshot captures a read view of the DB. Release it when done so
+// compaction can reclaim versions it pins.
+type Snapshot struct {
+	db       *DB
+	seq      uint64
+	released bool
+}
+
+// GetSnapshot returns a consistent read view at the current sequence.
+func (d *DB) GetSnapshot() *Snapshot {
+	s := &Snapshot{db: d, seq: d.lastSeq.Load()}
+	d.mu.Lock()
+	if d.snaps == nil {
+		d.snaps = map[uint64]int{}
+	}
+	d.snaps[s.seq]++
+	d.mu.Unlock()
+	return s
+}
+
+// Release unpins the snapshot. Reads through a released snapshot may
+// observe compacted state.
+func (s *Snapshot) Release() {
+	if s.released {
+		return
+	}
+	s.released = true
+	s.db.mu.Lock()
+	if n := s.db.snaps[s.seq]; n <= 1 {
+		delete(s.db.snaps, s.seq)
+	} else {
+		s.db.snaps[s.seq] = n - 1
+	}
+	s.db.mu.Unlock()
+}
+
+// Get reads key at the snapshot.
+func (s *Snapshot) Get(key []byte) ([]byte, error) { return s.db.GetAt(key, s.seq) }
+
+// Seq returns the snapshot's sequence number.
+func (s *Snapshot) Seq() uint64 { return s.seq }
+
+// Flush forces the current memtable (and any recovery memtables) to an
+// SSTable and waits.
+func (d *DB) Flush() error {
+	d.mu.Lock()
+	if d.mem.Empty() && d.imm == nil && len(d.recovered) == 0 {
+		d.mu.Unlock()
+		return nil
+	}
+	for d.imm != nil {
+		if d.bgErr != nil {
+			err := d.bgErr
+			d.mu.Unlock()
+			return err
+		}
+		d.immWake.Wait()
+	}
+	if d.mem.Empty() && len(d.recovered) == 0 {
+		d.mu.Unlock()
+		return nil
+	}
+	d.imm = d.mem
+	d.mem = memtable.New()
+	if err := d.wal.Roll(); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	d.scheduleWork()
+	for d.imm != nil && d.bgErr == nil {
+		d.immWake.Wait()
+	}
+	err := d.bgErr
+	d.mu.Unlock()
+	return err
+}
+
+// CompactAll flushes and repeatedly compacts until the tree is quiescent.
+// Used by experiments to reach a steady state.
+func (d *DB) CompactAll() error {
+	if err := d.Flush(); err != nil {
+		return err
+	}
+	for {
+		did, err := d.maybeCompact()
+		if err != nil {
+			return err
+		}
+		if !did {
+			return nil
+		}
+	}
+}
+
+// backgroundLoop runs flushes and compactions.
+func (d *DB) backgroundLoop() {
+	defer close(d.bgDone)
+	for {
+		select {
+		case <-d.bgQuit:
+			return
+		case <-d.bgWork:
+		}
+		if d.closed.Load() {
+			return
+		}
+		d.mu.Lock()
+		imm := d.imm
+		d.mu.Unlock()
+		if imm != nil {
+			err := d.flushMemtable(imm)
+			d.mu.Lock()
+			if err != nil {
+				d.bgErr = err
+			} else {
+				d.imm = nil
+			}
+			d.immWake.Broadcast()
+			d.mu.Unlock()
+			if err != nil {
+				continue
+			}
+		}
+		// Compact until no level is over threshold.
+		for {
+			did, err := d.maybeCompact()
+			if err != nil {
+				d.mu.Lock()
+				d.bgErr = err
+				d.immWake.Broadcast()
+				d.mu.Unlock()
+				break
+			}
+			if !did {
+				break
+			}
+			d.mu.Lock()
+			d.immWake.Broadcast() // L0 may have drained below the stall limit
+			d.mu.Unlock()
+			// A flush may be pending while we compact.
+			d.mu.Lock()
+			pending := d.imm != nil
+			d.mu.Unlock()
+			if pending {
+				d.scheduleWork()
+				break
+			}
+		}
+	}
+}
+
+// Close flushes state and releases resources.
+func (d *DB) Close() error {
+	if !d.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	// Stop background work.
+	close(d.bgQuit)
+	<-d.bgDone
+
+	// Flush any sealed or recovered memtables synchronously so no WAL
+	// data is stranded longer than necessary (the WAL still covers the
+	// active memtable).
+	d.mu.Lock()
+	imm := d.imm
+	haveRecovered := len(d.recovered) > 0
+	d.mu.Unlock()
+	var firstErr error
+	if imm != nil || haveRecovered {
+		if err := d.flushMemtable(imm); err != nil {
+			firstErr = err
+		} else {
+			d.mu.Lock()
+			d.imm = nil
+			d.mu.Unlock()
+		}
+	}
+	if err := d.wal.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := d.pcache.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	d.tables.close()
+	if err := d.vs.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// LastSequence returns the newest committed sequence number.
+func (d *DB) LastSequence() uint64 { return d.lastSeq.Load() }
+
+// Crash abandons the DB without flushing or closing cleanly, simulating a
+// process crash. Used by recovery experiments and tests; the handle must
+// not be used afterwards. Data appended to the WAL remains recoverable.
+func (d *DB) Crash() {
+	if !d.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(d.bgQuit)
+	<-d.bgDone
+	d.tables.close()
+}
+
+// LoseCloudObject simulates silent loss of a cloud object (reliability
+// experiments). It reports false when the DB has no simulated cloud.
+func (d *DB) LoseCloudObject(name string) bool {
+	if d.cloudSim == nil {
+		return false
+	}
+	d.cloudSim.LoseObject(name)
+	return true
+}
+
+// debugCheckLevels is used by tests to inspect the file layout.
+func (d *DB) debugLevels() [manifest.NumLevels]int {
+	var out [manifest.NumLevels]int
+	v := d.vs.Current()
+	for l := range v.Levels {
+		out[l] = len(v.Levels[l])
+	}
+	return out
+}
+
+// String summarizes the DB for logs.
+func (d *DB) String() string {
+	v := d.vs.Current()
+	return fmt.Sprintf("db{policy=%s files=%d lastSeq=%d}", d.opts.Policy, v.NumFiles(), d.lastSeq.Load())
+}

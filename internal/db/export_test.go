@@ -1,0 +1,7 @@
+package db
+
+// CrashForTest is the test-suite alias of Crash.
+func (d *DB) CrashForTest() { d.Crash() }
+
+// DebugLevels exposes the per-level file counts.
+func (d *DB) DebugLevels() [7]int { return d.debugLevels() }

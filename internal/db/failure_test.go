@@ -1,0 +1,61 @@
+package db
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// TestTransientCloudFailureRetried injects a cloud PUT failure that clears
+// after two attempts; the flush must succeed via retry.
+func TestTransientCloudFailureRetried(t *testing.T) {
+	d, _ := openTest(t, PolicyCloudOnly)
+	defer d.Close()
+
+	var failures atomic.Int32
+	failures.Store(2)
+	d.cloudSim.SetFailureHook(func(op, name string) error {
+		if op == "PUT" && failures.Load() > 0 {
+			failures.Add(-1)
+			return errors.New("injected transient PUT failure")
+		}
+		return nil
+	})
+	for i := 0; i < 100; i++ {
+		mustPut(t, d, fmt.Sprintf("k%04d", i), "v")
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatalf("flush should survive transient cloud failures: %v", err)
+	}
+	d.cloudSim.SetFailureHook(nil)
+	if d.EngineStats().UploadRetries.Load() == 0 {
+		t.Fatal("retry counter not incremented")
+	}
+	for i := 0; i < 100; i++ {
+		mustGet(t, d, fmt.Sprintf("k%04d", i), "v")
+	}
+}
+
+// TestPersistentCloudFailureSurfaces verifies a cloud outage that outlasts
+// the retries is reported as a flush error, not silently swallowed, and
+// that the data stays readable from the memtable/WAL side.
+func TestPersistentCloudFailureSurfaces(t *testing.T) {
+	d, _ := openTest(t, PolicyCloudOnly)
+	defer d.Close()
+	d.cloudSim.SetFailureHook(func(op, name string) error {
+		if op == "PUT" {
+			return errors.New("injected outage")
+		}
+		return nil
+	})
+	for i := 0; i < 50; i++ {
+		mustPut(t, d, fmt.Sprintf("k%04d", i), "v")
+	}
+	if err := d.Flush(); err == nil {
+		t.Fatal("flush during a persistent outage should fail")
+	}
+	// The data is still in the WAL + memtable; reads keep working.
+	d.cloudSim.SetFailureHook(nil)
+	mustGet(t, d, "k0000", "v")
+}

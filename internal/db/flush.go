@@ -1,0 +1,229 @@
+package db
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"rocksmash/internal/manifest"
+	"rocksmash/internal/memtable"
+	"rocksmash/internal/sstable"
+	"rocksmash/internal/storage"
+)
+
+// memWriter buffers a table being built so the finished bytes can be
+// uploaded as one object and, when warranted, warmed into the persistent
+// cache without a round trip back to the cloud.
+type memWriter struct {
+	buf bytes.Buffer
+}
+
+func (w *memWriter) Write(p []byte) (int, error) { return w.buf.Write(p) }
+func (w *memWriter) Sync() error                 { return nil }
+func (w *memWriter) Close() error                { return nil }
+
+// bytesReader adapts a byte slice to storage.Reader.
+type bytesReader struct {
+	data []byte
+}
+
+func (r bytesReader) ReadAt(p []byte, off int64) (int, error) {
+	if off >= int64(len(r.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+func (r bytesReader) Size() int64  { return int64(len(r.data)) }
+func (r bytesReader) Close() error { return nil }
+
+// builtTable is a finished, not-yet-installed table.
+type builtTable struct {
+	meta    manifest.FileMetadata
+	metaOff uint64 // offset of the metadata tail within data
+	data    []byte
+}
+
+// metaSidecarName is the local object holding a cloud table's metadata
+// tail (filter + index + properties + footer).
+func metaSidecarName(num uint64) string { return fmt.Sprintf("meta/%06d.meta", num) }
+
+// uploadRetries bounds re-attempts of cloud uploads; object stores return
+// transient errors routinely and a flush must not wedge the engine over
+// one failed PUT.
+const uploadRetries = 3
+
+// uploadTable writes the table object to its tier's backend, retrying
+// transient cloud failures. For cloud-tier tables the metadata tail is
+// additionally persisted on local storage so future opens never fetch
+// metadata from the cloud.
+func (d *DB) uploadTable(t *builtTable) error {
+	be := d.backendFor(t.meta.Tier)
+	attempts := 1
+	if t.meta.Tier == storage.TierCloud {
+		attempts = uploadRetries
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = storage.WriteObject(be, manifest.TableName(t.meta.Num), t.data); err == nil {
+			break
+		}
+		d.stats.UploadRetries.Add(1)
+		time.Sleep(time.Duration(i+1) * 10 * time.Millisecond)
+	}
+	if err != nil {
+		return err
+	}
+	if t.meta.Tier == storage.TierCloud {
+		return d.writeMetaSidecar(t.meta.Num, t.metaOff, t.data[t.metaOff:])
+	}
+	return nil
+}
+
+// writeMetaSidecar persists a table's metadata tail locally:
+// [tailOff uint64 LE][tail bytes].
+func (d *DB) writeMetaSidecar(num uint64, tailOff uint64, tail []byte) error {
+	buf := make([]byte, 8+len(tail))
+	binary.LittleEndian.PutUint64(buf, tailOff)
+	copy(buf[8:], tail)
+	return storage.WriteObject(d.local, metaSidecarName(num), buf)
+}
+
+// readMetaSidecar loads a table's locally cached metadata tail.
+func (d *DB) readMetaSidecar(num uint64) (tailOff uint64, tail []byte, err error) {
+	buf, err := d.local.ReadAll(metaSidecarName(num))
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(buf) < 8 {
+		return 0, nil, storage.ErrNotFound
+	}
+	return binary.LittleEndian.Uint64(buf), buf[8:], nil
+}
+
+// warmPCache admits every data block of a freshly built cloud table into
+// the persistent cache (compaction inheritance / flush write-through).
+func (d *DB) warmPCache(t *builtTable) error {
+	r, err := sstable.Open(bytesReader{t.data}, t.meta.Num)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	handles, err := r.DataHandles()
+	if err != nil {
+		return err
+	}
+	for _, h := range handles {
+		body, err := sstable.ReadRawBlock(bytesReader{t.data}, h)
+		if err != nil {
+			return err
+		}
+		d.pcache.Put(t.meta.Num, h.Offset, body)
+	}
+	return nil
+}
+
+// flushMemtable builds an L0 table from imm plus any memtables rebuilt by
+// WAL recovery, and installs it. imm may be nil (recovery-only flush).
+func (d *DB) flushMemtable(imm *memtable.MemTable) error {
+	d.mu.Lock()
+	rec := d.takeRecoveredLocked()
+	d.mu.Unlock()
+
+	var children []internalIterator
+	if imm != nil && !imm.Empty() {
+		children = append(children, &memIter{imm.NewIterator()})
+	}
+	for _, m := range rec {
+		if !m.Empty() {
+			children = append(children, &memIter{m.NewIterator()})
+		}
+	}
+	if len(children) == 0 {
+		return nil
+	}
+	restoreOnError := func() {
+		if len(rec) == 0 {
+			return
+		}
+		d.mu.Lock()
+		d.recovered = append(rec, d.recovered...)
+		d.mu.Unlock()
+	}
+
+	num := d.vs.NewFileNum()
+	tier := d.opts.tierForLevel(0)
+
+	w := &memWriter{}
+	b := sstable.NewBuilder(w, sstable.BuilderOptions{
+		BlockBytes:      d.opts.BlockBytes,
+		BloomBitsPerKey: d.opts.BloomBitsPerKey,
+		Compression:     d.opts.Compression,
+	})
+	it := newMergingIter(children...)
+	for it.First(); it.Valid(); it.Next() {
+		if err := b.Add(it.Key(), it.Value()); err != nil {
+			restoreOnError()
+			return err
+		}
+	}
+	if err := it.Err(); err != nil {
+		restoreOnError()
+		return err
+	}
+	props, err := b.Finish()
+	if err != nil {
+		restoreOnError()
+		return err
+	}
+	t := &builtTable{
+		meta: manifest.FileMetadata{
+			Num:      num,
+			Size:     uint64(w.buf.Len()),
+			Smallest: props.Smallest,
+			Largest:  props.Largest,
+			MinSeq:   props.MinSeq,
+			MaxSeq:   props.MaxSeq,
+			Tier:     tier,
+		},
+		metaOff: b.MetaOffset(),
+		data:    w.buf.Bytes(),
+	}
+	if err := d.uploadTable(t); err != nil {
+		restoreOnError()
+		return fmt.Errorf("db: flush upload: %w", err)
+	}
+	if tier == storage.TierCloud && d.opts.Policy == PolicyMash {
+		// Fresh L0 data is by definition hot; write it through to the
+		// persistent cache so first reads don't pay a cloud round trip.
+		if err := d.warmPCache(t); err != nil {
+			restoreOnError()
+			return err
+		}
+	}
+
+	edit := &manifest.VersionEdit{
+		Added:         []manifest.AddedFile{{Level: 0, Meta: t.meta}},
+		HasFlushedSeq: true,
+		FlushedSeq:    props.MaxSeq,
+		HasLastSeq:    true,
+		LastSeq:       d.lastSeq.Load(),
+	}
+	if err := d.vs.LogAndApply(edit); err != nil {
+		restoreOnError()
+		return err
+	}
+	d.stats.Flushes.Add(1)
+	d.stats.FlushBytes.Add(int64(t.meta.Size))
+	// Sequence numbers up to FlushedSeq are durable in tables: the WAL
+	// segments covering them can go (eWAL GC).
+	if err := d.wal.DeleteObsolete(d.vs.FlushedSeq()); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,605 @@
+package db
+
+import (
+	"bytes"
+	"errors"
+
+	"rocksmash/internal/keys"
+	"rocksmash/internal/manifest"
+	"rocksmash/internal/skiplist"
+	"rocksmash/internal/sstable"
+)
+
+// internalIterator walks internal keys in either direction.
+type internalIterator interface {
+	First()
+	Last()
+	SeekGE(ikey []byte)
+	SeekLT(ikey []byte)
+	Next()
+	Prev()
+	Valid() bool
+	Key() []byte
+	Value() []byte
+	Err() error
+	Close() error
+}
+
+// memIter adapts the skiplist iterator.
+type memIter struct {
+	it *skiplist.Iterator
+}
+
+func (m *memIter) First()             { m.it.First() }
+func (m *memIter) Last()              { m.it.Last() }
+func (m *memIter) SeekGE(ikey []byte) { m.it.SeekGE(ikey) }
+func (m *memIter) SeekLT(ikey []byte) { m.it.SeekLT(ikey) }
+func (m *memIter) Next()              { m.it.Next() }
+func (m *memIter) Prev()              { m.it.Prev() }
+func (m *memIter) Valid() bool        { return m.it.Valid() }
+func (m *memIter) Key() []byte        { return m.it.Key() }
+func (m *memIter) Value() []byte      { return m.it.Value() }
+func (m *memIter) Err() error         { return nil }
+func (m *memIter) Close() error       { return nil }
+
+// tableIter adapts one table's iterator, holding its handle reference.
+type tableIter struct {
+	h  *tableHandle
+	it *sstable.Iter
+}
+
+func newTableIter(h *tableHandle) *tableIter {
+	return &tableIter{h: h, it: h.reader.NewIter()}
+}
+
+// newCompactionTableIter reads through the caches without admitting
+// blocks, so bulk merges do not evict the hot set.
+func newCompactionTableIter(h *tableHandle, tc *tableCache) *tableIter {
+	return &tableIter{h: h, it: h.reader.NewIterWithFetch(tc.compactionFetchFor(h))}
+}
+
+func (t *tableIter) First()             { t.it.First() }
+func (t *tableIter) Last()              { t.it.Last() }
+func (t *tableIter) SeekGE(ikey []byte) { t.it.SeekGE(ikey) }
+func (t *tableIter) SeekLT(ikey []byte) { t.it.SeekLT(ikey) }
+func (t *tableIter) Next()              { t.it.Next() }
+func (t *tableIter) Prev()              { t.it.Prev() }
+func (t *tableIter) Valid() bool        { return t.it.Valid() }
+func (t *tableIter) Key() []byte        { return t.it.Key() }
+func (t *tableIter) Value() []byte      { return t.it.Value() }
+func (t *tableIter) Err() error         { return t.it.Err() }
+func (t *tableIter) Close() error {
+	if t.h != nil {
+		t.h.release()
+		t.h = nil
+	}
+	return nil
+}
+
+// levelIter concatenates the sorted, non-overlapping files of one level
+// (≥ 1), opening at most one table at a time.
+type levelIter struct {
+	db    *DB
+	files []*manifest.FileMetadata
+	idx   int
+	cur   *tableIter
+	err   error
+}
+
+func newLevelIter(db *DB, files []*manifest.FileMetadata) *levelIter {
+	return &levelIter{db: db, files: files, idx: -1}
+}
+
+func (l *levelIter) openFile(i int) bool {
+	if l.cur != nil {
+		l.cur.Close()
+		l.cur = nil
+	}
+	if i < 0 || i >= len(l.files) {
+		l.idx = len(l.files)
+		return false
+	}
+	h, err := l.db.tables.get(l.files[i])
+	if err != nil {
+		l.err = err
+		l.idx = len(l.files)
+		return false
+	}
+	l.cur = newTableIter(h)
+	l.idx = i
+	return true
+}
+
+func (l *levelIter) First() {
+	if l.openFile(0) {
+		l.cur.First()
+		l.skipExhausted()
+	}
+}
+
+func (l *levelIter) SeekGE(ikey []byte) {
+	// Find the first file whose largest >= ikey.
+	lo, hi := 0, len(l.files)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys.Compare(l.files[mid].Largest, ikey) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if l.openFile(lo) {
+		l.cur.SeekGE(ikey)
+		l.skipExhausted()
+	}
+}
+
+func (l *levelIter) Next() {
+	if l.cur == nil {
+		return
+	}
+	l.cur.Next()
+	l.skipExhausted()
+}
+
+// Last positions at the final entry of the level.
+func (l *levelIter) Last() {
+	if l.openFile(len(l.files) - 1) {
+		l.cur.Last()
+		l.skipExhaustedBackward()
+	}
+}
+
+// SeekLT positions at the last entry with key < ikey.
+func (l *levelIter) SeekLT(ikey []byte) {
+	// Find the last file whose smallest < ikey.
+	lo, hi := 0, len(l.files)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys.Compare(l.files[mid].Smallest, ikey) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if l.openFile(lo - 1) {
+		l.cur.SeekLT(ikey)
+		l.skipExhaustedBackward()
+	}
+}
+
+// Prev moves one entry backward, crossing file boundaries as needed.
+func (l *levelIter) Prev() {
+	if l.cur == nil {
+		return
+	}
+	l.cur.Prev()
+	l.skipExhaustedBackward()
+}
+
+func (l *levelIter) skipExhausted() {
+	for l.cur != nil && !l.cur.Valid() {
+		if err := l.cur.Err(); err != nil {
+			l.err = err
+			l.cur.Close()
+			l.cur = nil
+			return
+		}
+		if !l.openFile(l.idx + 1) {
+			return
+		}
+		l.cur.First()
+	}
+}
+
+func (l *levelIter) skipExhaustedBackward() {
+	for l.cur != nil && !l.cur.Valid() {
+		if err := l.cur.Err(); err != nil {
+			l.err = err
+			l.cur.Close()
+			l.cur = nil
+			return
+		}
+		if !l.openFile(l.idx - 1) {
+			return
+		}
+		l.cur.Last()
+	}
+}
+
+func (l *levelIter) Valid() bool { return l.cur != nil && l.cur.Valid() }
+func (l *levelIter) Key() []byte {
+	return l.cur.Key()
+}
+func (l *levelIter) Value() []byte { return l.cur.Value() }
+func (l *levelIter) Err() error    { return l.err }
+func (l *levelIter) Close() error {
+	if l.cur != nil {
+		l.cur.Close()
+		l.cur = nil
+	}
+	return l.err
+}
+
+// mergingIter N-way merges child iterators in either direction. Ties on
+// identical internal keys cannot occur (sequence numbers are unique); ties
+// on user keys resolve by internal-key order, which puts newer entries
+// first when moving forward. Switching direction mid-stream re-seeks the
+// non-current children around the current key (the LevelDB technique).
+type mergingIter struct {
+	children []internalIterator
+	cur      int // index of child at the merge frontier, -1 if exhausted
+	reverse  bool
+	err      error
+}
+
+func newMergingIter(children ...internalIterator) *mergingIter {
+	return &mergingIter{children: children, cur: -1}
+}
+
+func (m *mergingIter) findSmallest() {
+	m.cur = -1
+	var best []byte
+	for i, c := range m.children {
+		if err := c.Err(); err != nil && m.err == nil {
+			m.err = err
+		}
+		if !c.Valid() {
+			continue
+		}
+		if best == nil || keys.Compare(c.Key(), best) < 0 {
+			best = c.Key()
+			m.cur = i
+		}
+	}
+}
+
+func (m *mergingIter) findLargest() {
+	m.cur = -1
+	var best []byte
+	for i, c := range m.children {
+		if err := c.Err(); err != nil && m.err == nil {
+			m.err = err
+		}
+		if !c.Valid() {
+			continue
+		}
+		if best == nil || keys.Compare(c.Key(), best) > 0 {
+			best = c.Key()
+			m.cur = i
+		}
+	}
+}
+
+func (m *mergingIter) First() {
+	for _, c := range m.children {
+		c.First()
+	}
+	m.reverse = false
+	m.findSmallest()
+}
+
+func (m *mergingIter) Last() {
+	for _, c := range m.children {
+		c.Last()
+	}
+	m.reverse = true
+	m.findLargest()
+}
+
+func (m *mergingIter) SeekGE(ikey []byte) {
+	for _, c := range m.children {
+		c.SeekGE(ikey)
+	}
+	m.reverse = false
+	m.findSmallest()
+}
+
+func (m *mergingIter) SeekLT(ikey []byte) {
+	for _, c := range m.children {
+		c.SeekLT(ikey)
+	}
+	m.reverse = true
+	m.findLargest()
+}
+
+func (m *mergingIter) Next() {
+	if m.cur < 0 {
+		return
+	}
+	if m.reverse {
+		// Direction switch: every other child must be repositioned to the
+		// first key after the current one. Internal keys are unique, so
+		// SeekGE(current) cannot land on an equal key in other children.
+		cur := append([]byte(nil), m.children[m.cur].Key()...)
+		for i, c := range m.children {
+			if i != m.cur {
+				c.SeekGE(cur)
+			}
+		}
+		m.reverse = false
+	}
+	m.children[m.cur].Next()
+	m.findSmallest()
+}
+
+func (m *mergingIter) Prev() {
+	if m.cur < 0 {
+		return
+	}
+	if !m.reverse {
+		// Direction switch: reposition the other children to the last key
+		// before the current one.
+		cur := append([]byte(nil), m.children[m.cur].Key()...)
+		for i, c := range m.children {
+			if i != m.cur {
+				c.SeekLT(cur)
+			}
+		}
+		m.reverse = true
+	}
+	m.children[m.cur].Prev()
+	m.findLargest()
+}
+
+func (m *mergingIter) Valid() bool   { return m.cur >= 0 && m.err == nil }
+func (m *mergingIter) Key() []byte   { return m.children[m.cur].Key() }
+func (m *mergingIter) Value() []byte { return m.children[m.cur].Value() }
+func (m *mergingIter) Err() error    { return m.err }
+func (m *mergingIter) Close() error {
+	var firstErr error
+	for _, c := range m.children {
+		if err := c.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if m.err != nil {
+		return m.err
+	}
+	return firstErr
+}
+
+// Iterator is the user-facing bidirectional iterator over live keys at a
+// snapshot. It collapses internal versions: for each user key the newest
+// visible entry wins, and tombstones hide older versions.
+type Iterator struct {
+	db     *DB
+	merged internalIterator
+	seq    uint64
+
+	key    []byte
+	value  []byte
+	valid  bool
+	err    error
+	closed bool
+}
+
+// NewIterator returns an iterator over the DB at the current sequence.
+func (d *DB) NewIterator() (*Iterator, error) {
+	return d.NewIteratorAt(d.lastSeq.Load())
+}
+
+// NewIteratorAt returns an iterator at snapshot seq.
+func (d *DB) NewIteratorAt(seq uint64) (*Iterator, error) {
+	if d.closed.Load() {
+		return nil, ErrClosed
+	}
+	d.mu.Lock()
+	mem, imm := d.mem, d.imm
+	recovered := d.recovered
+	d.mu.Unlock()
+	v := d.vs.Current()
+
+	var children []internalIterator
+	children = append(children, &memIter{mem.NewIterator()})
+	if imm != nil {
+		children = append(children, &memIter{imm.NewIterator()})
+	}
+	for _, m := range recovered {
+		children = append(children, &memIter{m.NewIterator()})
+	}
+	for _, f := range v.Levels[0] {
+		h, err := d.tables.get(f)
+		if err != nil {
+			for _, c := range children {
+				c.Close()
+			}
+			return nil, err
+		}
+		children = append(children, newTableIter(h))
+	}
+	for lvl := 1; lvl < manifest.NumLevels; lvl++ {
+		if len(v.Levels[lvl]) > 0 {
+			children = append(children, newLevelIter(d, v.Levels[lvl]))
+		}
+	}
+	return &Iterator{db: d, merged: newMergingIter(children...), seq: seq}, nil
+}
+
+// NewIteratorSnapshot returns an iterator bound to a snapshot.
+func (s *Snapshot) NewIterator() (*Iterator, error) { return s.db.NewIteratorAt(s.seq) }
+
+// First positions at the smallest live key.
+func (it *Iterator) First() {
+	it.merged.First()
+	it.settle(nil)
+}
+
+// Seek positions at the first live key >= ukey.
+func (it *Iterator) Seek(ukey []byte) {
+	it.merged.SeekGE(keys.MakeSeekKey(nil, ukey, it.seq))
+	it.settle(nil)
+}
+
+// Next advances to the following live key.
+func (it *Iterator) Next() {
+	if !it.valid {
+		return
+	}
+	prev := append([]byte(nil), it.key...)
+	if it.merged.Valid() {
+		it.merged.Next()
+	} else {
+		// The merged iterator was exhausted in the other direction while
+		// we still hold a position; re-establish it.
+		it.merged.SeekGE(keys.MakeSeekKey(nil, prev, it.seq))
+	}
+	it.settle(prev)
+}
+
+// Last positions at the largest live key.
+func (it *Iterator) Last() {
+	it.merged.Last()
+	it.settleReverse(nil)
+}
+
+// SeekForPrev positions at the last live key <= ukey.
+func (it *Iterator) SeekForPrev(ukey []byte) {
+	// ukey++"\x00" is the immediate successor user key: every entry of
+	// ukey itself sorts before it.
+	succ := append(append([]byte(nil), ukey...), 0)
+	it.merged.SeekLT(keys.MakeSeekKey(nil, succ, keys.MaxSequence))
+	it.settleReverse(nil)
+}
+
+// Prev moves to the preceding live key.
+func (it *Iterator) Prev() {
+	if !it.valid {
+		return
+	}
+	bound := append([]byte(nil), it.key...)
+	switch {
+	case !it.merged.Valid():
+		// Exhausted forward while positioned: re-establish backward. The
+		// seek key for (bound, MaxSequence) sorts before every entry of
+		// bound, so SeekLT lands on the previous user key's entries.
+		it.merged.SeekLT(keys.MakeSeekKey(nil, bound, keys.MaxSequence))
+	case bytes.Equal(keys.UserKey(it.merged.Key()), bound):
+		// Forward positioning leaves the merged iterator ON the yielded
+		// entry; step off it (settleReverse skips its other versions).
+		it.merged.Prev()
+	default:
+		// Reverse positioning leaves the merged iterator on the next
+		// unprocessed entry already; do not skip it.
+	}
+	it.settleReverse(bound)
+}
+
+// settle advances the merged iterator until it rests on the newest visible,
+// live entry of a user key different from skipKey.
+func (it *Iterator) settle(skipKey []byte) {
+	it.valid = false
+	for it.merged.Valid() {
+		ik := it.merged.Key()
+		if !keys.Valid(ik) {
+			it.err = errors.New("db: invalid internal key in iterator")
+			return
+		}
+		uk := keys.UserKey(ik)
+		seq, kind := keys.DecodeTrailer(ik)
+		switch {
+		case seq > it.seq:
+			// Not visible at this snapshot.
+		case skipKey != nil && bytes.Equal(uk, skipKey):
+			// Older version of a key already yielded (or skipped).
+		case kind == keys.KindDelete:
+			// Tombstone hides everything older for this key.
+			skipKey = append(skipKey[:0], uk...)
+		default:
+			it.key = append(it.key[:0], uk...)
+			it.value = append(it.value[:0], it.merged.Value()...)
+			it.valid = true
+			return
+		}
+		it.merged.Next()
+	}
+	if err := it.merged.Err(); err != nil {
+		it.err = err
+	}
+}
+
+// settleReverse walks the merged iterator backward until it rests on the
+// newest visible live entry of the largest user key below the current
+// position (skipping boundKey, which was already yielded). Moving backward
+// visits a key's versions oldest-first, so the candidate for a key is
+// refreshed until the key changes; the final candidate is the newest
+// visible version, and a tombstone candidate hides the key entirely.
+func (it *Iterator) settleReverse(boundKey []byte) {
+	it.valid = false
+	var (
+		curKey  []byte
+		curVal  []byte
+		curLive bool
+		have    bool
+	)
+	yield := func() {
+		it.key = append(it.key[:0], curKey...)
+		it.value = append(it.value[:0], curVal...)
+		it.valid = true
+	}
+	for it.merged.Valid() {
+		ik := it.merged.Key()
+		if !keys.Valid(ik) {
+			it.err = errors.New("db: invalid internal key in iterator")
+			return
+		}
+		uk := keys.UserKey(ik)
+		seq, kind := keys.DecodeTrailer(ik)
+
+		if boundKey != nil && bytes.Equal(uk, boundKey) {
+			it.merged.Prev()
+			continue
+		}
+		if have && !bytes.Equal(uk, curKey) {
+			// Finished the previous key's versions; its candidate is the
+			// newest visible one.
+			if curLive {
+				yield()
+				return
+			}
+			// Tombstone: the key is dead, keep scanning backward.
+			have = false
+		}
+		if seq <= it.seq {
+			curKey = append(curKey[:0], uk...)
+			curLive = kind == keys.KindSet
+			if curLive {
+				curVal = append(curVal[:0], it.merged.Value()...)
+			}
+			have = true
+		}
+		it.merged.Prev()
+	}
+	if err := it.merged.Err(); err != nil {
+		it.err = err
+		return
+	}
+	if have && curLive {
+		yield()
+	}
+}
+
+// Valid reports whether the iterator is positioned on a live entry.
+func (it *Iterator) Valid() bool { return it.valid }
+
+// Key returns the current user key (stable until the next move).
+func (it *Iterator) Key() []byte { return it.key }
+
+// Value returns the current value (stable until the next move).
+func (it *Iterator) Value() []byte { return it.value }
+
+// Err returns the first error encountered.
+func (it *Iterator) Err() error { return it.err }
+
+// Close releases table references. Iterators must be closed.
+func (it *Iterator) Close() error {
+	if it.closed {
+		return it.err
+	}
+	it.closed = true
+	it.valid = false
+	if err := it.merged.Close(); err != nil && it.err == nil {
+		it.err = err
+	}
+	return it.err
+}

@@ -1,0 +1,143 @@
+package db
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestIteratorMatchesModelAtSnapshots takes snapshots at random points
+// while mutating the store, then verifies every snapshot's iterator yields
+// exactly the model state captured at that moment — even after flushes and
+// compactions rewrite the physical layout.
+func TestIteratorMatchesModelAtSnapshots(t *testing.T) {
+	d, _ := openTest(t, PolicyMash)
+	defer d.Close()
+
+	type capturedState struct {
+		snap  *Snapshot
+		model map[string]string
+	}
+	var captures []capturedState
+	model := map[string]string{}
+	rng := rand.New(rand.NewSource(123))
+
+	for step := 0; step < 3000; step++ {
+		k := fmt.Sprintf("key%04d", rng.Intn(300))
+		switch rng.Intn(10) {
+		case 0:
+			if err := d.Delete([]byte(k)); err != nil {
+				t.Fatal(err)
+			}
+			delete(model, k)
+		default:
+			v := fmt.Sprintf("v%d-%s", step, bytes.Repeat([]byte("x"), rng.Intn(100)))
+			if err := d.Put([]byte(k), []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+			model[k] = v
+		}
+		if step%500 == 250 && len(captures) < 4 {
+			cp := map[string]string{}
+			for k, v := range model {
+				cp[k] = v
+			}
+			captures = append(captures, capturedState{d.GetSnapshot(), cp})
+		}
+		if step%900 == 800 {
+			if err := d.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := d.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(it *Iterator, want map[string]string, label string) {
+		t.Helper()
+		got := map[string]string{}
+		var keysSeen []string
+		for it.First(); it.Valid(); it.Next() {
+			got[string(it.Key())] = string(it.Value())
+			keysSeen = append(keysSeen, string(it.Key()))
+		}
+		if it.Err() != nil {
+			t.Fatalf("%s: %v", label, it.Err())
+		}
+		if !sort.StringsAreSorted(keysSeen) {
+			t.Fatalf("%s: iterator out of order", label)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d keys, want %d", label, len(got), len(want))
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("%s: %q = %q want %q", label, k, got[k], v)
+			}
+		}
+	}
+
+	// Head state.
+	it, err := d.NewIterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(it, model, "head")
+	it.Close()
+
+	// Every captured snapshot still sees its own history.
+	for i, c := range captures {
+		sit, err := c.snap.NewIterator()
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(sit, c.model, fmt.Sprintf("snapshot %d", i))
+		sit.Close()
+		c.snap.Release()
+	}
+}
+
+// TestIteratorSeekMatchesModel verifies Seek lands exactly where a sorted
+// reference says it should, across many random targets.
+func TestIteratorSeekMatchesModel(t *testing.T) {
+	d, _ := openTest(t, PolicyMash)
+	defer d.Close()
+	model := map[string]bool{}
+	rng := rand.New(rand.NewSource(321))
+	for i := 0; i < 1200; i++ {
+		k := fmt.Sprintf("key%05d", rng.Intn(5000))
+		mustPut(t, d, k, "v")
+		model[k] = true
+	}
+	if err := d.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	var sorted []string
+	for k := range model {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+
+	it, err := d.NewIterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	for trial := 0; trial < 500; trial++ {
+		target := fmt.Sprintf("key%05d", rng.Intn(5200))
+		it.Seek([]byte(target))
+		i := sort.SearchStrings(sorted, target)
+		if i == len(sorted) {
+			if it.Valid() {
+				t.Fatalf("Seek(%q): expected exhausted, got %q", target, it.Key())
+			}
+			continue
+		}
+		if !it.Valid() || string(it.Key()) != sorted[i] {
+			t.Fatalf("Seek(%q) landed on %q (valid=%v), want %q", target, it.Key(), it.Valid(), sorted[i])
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package db
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"rocksmash/internal/batch"
+)
+
+// TestRandomOpsMatchReferenceModel drives the engine with a random mix of
+// puts, deletes, batches, flushes, compactions, crashes and reopens, and
+// checks it always agrees with an in-memory map — the strongest end-to-end
+// invariant the store offers.
+func TestRandomOpsMatchReferenceModel(t *testing.T) {
+	for _, p := range []Policy{PolicyMash, PolicyCloudLRU} {
+		t.Run(p.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			opts := testOptions(p)
+			opts.WALSegmentBytes = 8 << 10
+			d, err := OpenAt(dir, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() { d.Close() }()
+
+			rng := rand.New(rand.NewSource(99))
+			ref := map[string][]byte{}
+			key := func() []byte { return []byte(fmt.Sprintf("key%04d", rng.Intn(400))) }
+
+			for step := 0; step < 4000; step++ {
+				switch r := rng.Intn(100); {
+				case r < 55: // put
+					k := key()
+					v := make([]byte, rng.Intn(300)+1)
+					rng.Read(v)
+					if err := d.Put(k, v); err != nil {
+						t.Fatal(err)
+					}
+					ref[string(k)] = v
+				case r < 70: // delete
+					k := key()
+					if err := d.Delete(k); err != nil {
+						t.Fatal(err)
+					}
+					delete(ref, string(k))
+				case r < 80: // batch
+					b := batch.New()
+					var ks [][]byte
+					var vs [][]byte
+					for i := 0; i < rng.Intn(5)+1; i++ {
+						k := key()
+						v := []byte(fmt.Sprint(step, i))
+						b.Set(k, v)
+						ks, vs = append(ks, k), append(vs, v)
+					}
+					if err := d.Write(b); err != nil {
+						t.Fatal(err)
+					}
+					for i := range ks {
+						ref[string(ks[i])] = vs[i]
+					}
+				case r < 85: // random point check
+					k := key()
+					v, err := d.Get(k)
+					want, ok := ref[string(k)]
+					if ok {
+						if err != nil || !bytes.Equal(v, want) {
+							t.Fatalf("step %d: Get(%q) = %q, %v; want %q", step, k, v, err, want)
+						}
+					} else if !errors.Is(err, ErrNotFound) {
+						t.Fatalf("step %d: Get(%q) = %q, %v; want ErrNotFound", step, k, v, err)
+					}
+				case r < 90: // flush
+					if err := d.Flush(); err != nil {
+						t.Fatal(err)
+					}
+				case r < 93: // full compaction
+					if err := d.CompactAll(); err != nil {
+						t.Fatal(err)
+					}
+				case r < 97: // crash + recover
+					d.CrashForTest()
+					if d, err = OpenAt(dir, opts); err != nil {
+						t.Fatalf("step %d: reopen after crash: %v", step, err)
+					}
+				default: // clean close + reopen
+					if err := d.Close(); err != nil {
+						t.Fatal(err)
+					}
+					if d, err = OpenAt(dir, opts); err != nil {
+						t.Fatalf("step %d: reopen: %v", step, err)
+					}
+				}
+			}
+
+			// Final full comparison via iterator.
+			it, err := d.NewIterator()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer it.Close()
+			got := map[string][]byte{}
+			for it.First(); it.Valid(); it.Next() {
+				got[string(it.Key())] = append([]byte(nil), it.Value()...)
+			}
+			if it.Err() != nil {
+				t.Fatal(it.Err())
+			}
+			if len(got) != len(ref) {
+				var missing, extra []string
+				for k := range ref {
+					if _, ok := got[k]; !ok {
+						missing = append(missing, k)
+					}
+				}
+				for k := range got {
+					if _, ok := ref[k]; !ok {
+						extra = append(extra, k)
+					}
+				}
+				sort.Strings(missing)
+				sort.Strings(extra)
+				t.Fatalf("key count: got %d want %d\nmissing: %v\nextra: %v",
+					len(got), len(ref), missing, extra)
+			}
+			for k, v := range ref {
+				if !bytes.Equal(got[k], v) {
+					t.Fatalf("final scan: key %q = %x want %x", k, got[k], v)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,225 @@
+// Package db implements the LSM-tree storage engine and the RocksMash
+// hybrid-placement designs on top of it: level-based local/cloud placement,
+// the LSM-aware persistent cache, and extended-WAL parallel recovery.
+package db
+
+import (
+	"rocksmash/internal/sstable"
+	"rocksmash/internal/storage"
+)
+
+// Policy selects how the store distributes data between the local tier and
+// the cloud tier. The non-Mash policies are the paper's comparison schemes
+// expressed on the same engine.
+type Policy int
+
+const (
+	// PolicyMash is the paper's design: upper levels and all metadata
+	// local, deeper levels in cloud behind the LSM-aware persistent cache,
+	// extended WAL with parallel recovery.
+	PolicyMash Policy = iota
+	// PolicyLocalOnly keeps every file on local storage (RocksDB-on-SSD
+	// baseline): fastest, most expensive, capacity-bound.
+	PolicyLocalOnly
+	// PolicyCloudOnly keeps every SSTable in cloud storage with only the
+	// in-memory block cache (RocksDB-on-cloud worst case).
+	PolicyCloudOnly
+	// PolicyCloudLRU keeps every SSTable in cloud storage behind a
+	// generic (non-LSM-aware) persistent LRU cache — the rocksdb-cloud
+	// style state of the art the paper improves on.
+	PolicyCloudLRU
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case PolicyMash:
+		return "mash"
+	case PolicyLocalOnly:
+		return "local-only"
+	case PolicyCloudOnly:
+		return "cloud-only"
+	case PolicyCloudLRU:
+		return "cloud-lru"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configures a DB.
+type Options struct {
+	// Policy selects the placement scheme. Default PolicyMash.
+	Policy Policy
+	// LocalLevels is the number of top levels kept on local storage under
+	// PolicyMash (L0..LocalLevels-1 local, the rest cloud). 0 means the
+	// default (2); -1 places every level in cloud (useful for isolating
+	// the persistent cache in ablations).
+	LocalLevels int
+
+	// MemtableBytes triggers a flush when the memtable reaches this size.
+	MemtableBytes int64
+	// BlockBytes is the SSTable data-block size.
+	BlockBytes int
+	// BloomBitsPerKey sizes table filters (0 disables).
+	BloomBitsPerKey int
+	// Compression is the SSTable data-block codec. Compressing shrinks
+	// cloud capacity and transfer (and their cost) at some CPU expense.
+	Compression sstable.Compression
+	// BlockCacheBytes bounds the in-memory block cache.
+	BlockCacheBytes int64
+	// MaxOpenTables bounds concurrently open table readers (and thus file
+	// descriptors); least-recently-used idle tables are closed past it.
+	MaxOpenTables int
+
+	// PCacheBytes bounds the persistent cache (PolicyMash / PolicyCloudLRU).
+	PCacheBytes int64
+	// PCacheRegionBytes is the PCache allocation unit.
+	PCacheRegionBytes int64
+	// CompactionInheritance warms compaction outputs whose inputs were hot
+	// in the persistent cache (PolicyMash only). Default true; disable for
+	// the Fig. 10 ablation.
+	CompactionInheritance bool
+
+	// L0CompactTrigger is the L0 file count that triggers compaction.
+	L0CompactTrigger int
+	// L0StallFiles applies write backpressure when L0 reaches this count.
+	L0StallFiles int
+	// LevelBaseBytes is the target size of L1; each deeper level is
+	// LevelMultiplier times larger.
+	LevelBaseBytes int64
+	// LevelMultiplier is the per-level size ratio. Default 10.
+	LevelMultiplier int
+	// TargetFileBytes is the compaction output file size target.
+	TargetFileBytes int64
+
+	// WALSync fsyncs the WAL on every commit.
+	WALSync bool
+	// WALSegmentBytes rolls WAL segments at this size.
+	WALSegmentBytes int64
+	// ExtendedWAL enables the eWAL segment index (skip-flushed metadata).
+	// Disable for the Fig. 11 serial-recovery baseline.
+	ExtendedWAL bool
+	// WALCloudBackup uploads every sealed WAL segment to the cloud tier,
+	// protecting unflushed writes against loss of the local device.
+	// Recovery transparently restores missing local segments from cloud.
+	WALCloudBackup bool
+	// RecoveryParallelism is the number of WAL segments recovered
+	// concurrently. 1 reproduces stock serial recovery.
+	RecoveryParallelism int
+
+	// Cloud configures the simulated object store when the DB creates its
+	// own backends (OpenAt). Ignored when backends are supplied directly.
+	CloudLatency storage.LatencyModel
+	CloudCost    storage.CostModel
+
+	// pcacheDir overrides where the persistent cache lives; set by OpenAt.
+	pcacheDir string
+}
+
+// DefaultOptions returns the PolicyMash configuration used throughout the
+// examples and experiments.
+func DefaultOptions() Options {
+	return Options{
+		Policy:                PolicyMash,
+		LocalLevels:           2,
+		MemtableBytes:         4 << 20,
+		BlockBytes:            4 << 10,
+		BloomBitsPerKey:       10,
+		BlockCacheBytes:       8 << 20,
+		MaxOpenTables:         512,
+		PCacheBytes:           64 << 20,
+		PCacheRegionBytes:     256 << 10,
+		CompactionInheritance: true,
+		L0CompactTrigger:      4,
+		L0StallFiles:          12,
+		LevelBaseBytes:        16 << 20,
+		LevelMultiplier:       10,
+		TargetFileBytes:       4 << 20,
+		WALSync:               false,
+		WALSegmentBytes:       4 << 20,
+		ExtendedWAL:           true,
+		RecoveryParallelism:   4,
+		CloudLatency:          storage.DefaultLatency(),
+		CloudCost:             storage.DefaultCost(),
+	}
+}
+
+// sanitize fills zero values with defaults.
+func (o Options) sanitize() Options {
+	d := DefaultOptions()
+	switch {
+	case o.LocalLevels == 0:
+		o.LocalLevels = d.LocalLevels
+	case o.LocalLevels < 0:
+		o.LocalLevels = -1 // all levels in cloud (idempotent sentinel)
+	}
+	if o.MemtableBytes <= 0 {
+		o.MemtableBytes = d.MemtableBytes
+	}
+	if o.BlockBytes <= 0 {
+		o.BlockBytes = d.BlockBytes
+	}
+	if o.BlockCacheBytes < 0 {
+		o.BlockCacheBytes = 0
+	}
+	if o.MaxOpenTables <= 0 {
+		o.MaxOpenTables = d.MaxOpenTables
+	}
+	if o.PCacheBytes <= 0 {
+		o.PCacheBytes = d.PCacheBytes
+	}
+	if o.PCacheRegionBytes <= 0 {
+		o.PCacheRegionBytes = d.PCacheRegionBytes
+	}
+	if o.L0CompactTrigger <= 0 {
+		o.L0CompactTrigger = d.L0CompactTrigger
+	}
+	if o.L0StallFiles <= o.L0CompactTrigger {
+		o.L0StallFiles = o.L0CompactTrigger * 3
+	}
+	if o.LevelBaseBytes <= 0 {
+		o.LevelBaseBytes = d.LevelBaseBytes
+	}
+	if o.LevelMultiplier <= 1 {
+		o.LevelMultiplier = d.LevelMultiplier
+	}
+	if o.TargetFileBytes <= 0 {
+		o.TargetFileBytes = d.TargetFileBytes
+	}
+	if o.WALSegmentBytes <= 0 {
+		o.WALSegmentBytes = d.WALSegmentBytes
+	}
+	if o.RecoveryParallelism <= 0 {
+		o.RecoveryParallelism = 1
+	}
+	return o
+}
+
+// tierForLevel returns where a new file at the given level belongs.
+func (o Options) tierForLevel(level int) storage.Tier {
+	switch o.Policy {
+	case PolicyLocalOnly:
+		return storage.TierLocal
+	case PolicyCloudOnly, PolicyCloudLRU:
+		return storage.TierCloud
+	default: // PolicyMash
+		if level < o.LocalLevels {
+			return storage.TierLocal
+		}
+		return storage.TierCloud
+	}
+}
+
+// levelTargetBytes returns the compaction size target for a level ≥ 1.
+func (o Options) levelTargetBytes(level int) int64 {
+	t := o.LevelBaseBytes
+	for l := 1; l < level; l++ {
+		t *= int64(o.LevelMultiplier)
+	}
+	return t
+}
+
+// usesPersistentCache reports whether the policy wants a disk cache.
+func (o Options) usesPersistentCache() bool {
+	return o.Policy == PolicyMash || o.Policy == PolicyCloudLRU
+}

@@ -1,0 +1,267 @@
+package db
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// reverseFixture loads keys across memtable, L0 and deeper levels with
+// overwrites and deletions so reverse iteration crosses every source.
+func reverseFixture(t *testing.T) (*DB, []string) {
+	t.Helper()
+	d, _ := openTest(t, PolicyMash)
+	t.Cleanup(func() { d.Close() })
+
+	live := map[string]bool{}
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 2000; i++ {
+		k := fmt.Sprintf("key%04d", rng.Intn(600))
+		if rng.Intn(6) == 0 {
+			if err := d.Delete([]byte(k)); err != nil {
+				t.Fatal(err)
+			}
+			delete(live, k)
+		} else {
+			mustPut(t, d, k, "v-"+k)
+			live[k] = true
+		}
+		if i == 1000 {
+			if err := d.CompactAll(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Leave the tail of writes in the memtable (no final flush).
+	var sorted []string
+	for k := range live {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	if len(sorted) < 100 {
+		t.Fatal("fixture too small")
+	}
+	return d, sorted
+}
+
+func TestReverseFullScan(t *testing.T) {
+	d, sorted := reverseFixture(t)
+	it, err := d.NewIterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	i := len(sorted) - 1
+	for it.Last(); it.Valid(); it.Prev() {
+		if i < 0 {
+			t.Fatalf("reverse scan yielded extra key %q", it.Key())
+		}
+		if string(it.Key()) != sorted[i] {
+			t.Fatalf("reverse position %d = %q want %q", i, it.Key(), sorted[i])
+		}
+		if want := "v-" + sorted[i]; string(it.Value()) != want {
+			t.Fatalf("reverse value for %q = %q", it.Key(), it.Value())
+		}
+		i--
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+	if i != -1 {
+		t.Fatalf("reverse scan stopped early; %d keys unvisited", i+1)
+	}
+}
+
+func TestSeekForPrev(t *testing.T) {
+	d, sorted := reverseFixture(t)
+	it, err := d.NewIterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 300; trial++ {
+		target := fmt.Sprintf("key%04d", rng.Intn(700))
+		it.SeekForPrev([]byte(target))
+		// Reference: last key <= target.
+		i := sort.SearchStrings(sorted, target)
+		if i < len(sorted) && sorted[i] == target {
+			// exact hit
+		} else {
+			i--
+		}
+		if i < 0 {
+			if it.Valid() {
+				t.Fatalf("SeekForPrev(%q) = %q, want invalid", target, it.Key())
+			}
+			continue
+		}
+		if !it.Valid() || string(it.Key()) != sorted[i] {
+			t.Fatalf("SeekForPrev(%q) = %q (valid=%v), want %q", target, it.Key(), it.Valid(), sorted[i])
+		}
+	}
+}
+
+// TestMixedDirectionFuzz drives the iterator with random moves and checks
+// every position against the sorted reference.
+func TestMixedDirectionFuzz(t *testing.T) {
+	d, sorted := reverseFixture(t)
+	it, err := d.NewIterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	rng := rand.New(rand.NewSource(9))
+
+	pos := -2 // -2 = unpositioned, -1 = before-first/after-last (invalid)
+	for step := 0; step < 3000; step++ {
+		switch op := rng.Intn(6); op {
+		case 0:
+			it.First()
+			if len(sorted) == 0 {
+				pos = -1
+			} else {
+				pos = 0
+			}
+		case 1:
+			it.Last()
+			pos = len(sorted) - 1
+		case 2:
+			k := fmt.Sprintf("key%04d", rng.Intn(700))
+			it.Seek([]byte(k))
+			pos = sort.SearchStrings(sorted, k)
+			if pos == len(sorted) {
+				pos = -1
+			}
+		case 3:
+			k := fmt.Sprintf("key%04d", rng.Intn(700))
+			it.SeekForPrev([]byte(k))
+			i := sort.SearchStrings(sorted, k)
+			if i == len(sorted) || sorted[i] != k {
+				i--
+			}
+			pos = i // may be -1
+		case 4:
+			if pos < 0 {
+				continue
+			}
+			it.Next()
+			pos++
+			if pos >= len(sorted) {
+				pos = -1
+			}
+		case 5:
+			if pos < 0 {
+				continue
+			}
+			it.Prev()
+			pos--
+		}
+		if pos < 0 {
+			if it.Valid() {
+				t.Fatalf("step %d: iterator valid at %q, model says invalid", step, it.Key())
+			}
+			pos = -1
+			continue
+		}
+		if !it.Valid() {
+			t.Fatalf("step %d: iterator invalid, model at %q (pos %d)", step, sorted[pos], pos)
+		}
+		if string(it.Key()) != sorted[pos] {
+			t.Fatalf("step %d: iterator at %q, model at %q", step, it.Key(), sorted[pos])
+		}
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+}
+
+func TestReverseRespectsSnapshots(t *testing.T) {
+	d, _ := openTest(t, PolicyMash)
+	defer d.Close()
+	mustPut(t, d, "a", "1")
+	mustPut(t, d, "b", "2")
+	mustPut(t, d, "c", "3")
+	snap := d.GetSnapshot()
+	defer snap.Release()
+	mustPut(t, d, "b", "2-new")
+	if err := d.Delete([]byte("c")); err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, d, "d", "4")
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	it, err := snap.NewIterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	var got []string
+	for it.Last(); it.Valid(); it.Prev() {
+		got = append(got, string(it.Key())+"="+string(it.Value()))
+	}
+	want := "[c=3 b=2 a=1]"
+	if fmt.Sprint(got) != want {
+		t.Fatalf("snapshot reverse scan = %v want %v", got, want)
+	}
+}
+
+func TestReverseEmptyDB(t *testing.T) {
+	d, _ := openTest(t, PolicyMash)
+	defer d.Close()
+	it, err := d.NewIterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	it.Last()
+	if it.Valid() {
+		t.Fatal("Last on empty DB should be invalid")
+	}
+	it.SeekForPrev([]byte("anything"))
+	if it.Valid() {
+		t.Fatal("SeekForPrev on empty DB should be invalid")
+	}
+}
+
+func TestReverseTombstoneRuns(t *testing.T) {
+	d, _ := openTest(t, PolicyMash)
+	defer d.Close()
+	// A long run of deleted keys between live ones, spread across a flush
+	// boundary so tombstones shadow table data.
+	for i := 0; i < 50; i++ {
+		mustPut(t, d, fmt.Sprintf("k%03d", i), "v")
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 10; i < 40; i++ {
+		if err := d.Delete([]byte(fmt.Sprintf("k%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, err := d.NewIterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	it.SeekForPrev([]byte("k039"))
+	if !it.Valid() || string(it.Key()) != "k009" {
+		t.Fatalf("SeekForPrev over tombstone run = %q (valid=%v), want k009", it.Key(), it.Valid())
+	}
+	it.Prev()
+	if !it.Valid() || string(it.Key()) != "k008" {
+		t.Fatalf("Prev = %q", it.Key())
+	}
+	it.Next()
+	if !it.Valid() || string(it.Key()) != "k009" {
+		t.Fatalf("Next after Prev = %q", it.Key())
+	}
+	it.Next()
+	if !it.Valid() || string(it.Key()) != "k040" {
+		t.Fatalf("Next across tombstone run = %q", it.Key())
+	}
+}

@@ -1,0 +1,120 @@
+package db
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"rocksmash/internal/manifest"
+	"rocksmash/internal/storage"
+)
+
+// Stats aggregates engine activity counters.
+type Stats struct {
+	Writes       atomic.Int64
+	Reads        atomic.Int64
+	BytesWritten atomic.Int64
+	WriteStalls  atomic.Int64
+
+	Flushes    atomic.Int64
+	FlushBytes atomic.Int64
+
+	UploadRetries      atomic.Int64
+	Compactions        atomic.Int64
+	CompactBytesIn     atomic.Int64
+	CompactBytesOut    atomic.Int64
+	CompactDroppedKeys atomic.Int64
+}
+
+// RecoveryReport describes what the last Open had to do to recover.
+type RecoveryReport struct {
+	WALSegments   int
+	WALSkipped    int
+	WALRecords    int64
+	WALBytes      int64
+	RecoveredKeys int64
+	Parallelism   int
+	Duration      time.Duration
+}
+
+// String renders the report.
+func (r RecoveryReport) String() string {
+	return fmt.Sprintf("recovery{segments=%d skipped=%d records=%d bytes=%d keys=%d par=%d dur=%s}",
+		r.WALSegments, r.WALSkipped, r.WALRecords, r.WALBytes, r.RecoveredKeys, r.Parallelism, r.Duration)
+}
+
+// Metrics is a point-in-time summary for reporting.
+type Metrics struct {
+	Policy      string
+	LastSeq     uint64
+	LevelFiles  []int
+	LevelBytes  []uint64
+	LocalBytes  int64
+	CloudBytes  int64
+	MetaBytes   int64 // pinned table metadata (index+filter), all local
+	PCacheMeta  int64
+	PCacheUsed  int64
+	PCacheHit   float64
+	BlockHit    float64
+	LocalIO     storage.Snapshot
+	CloudIO     storage.Snapshot
+	CloudCost   storage.CostReport
+	Flushes     int64
+	Compactions int64
+	WriteStalls int64
+}
+
+// Metrics gathers a summary snapshot.
+func (d *DB) Metrics() Metrics {
+	v := d.vs.Current()
+	m := Metrics{
+		Policy:      d.opts.Policy.String(),
+		LastSeq:     d.lastSeq.Load(),
+		MetaBytes:   d.tables.metadataBytes(),
+		PCacheMeta:  d.pcache.MetadataBytes(),
+		PCacheUsed:  d.pcache.UsedBytes(),
+		PCacheHit:   d.pcache.Stats().HitRatio(),
+		BlockHit:    d.blockCache.HitRatio(),
+		LocalIO:     d.local.Stats().Snapshot(),
+		Flushes:     d.stats.Flushes.Load(),
+		Compactions: d.stats.Compactions.Load(),
+		WriteStalls: d.stats.WriteStalls.Load(),
+	}
+	for l := range v.Levels {
+		m.LevelFiles = append(m.LevelFiles, len(v.Levels[l]))
+		m.LevelBytes = append(m.LevelBytes, v.LevelSize(l))
+	}
+	v.AllFiles(func(level int, f *manifest.FileMetadata) {
+		if f.Tier == storage.TierCloud {
+			m.CloudBytes += int64(f.Size)
+		} else {
+			m.LocalBytes += int64(f.Size)
+		}
+	})
+	if d.cloud != nil {
+		m.CloudIO = d.cloud.Stats().Snapshot()
+	}
+	if d.cloudSim != nil {
+		m.CloudCost = d.cloudSim.CostReport()
+	}
+	return m
+}
+
+// EngineStats exposes the raw counters.
+func (d *DB) EngineStats() *Stats { return &d.stats }
+
+// RecoveryReport returns what the last Open recovered.
+func (d *DB) RecoveryReport() RecoveryReport { return d.recovery }
+
+// PCacheStats exposes the persistent-cache counters (for experiments).
+func (d *DB) PCacheStats() (hitRatio float64, metaBytes, usedBytes int64) {
+	return d.pcache.Stats().HitRatio(), d.pcache.MetadataBytes(), d.pcache.UsedBytes()
+}
+
+// CloudCost returns the simulated cloud bill, if the DB owns the simulator.
+func (d *DB) CloudCost() (storage.CostReport, bool) {
+	if d.cloudSim == nil {
+		return storage.CostReport{}, false
+	}
+	return d.cloudSim.CostReport(), true
+}

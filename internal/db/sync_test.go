@@ -1,0 +1,60 @@
+package db
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestWALSyncMode exercises the synchronous-commit configuration.
+func TestWALSyncMode(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOptions(PolicyMash)
+	opts.WALSync = true
+	d, err := OpenAt(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		mustPut(t, d, fmt.Sprintf("k%04d", i), "durable")
+	}
+	d.CrashForTest()
+	d2, err := OpenAt(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	for i := 0; i < 200; i++ {
+		mustGet(t, d2, fmt.Sprintf("k%04d", i), "durable")
+	}
+}
+
+// TestLevelsMigrateToCloudAsTreeGrows tracks that under PolicyMash data
+// demotes from local levels to cloud levels as compaction pushes it down.
+func TestLevelsMigrateToCloudAsTreeGrows(t *testing.T) {
+	d, _ := openTest(t, PolicyMash)
+	defer d.Close()
+	var sawCloudGrowth bool
+	prevCloud := int64(0)
+	for round := 0; round < 6; round++ {
+		for i := 0; i < 1000; i++ {
+			mustPut(t, d, fmt.Sprintf("key%06d", round*1000+i), fmt.Sprintf("v%0100d", i))
+		}
+		if err := d.CompactAll(); err != nil {
+			t.Fatal(err)
+		}
+		m := d.Metrics()
+		if m.CloudBytes > prevCloud {
+			sawCloudGrowth = true
+		}
+		prevCloud = m.CloudBytes
+	}
+	if !sawCloudGrowth {
+		t.Fatal("cold data never migrated to the cloud tier")
+	}
+	// The local tier must stay bounded near its level budget while cloud
+	// holds the rest.
+	m := d.Metrics()
+	if m.LocalBytes == 0 || m.CloudBytes == 0 {
+		t.Fatalf("placement degenerate: local=%d cloud=%d", m.LocalBytes, m.CloudBytes)
+	}
+}

@@ -1,0 +1,281 @@
+package db
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"rocksmash/internal/cache"
+	"rocksmash/internal/manifest"
+	"rocksmash/internal/sstable"
+	"rocksmash/internal/storage"
+)
+
+// tableHandle is a refcounted open table. Readers (Get, iterators,
+// compactions) acquire a handle and release it when done; eviction closes
+// the underlying file once the last reference drops.
+type tableHandle struct {
+	reader *sstable.Reader
+	tier   storage.Tier
+
+	mu    sync.Mutex
+	refs  int
+	dead  bool // evicted: close when refs drop to zero
+	cache *tableCache
+}
+
+func (h *tableHandle) release() {
+	h.mu.Lock()
+	h.refs--
+	shouldClose := h.dead && h.refs == 0
+	h.mu.Unlock()
+	if shouldClose {
+		_ = h.reader.Close()
+	}
+}
+
+// tableCache keeps table readers open with their metadata (index, filter)
+// pinned in local memory, and routes data-block reads through the cache
+// hierarchy: in-memory block cache, then (for cloud files) the persistent
+// cache, then the owning backend. The number of open tables is bounded:
+// past maxOpen, the least-recently-used idle table is closed (RocksDB's
+// max_open_files analogue) — file descriptors must not scale with the
+// tree size.
+type tableCache struct {
+	db      *DB
+	maxOpen int
+
+	mu     sync.Mutex
+	tables map[uint64]*tableHandle
+	lru    *list.List // front = most recently used; values are file numbers
+	lruPos map[uint64]*list.Element
+}
+
+func newTableCache(db *DB, maxOpen int) *tableCache {
+	if maxOpen < 8 {
+		maxOpen = 8
+	}
+	return &tableCache{
+		db:      db,
+		maxOpen: maxOpen,
+		tables:  map[uint64]*tableHandle{},
+		lru:     list.New(),
+		lruPos:  map[uint64]*list.Element{},
+	}
+}
+
+// touchLocked marks fileNum as most recently used (caller holds tc.mu).
+func (tc *tableCache) touchLocked(fileNum uint64) {
+	if e, ok := tc.lruPos[fileNum]; ok {
+		tc.lru.MoveToFront(e)
+		return
+	}
+	tc.lruPos[fileNum] = tc.lru.PushFront(fileNum)
+}
+
+// enforceCapLocked closes least-recently-used idle tables while over
+// budget. Tables with outstanding references are skipped; they re-enter
+// the budget when released.
+func (tc *tableCache) enforceCapLocked() {
+	for e := tc.lru.Back(); e != nil && len(tc.tables) > tc.maxOpen; {
+		prev := e.Prev()
+		num := e.Value.(uint64)
+		h := tc.tables[num]
+		h.mu.Lock()
+		idle := h.refs == 1 // only the cache's own reference
+		if idle {
+			h.dead = true
+			h.refs = 0
+		}
+		h.mu.Unlock()
+		if idle {
+			delete(tc.tables, num)
+			tc.lru.Remove(e)
+			delete(tc.lruPos, num)
+			_ = h.reader.Close()
+		}
+		e = prev
+	}
+}
+
+// get opens (or reuses) the table and returns a referenced handle.
+func (tc *tableCache) get(meta *manifest.FileMetadata) (*tableHandle, error) {
+	tc.mu.Lock()
+	if h, ok := tc.tables[meta.Num]; ok {
+		h.mu.Lock()
+		h.refs++
+		h.mu.Unlock()
+		tc.touchLocked(meta.Num)
+		tc.mu.Unlock()
+		return h, nil
+	}
+	tc.mu.Unlock()
+
+	// Open outside the cache lock: cloud opens can be slow.
+	be := tc.db.backendFor(meta.Tier)
+	f, err := be.Open(manifest.TableName(meta.Num))
+	if err != nil {
+		return nil, fmt.Errorf("db: opening table %s: %w", meta, err)
+	}
+	if meta.Tier == storage.TierCloud {
+		// Per the placement rule, table metadata lives locally: overlay
+		// the sidecar so Open performs zero cloud I/O. A missing sidecar
+		// (crash window) is rebuilt from the cloud copy.
+		f, err = tc.db.overlayMetadata(f, meta)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	r, err := sstable.Open(f, meta.Num)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("db: reading table %s metadata: %w", meta, err)
+	}
+	h := &tableHandle{reader: r, tier: meta.Tier, refs: 1, cache: tc}
+	r.SetFetch(tc.fetchFor(h))
+
+	tc.mu.Lock()
+	if existing, ok := tc.tables[meta.Num]; ok {
+		// Raced with another opener; keep theirs.
+		existing.mu.Lock()
+		existing.refs++
+		existing.mu.Unlock()
+		tc.mu.Unlock()
+		_ = r.Close()
+		return existing, nil
+	}
+	tc.tables[meta.Num] = h
+	h.mu.Lock()
+	h.refs++ // the cache's own reference
+	h.mu.Unlock()
+	tc.touchLocked(meta.Num)
+	tc.enforceCapLocked()
+	tc.mu.Unlock()
+	return h, nil
+}
+
+// fetchFor builds the data-block fetch path for one table:
+//
+//	block cache → [cloud only: persistent cache →] backend read
+func (tc *tableCache) fetchFor(h *tableHandle) sstable.FetchFunc {
+	db := tc.db
+	return func(fileNum uint64, hd sstable.Handle) ([]byte, error) {
+		ck := cache.Key{FileNum: fileNum, Offset: hd.Offset}
+		if body, ok := db.blockCache.Get(ck); ok {
+			return body, nil
+		}
+		if h.tier == storage.TierCloud {
+			if body, ok := db.pcache.Get(fileNum, hd.Offset); ok {
+				db.blockCache.Put(ck, body)
+				return body, nil
+			}
+		}
+		body, err := sstable.ReadRawBlock(h.reader.File(), hd)
+		if err != nil {
+			return nil, err
+		}
+		if h.tier == storage.TierCloud {
+			db.pcache.Put(fileNum, hd.Offset, body)
+		}
+		db.blockCache.Put(ck, body)
+		return body, nil
+	}
+}
+
+// compactionFetchFor builds the scan-resistant fetch path used by
+// compaction input iterators: cached blocks are used when present, but
+// misses go straight to the backend without admitting anything — a bulk
+// merge must not evict the workload's hot set.
+func (tc *tableCache) compactionFetchFor(h *tableHandle) sstable.FetchFunc {
+	db := tc.db
+	return func(fileNum uint64, hd sstable.Handle) ([]byte, error) {
+		ck := cache.Key{FileNum: fileNum, Offset: hd.Offset}
+		if body, ok := db.blockCache.Get(ck); ok {
+			return body, nil
+		}
+		if h.tier == storage.TierCloud {
+			if body, ok := db.pcache.Probe(fileNum, hd.Offset); ok {
+				return body, nil
+			}
+		}
+		return sstable.ReadRawBlock(h.reader.File(), hd)
+	}
+}
+
+// evict drops the cache's reference; the table closes once readers finish.
+func (tc *tableCache) evict(fileNum uint64) {
+	tc.mu.Lock()
+	h, ok := tc.tables[fileNum]
+	if ok {
+		delete(tc.tables, fileNum)
+		if e, lok := tc.lruPos[fileNum]; lok {
+			tc.lru.Remove(e)
+			delete(tc.lruPos, fileNum)
+		}
+	}
+	tc.mu.Unlock()
+	if !ok {
+		return
+	}
+	h.mu.Lock()
+	h.dead = true
+	h.refs--
+	shouldClose := h.refs == 0
+	h.mu.Unlock()
+	if shouldClose {
+		_ = h.reader.Close()
+	}
+}
+
+// metadataBytes sums the pinned metadata of every open table.
+func (tc *tableCache) metadataBytes() int64 {
+	tc.mu.Lock()
+	hs := make([]*tableHandle, 0, len(tc.tables))
+	for _, h := range tc.tables {
+		hs = append(hs, h)
+	}
+	tc.mu.Unlock()
+	var n int64
+	for _, h := range hs {
+		n += int64(h.reader.MetadataBytes())
+	}
+	return n
+}
+
+// close releases every table.
+func (tc *tableCache) close() {
+	tc.mu.Lock()
+	hs := tc.tables
+	tc.tables = map[uint64]*tableHandle{}
+	tc.lru.Init()
+	tc.lruPos = map[uint64]*list.Element{}
+	tc.mu.Unlock()
+	for _, h := range hs {
+		h.mu.Lock()
+		h.dead = true
+		h.refs--
+		shouldClose := h.refs == 0
+		h.mu.Unlock()
+		if shouldClose {
+			_ = h.reader.Close()
+		}
+	}
+}
+
+// overlayMetadata wraps a cloud table's reader with its locally stored
+// metadata tail. A missing or unreadable sidecar is rebuilt from the cloud
+// copy (crash between upload and sidecar write) and re-persisted.
+func (d *DB) overlayMetadata(f storage.Reader, meta *manifest.FileMetadata) (storage.Reader, error) {
+	tailOff, tail, err := d.readMetaSidecar(meta.Num)
+	if err != nil {
+		tailOff, tail, err = sstable.MetaTail(f)
+		if err != nil {
+			return f, fmt.Errorf("db: rebuilding metadata for %s: %w", meta, err)
+		}
+		if werr := d.writeMetaSidecar(meta.Num, tailOff, tail); werr != nil {
+			return f, werr
+		}
+	}
+	return sstable.NewTailReader(f, int64(tailOff), tail), nil
+}

@@ -1,0 +1,88 @@
+package db
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// TestWALSegmentsGarbageCollected verifies the eWAL GC: once data is
+// flushed to tables, the covering segments are deleted and the WAL
+// directory does not grow with total writes.
+func TestWALSegmentsGarbageCollected(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOptions(PolicyMash)
+	opts.WALSegmentBytes = 16 << 10
+	d, err := OpenAt(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	countSegments := func() int {
+		names, err := d.local.List("wal/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, name := range names {
+			if filepath.Ext(name) == ".log" {
+				n++
+			}
+		}
+		return n
+	}
+
+	var maxSegs int
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 500; i++ {
+			mustPut(t, d, fmt.Sprintf("r%d-k%04d", round, i), "some-value-data")
+		}
+		if err := d.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if n := countSegments(); n > maxSegs {
+			maxSegs = n
+		}
+	}
+	// After the final flush everything is durable in tables; only the
+	// active (post-roll) segment and at most a couple of stragglers may
+	// remain.
+	final := countSegments()
+	if final > 3 {
+		t.Fatalf("WAL GC ineffective: %d segments remain after full flush", final)
+	}
+	if maxSegs > 20 {
+		t.Fatalf("WAL directory grew unboundedly: peak %d segments", maxSegs)
+	}
+}
+
+// TestCloudCostReporting checks the cost plumbing end to end.
+func TestCloudCostReporting(t *testing.T) {
+	d, _ := openTest(t, PolicyCloudOnly)
+	defer d.Close()
+	fillKeys(t, d, 500, 100)
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rep, ok := d.CloudCost()
+	if !ok {
+		t.Fatal("simulated cloud should report cost")
+	}
+	if rep.StoredBytes == 0 {
+		t.Fatal("no stored bytes priced")
+	}
+	if rep.TotalMonthly <= 0 {
+		t.Fatalf("bill = %v", rep.TotalMonthly)
+	}
+	if rep.StorageCost <= 0 || rep.RequestCost <= 0 {
+		t.Fatalf("cost components: %+v", rep)
+	}
+
+	// Local-only stores have no cloud bill.
+	d2, _ := openTest(t, PolicyLocalOnly)
+	defer d2.Close()
+	if _, ok := d2.CloudCost(); ok {
+		t.Fatal("local-only store should not report a cloud bill")
+	}
+}

@@ -1,0 +1,108 @@
+package manifest
+
+import (
+	"fmt"
+	"testing"
+
+	"rocksmash/internal/storage"
+)
+
+// TestManifestRotation exercises the 1000-edit rotation threshold: the log
+// must be rewritten as a snapshot, CURRENT must follow, and old manifests
+// must be deleted.
+func TestManifestRotation(t *testing.T) {
+	be, err := storage.NewLocal(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(be)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each iteration adds one file and deletes the previous, so the live
+	// set stays at one file while the edit count crosses the threshold.
+	var prev uint64
+	for i := 0; i < 1100; i++ {
+		num := s.NewFileNum()
+		e := &VersionEdit{Added: []AddedFile{{Level: 1, Meta: fm(num, fmt.Sprintf("k%06d", i), fmt.Sprintf("k%06dz", i), 1, 2, storage.TierLocal)}}}
+		if prev != 0 {
+			e.Deleted = []DeletedFile{{Level: 1, Num: prev}}
+		}
+		if err := s.LogAndApply(e); err != nil {
+			t.Fatalf("edit %d: %v", i, err)
+		}
+		prev = num
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Only one manifest file (plus CURRENT) should remain.
+	names, err := be.List("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	manifests := 0
+	for _, n := range names {
+		if len(n) > 8 && n[:9] == "MANIFEST-" {
+			manifests++
+		}
+	}
+	if manifests != 1 {
+		t.Fatalf("expected 1 manifest after rotation, found %d: %v", manifests, names)
+	}
+
+	s2, err := Open(be)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	v := s2.Current()
+	if v.NumFiles() != 1 {
+		t.Fatalf("recovered %d files, want 1", v.NumFiles())
+	}
+	if v.Levels[1][0].Num != prev {
+		t.Fatalf("recovered wrong file %d, want %d", v.Levels[1][0].Num, prev)
+	}
+}
+
+// TestPeekDoesNotMutate verifies the read-only inspection path.
+func TestPeekDoesNotMutate(t *testing.T) {
+	be, _ := storage.NewLocal(t.TempDir())
+	s, err := Open(be)
+	if err != nil {
+		t.Fatal(err)
+	}
+	num := s.NewFileNum()
+	s.LogAndApply(&VersionEdit{
+		Added:         []AddedFile{{Level: 0, Meta: fm(num, "a", "z", 1, 9, storage.TierCloud)}},
+		HasFlushedSeq: true, FlushedSeq: 9,
+	})
+	s.SetLastSeq(9)
+	s.Close()
+
+	before, _ := be.List("")
+	v, nextNum, _, flushed, err := Peek(be)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, _ := be.List("")
+	if len(before) != len(after) {
+		t.Fatalf("Peek changed the directory: %v -> %v", before, after)
+	}
+	if v.NumFiles() != 1 || flushed != 9 || nextNum <= num {
+		t.Fatalf("Peek state wrong: files=%d flushed=%d next=%d", v.NumFiles(), flushed, nextNum)
+	}
+}
+
+// TestPeekEmptyDirectory returns a fresh state.
+func TestPeekEmptyDirectory(t *testing.T) {
+	be, _ := storage.NewLocal(t.TempDir())
+	v, nextNum, lastSeq, flushed, err := Peek(be)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.NumFiles() != 0 || nextNum != 1 || lastSeq != 0 || flushed != 0 {
+		t.Fatal("empty peek should be pristine")
+	}
+}

@@ -1,0 +1,67 @@
+// Package memtable implements the mutable in-memory write buffer of the LSM
+// tree: a skiplist of internal keys plus size accounting used to trigger
+// flushes.
+package memtable
+
+import (
+	"rocksmash/internal/arena"
+	"rocksmash/internal/keys"
+	"rocksmash/internal/skiplist"
+)
+
+// MemTable buffers recent writes. Add must be externally serialized (the DB
+// commit path does this); Get and iterators are safe concurrently.
+type MemTable struct {
+	arena *arena.Arena
+	list  *skiplist.List
+}
+
+// New returns an empty memtable.
+func New() *MemTable {
+	a := arena.New()
+	return &MemTable{arena: a, list: skiplist.New(a)}
+}
+
+// Add inserts an entry. For kind == keys.KindDelete, value is ignored.
+func (m *MemTable) Add(seq uint64, kind keys.Kind, ukey, value []byte) {
+	ikey := keys.MakeInternalKey(nil, ukey, seq, kind)
+	if kind == keys.KindDelete {
+		value = nil
+	}
+	m.list.Insert(ikey, value)
+}
+
+// Get looks up ukey at snapshot seq. Returns:
+//
+//	value, true,  true  — a live value was found
+//	nil,   true,  false — a tombstone was found (key deleted)
+//	nil,   false, _     — no entry for the key in this memtable
+func (m *MemTable) Get(ukey []byte, seq uint64) (value []byte, found, live bool) {
+	it := m.list.NewIterator()
+	it.SeekGE(keys.MakeSeekKey(nil, ukey, seq))
+	if !it.Valid() {
+		return nil, false, false
+	}
+	ik := it.Key()
+	if string(keys.UserKey(ik)) != string(ukey) {
+		return nil, false, false
+	}
+	_, kind := keys.DecodeTrailer(ik)
+	if kind == keys.KindDelete {
+		return nil, true, false
+	}
+	return it.Value(), true, true
+}
+
+// ApproximateSize returns the bytes consumed by entries (keys + values +
+// trailers), used for flush triggering.
+func (m *MemTable) ApproximateSize() int64 { return m.arena.Size() }
+
+// Len returns the number of entries.
+func (m *MemTable) Len() int { return m.list.Len() }
+
+// Empty reports whether the memtable has no entries.
+func (m *MemTable) Empty() bool { return m.list.Empty() }
+
+// NewIterator returns an iterator over internal keys in sorted order.
+func (m *MemTable) NewIterator() *skiplist.Iterator { return m.list.NewIterator() }

@@ -1,0 +1,119 @@
+package memtable
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"rocksmash/internal/keys"
+)
+
+func TestPutGet(t *testing.T) {
+	m := New()
+	m.Add(1, keys.KindSet, []byte("a"), []byte("v1"))
+	v, found, live := m.Get([]byte("a"), 10)
+	if !found || !live || !bytes.Equal(v, []byte("v1")) {
+		t.Fatalf("get = (%q,%v,%v)", v, found, live)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	m := New()
+	m.Add(1, keys.KindSet, []byte("a"), []byte("v"))
+	if _, found, _ := m.Get([]byte("b"), 10); found {
+		t.Fatal("should not find b")
+	}
+}
+
+func TestSnapshotVisibility(t *testing.T) {
+	m := New()
+	m.Add(5, keys.KindSet, []byte("k"), []byte("v5"))
+	m.Add(9, keys.KindSet, []byte("k"), []byte("v9"))
+
+	if v, _, _ := m.Get([]byte("k"), 9); !bytes.Equal(v, []byte("v9")) {
+		t.Fatalf("at seq 9 got %q", v)
+	}
+	if v, _, _ := m.Get([]byte("k"), 7); !bytes.Equal(v, []byte("v5")) {
+		t.Fatalf("at seq 7 got %q", v)
+	}
+	if _, found, _ := m.Get([]byte("k"), 3); found {
+		t.Fatal("nothing should be visible at seq 3")
+	}
+}
+
+func TestDeleteTombstone(t *testing.T) {
+	m := New()
+	m.Add(1, keys.KindSet, []byte("k"), []byte("v"))
+	m.Add(2, keys.KindDelete, []byte("k"), nil)
+
+	_, found, live := m.Get([]byte("k"), 10)
+	if !found || live {
+		t.Fatalf("expected tombstone, got found=%v live=%v", found, live)
+	}
+	// Older snapshot still sees the value.
+	v, found, live := m.Get([]byte("k"), 1)
+	if !found || !live || !bytes.Equal(v, []byte("v")) {
+		t.Fatal("old snapshot should see the value")
+	}
+}
+
+func TestGetDoesNotMatchPrefix(t *testing.T) {
+	m := New()
+	m.Add(1, keys.KindSet, []byte("abc"), []byte("v"))
+	if _, found, _ := m.Get([]byte("ab"), 10); found {
+		t.Fatal("prefix must not match")
+	}
+}
+
+func TestApproximateSizeGrows(t *testing.T) {
+	m := New()
+	before := m.ApproximateSize()
+	m.Add(1, keys.KindSet, []byte("key"), make([]byte, 1000))
+	if m.ApproximateSize() < before+1000 {
+		t.Fatalf("size did not grow: %d", m.ApproximateSize())
+	}
+}
+
+func TestQuickMatchesMap(t *testing.T) {
+	// Property: after a sequence of sets/deletes, Get at the latest seq
+	// agrees with a plain map.
+	type op struct {
+		Key    uint8
+		Del    bool
+		ValLen uint8
+	}
+	f := func(ops []op) bool {
+		m := New()
+		ref := map[string][]byte{}
+		seq := uint64(0)
+		for _, o := range ops {
+			seq++
+			k := []byte(fmt.Sprintf("k%03d", o.Key))
+			if o.Del {
+				m.Add(seq, keys.KindDelete, k, nil)
+				delete(ref, string(k))
+			} else {
+				v := bytes.Repeat([]byte{o.Key}, int(o.ValLen))
+				m.Add(seq, keys.KindSet, k, v)
+				ref[string(k)] = v
+			}
+		}
+		for i := 0; i < 256; i++ {
+			k := []byte(fmt.Sprintf("k%03d", i))
+			v, found, live := m.Get(k, seq)
+			want, ok := ref[string(k)]
+			if ok {
+				if !found || !live || !bytes.Equal(v, want) {
+					return false
+				}
+			} else if found && live {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,470 @@
+package pcache
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Options configures a PCache.
+type Options struct {
+	// Dir is the local directory holding the cache DATA and INDEX files.
+	Dir string
+	// CapacityBytes bounds the cache data file size.
+	CapacityBytes int64
+	// RegionBytes is the allocation unit; one region belongs to one
+	// SSTable. Blocks larger than RegionBytes are never cached.
+	RegionBytes int64
+}
+
+// DefaultOptions returns moderate defaults for tests and examples.
+func DefaultOptions(dir string) Options {
+	return Options{Dir: dir, CapacityBytes: 64 << 20, RegionBytes: 256 << 10}
+}
+
+// packedEntry describes one cached block inside a region: 20 bytes per
+// block, stored in a sorted slice (the paper's space-efficient metadata).
+type packedEntry struct {
+	blockOff uint64 // block offset within the SSTable (identity)
+	regOff   uint32 // byte offset within the region
+	length   uint32
+	crc      uint32
+}
+
+const packedEntrySize = 20
+
+// region is one allocation unit of the cache file.
+type region struct {
+	fileNum uint64 // owning SSTable; 0 = free
+	used    uint32 // bytes consumed
+	ref     bool   // CLOCK reference bit
+	entries []packedEntry
+}
+
+// PCache is the paper's persistent cache. See the package comment.
+type PCache struct {
+	opts  Options
+	f     *os.File
+	stats Stats
+	heat  *heatMap
+
+	mu       sync.Mutex
+	regions  []region
+	byFile   map[uint64][]int32 // fileNum -> region ids (append order)
+	openReg  map[uint64]int32   // fileNum -> region currently accepting blocks
+	freeList []int32
+	hand     int32 // CLOCK hand
+}
+
+const (
+	indexMagic   = 0x70636163686531 // "pcache1"
+	indexVersion = 1
+)
+
+// New opens (or creates) a persistent cache under opts.Dir, loading a
+// previously snapshotted index when present and intact. A missing or
+// corrupt index yields an empty (cold) cache, never an error.
+func New(opts Options) (*PCache, error) {
+	if opts.RegionBytes <= 0 {
+		opts.RegionBytes = 256 << 10
+	}
+	if opts.CapacityBytes < opts.RegionBytes {
+		opts.CapacityBytes = opts.RegionBytes
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(opts.Dir, "DATA"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	n := int32(opts.CapacityBytes / opts.RegionBytes)
+	c := &PCache{
+		opts:    opts,
+		f:       f,
+		heat:    newHeatMap(),
+		regions: make([]region, n),
+		byFile:  map[uint64][]int32{},
+		openReg: map[uint64]int32{},
+	}
+	for i := n - 1; i >= 0; i-- {
+		c.freeList = append(c.freeList, i)
+	}
+	if err := c.loadIndex(); err != nil {
+		// Cold start on any index problem; cache contents are disposable.
+		c.resetLocked()
+	}
+	return c, nil
+}
+
+func (c *PCache) resetLocked() {
+	n := int32(len(c.regions))
+	c.regions = make([]region, n)
+	c.byFile = map[uint64][]int32{}
+	c.openReg = map[uint64]int32{}
+	c.freeList = c.freeList[:0]
+	for i := n - 1; i >= 0; i-- {
+		c.freeList = append(c.freeList, i)
+	}
+}
+
+// Get implements BlockCache.
+func (c *PCache) Get(fileNum, blockOff uint64) ([]byte, bool) {
+	// Heat counts read traffic against the file regardless of outcome, so
+	// compaction can recognize actively-read ranges even when the cache is
+	// cold for them.
+	c.heat.add(fileNum, 1)
+	buf, ok := c.get(fileNum, blockOff)
+	if ok {
+		c.stats.Hits.Add(1)
+	} else {
+		c.stats.Misses.Add(1)
+	}
+	return buf, ok
+}
+
+// Probe implements BlockCache: Get without heat or statistics.
+func (c *PCache) Probe(fileNum, blockOff uint64) ([]byte, bool) {
+	return c.get(fileNum, blockOff)
+}
+
+func (c *PCache) get(fileNum, blockOff uint64) ([]byte, bool) {
+	c.mu.Lock()
+	var loc *packedEntry
+	var regID int32 = -1
+	for _, id := range c.byFile[fileNum] {
+		r := &c.regions[id]
+		es := r.entries
+		i := sort.Search(len(es), func(i int) bool { return es[i].blockOff >= blockOff })
+		if i < len(es) && es[i].blockOff == blockOff {
+			loc = &es[i]
+			regID = id
+			break
+		}
+	}
+	if loc == nil {
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.regions[regID].ref = true
+	base := int64(regID) * c.opts.RegionBytes
+	off := base + int64(loc.regOff)
+	length := int(loc.length)
+	wantCRC := loc.crc
+	c.mu.Unlock()
+
+	buf := make([]byte, length)
+	if _, err := c.f.ReadAt(buf, off); err != nil {
+		return nil, false
+	}
+	if crc32.Checksum(buf, castagnoli) != wantCRC {
+		// Torn write or bit rot in the cache file: treat as a miss; the
+		// authoritative copy lives in cloud storage.
+		return nil, false
+	}
+	return buf, true
+}
+
+// Put implements BlockCache: append the block into the file's open region,
+// allocating (and if necessary evicting) regions as needed.
+func (c *PCache) Put(fileNum, blockOff uint64, body []byte) {
+	if int64(len(body)) > c.opts.RegionBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	// Already cached? (Possible under racing readers.)
+	for _, id := range c.byFile[fileNum] {
+		es := c.regions[id].entries
+		i := sort.Search(len(es), func(i int) bool { return es[i].blockOff >= blockOff })
+		if i < len(es) && es[i].blockOff == blockOff {
+			return
+		}
+	}
+
+	id, ok := c.openReg[fileNum]
+	if ok {
+		r := &c.regions[id]
+		if int64(r.used)+int64(len(body)) > c.opts.RegionBytes {
+			ok = false
+		}
+	}
+	if !ok {
+		nid, allocated := c.allocRegionLocked(fileNum)
+		if !allocated {
+			return
+		}
+		id = nid
+		c.openReg[fileNum] = id
+	}
+	r := &c.regions[id]
+	base := int64(id) * c.opts.RegionBytes
+	if _, err := c.f.WriteAt(body, base+int64(r.used)); err != nil {
+		return
+	}
+	e := packedEntry{
+		blockOff: blockOff,
+		regOff:   r.used,
+		length:   uint32(len(body)),
+		crc:      crc32.Checksum(body, castagnoli),
+	}
+	i := sort.Search(len(r.entries), func(i int) bool { return r.entries[i].blockOff >= blockOff })
+	r.entries = append(r.entries, packedEntry{})
+	copy(r.entries[i+1:], r.entries[i:])
+	r.entries[i] = e
+	r.used += uint32(len(body))
+	r.ref = true
+	c.stats.Inserted.Add(1)
+	c.stats.BytesInserted.Add(int64(len(body)))
+}
+
+// allocRegionLocked returns a free region for fileNum, evicting via CLOCK
+// when none is free. It never evicts a region of fileNum itself.
+func (c *PCache) allocRegionLocked(fileNum uint64) (int32, bool) {
+	var id int32
+	if n := len(c.freeList); n > 0 {
+		id = c.freeList[n-1]
+		c.freeList = c.freeList[:n-1]
+	} else {
+		vid, ok := c.clockVictimLocked(fileNum)
+		if !ok {
+			return 0, false
+		}
+		c.evictRegionLocked(vid)
+		id = c.freeList[len(c.freeList)-1]
+		c.freeList = c.freeList[:len(c.freeList)-1]
+	}
+	r := &c.regions[id]
+	r.fileNum = fileNum
+	r.used = 0
+	r.ref = false
+	r.entries = r.entries[:0]
+	c.byFile[fileNum] = append(c.byFile[fileNum], id)
+	return id, true
+}
+
+func (c *PCache) clockVictimLocked(skipFile uint64) (int32, bool) {
+	n := int32(len(c.regions))
+	for pass := int32(0); pass < 2*n; pass++ {
+		id := c.hand
+		c.hand = (c.hand + 1) % n
+		r := &c.regions[id]
+		if r.fileNum == 0 || r.fileNum == skipFile {
+			continue
+		}
+		if r.ref {
+			r.ref = false
+			continue
+		}
+		return id, true
+	}
+	return 0, false
+}
+
+// evictRegionLocked frees one region and unlinks it from its file.
+func (c *PCache) evictRegionLocked(id int32) {
+	r := &c.regions[id]
+	fn := r.fileNum
+	ids := c.byFile[fn]
+	for i, x := range ids {
+		if x == id {
+			c.byFile[fn] = append(ids[:i], ids[i+1:]...)
+			break
+		}
+	}
+	if len(c.byFile[fn]) == 0 {
+		delete(c.byFile, fn)
+	}
+	if open, ok := c.openReg[fn]; ok && open == id {
+		delete(c.openReg, fn)
+	}
+	r.fileNum = 0
+	r.used = 0
+	r.ref = false
+	r.entries = r.entries[:0]
+	c.freeList = append(c.freeList, id)
+	c.stats.RegionsEvicted.Add(1)
+}
+
+// DropFile implements BlockCache: constant-time per region, the
+// compaction-aware win over per-block eviction.
+func (c *PCache) DropFile(fileNum uint64) {
+	c.mu.Lock()
+	ids := append([]int32(nil), c.byFile[fileNum]...)
+	for _, id := range ids {
+		c.evictRegionLocked(id)
+	}
+	c.mu.Unlock()
+	c.heat.drop(fileNum)
+	c.stats.FilesDropped.Add(1)
+}
+
+// FileHeat implements BlockCache.
+func (c *PCache) FileHeat(fileNum uint64) int64 { return c.heat.get(fileNum) }
+
+// Stats implements BlockCache.
+func (c *PCache) Stats() *Stats { return &c.stats }
+
+// UsedBytes implements BlockCache.
+func (c *PCache) UsedBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n int64
+	for i := range c.regions {
+		n += int64(c.regions[i].used)
+	}
+	return n
+}
+
+// MetadataBytes implements BlockCache: the exact packed-index footprint.
+func (c *PCache) MetadataBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n int64
+	for i := range c.regions {
+		// Per-region fixed header (fileNum, used, ref, slice header).
+		n += 8 + 4 + 1 + 24
+		n += int64(len(c.regions[i].entries)) * packedEntrySize
+	}
+	// byFile / openReg maps are per *file*, not per block; charge them too.
+	n += int64(len(c.byFile)) * (8 + 24)
+	n += int64(len(c.openReg)) * (8 + 4)
+	return n
+}
+
+// CachedBlocks returns the number of blocks currently indexed.
+func (c *PCache) CachedBlocks() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for i := range c.regions {
+		n += len(c.regions[i].entries)
+	}
+	return n
+}
+
+// SaveIndex snapshots the packed index so a restart can warm-start.
+func (c *PCache) SaveIndex() error {
+	c.mu.Lock()
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint64(buf, indexMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, indexVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(c.opts.RegionBytes))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.regions)))
+	for i := range c.regions {
+		r := &c.regions[i]
+		buf = binary.LittleEndian.AppendUint64(buf, r.fileNum)
+		buf = binary.LittleEndian.AppendUint32(buf, r.used)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.entries)))
+		for _, e := range r.entries {
+			buf = binary.LittleEndian.AppendUint64(buf, e.blockOff)
+			buf = binary.LittleEndian.AppendUint32(buf, e.regOff)
+			buf = binary.LittleEndian.AppendUint32(buf, e.length)
+			buf = binary.LittleEndian.AppendUint32(buf, e.crc)
+		}
+	}
+	c.mu.Unlock()
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+
+	tmp := filepath.Join(c.opts.Dir, "INDEX.tmp")
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(c.opts.Dir, "INDEX"))
+}
+
+var errBadIndex = errors.New("pcache: bad index snapshot")
+
+func (c *PCache) loadIndex() error {
+	data, err := os.ReadFile(filepath.Join(c.opts.Dir, "INDEX"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil // cold start, not an error
+		}
+		return err
+	}
+	if len(data) < 28 {
+		return errBadIndex
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(tail) {
+		return errBadIndex
+	}
+	p := body
+	if binary.LittleEndian.Uint64(p) != indexMagic {
+		return errBadIndex
+	}
+	p = p[8:]
+	if binary.LittleEndian.Uint32(p) != indexVersion {
+		return errBadIndex
+	}
+	p = p[4:]
+	if int64(binary.LittleEndian.Uint64(p)) != c.opts.RegionBytes {
+		return errBadIndex // geometry changed: discard
+	}
+	p = p[8:]
+	n := binary.LittleEndian.Uint32(p)
+	p = p[4:]
+	if int(n) != len(c.regions) {
+		return errBadIndex
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.resetLocked()
+	c.freeList = c.freeList[:0]
+	for i := uint32(0); i < n; i++ {
+		if len(p) < 16 {
+			return errBadIndex
+		}
+		r := &c.regions[i]
+		r.fileNum = binary.LittleEndian.Uint64(p)
+		r.used = binary.LittleEndian.Uint32(p[8:])
+		cnt := binary.LittleEndian.Uint32(p[12:])
+		p = p[16:]
+		if len(p) < int(cnt)*packedEntrySize {
+			return errBadIndex
+		}
+		for j := uint32(0); j < cnt; j++ {
+			r.entries = append(r.entries, packedEntry{
+				blockOff: binary.LittleEndian.Uint64(p),
+				regOff:   binary.LittleEndian.Uint32(p[8:]),
+				length:   binary.LittleEndian.Uint32(p[12:]),
+				crc:      binary.LittleEndian.Uint32(p[16:]),
+			})
+			p = p[packedEntrySize:]
+		}
+		if r.fileNum != 0 {
+			c.byFile[r.fileNum] = append(c.byFile[r.fileNum], int32(i))
+		} else {
+			c.freeList = append(c.freeList, int32(i))
+		}
+	}
+	return nil
+}
+
+// Close snapshots the index and releases the data file.
+func (c *PCache) Close() error {
+	if err := c.SaveIndex(); err != nil {
+		c.f.Close()
+		return err
+	}
+	return c.f.Close()
+}
+
+// String summarizes the cache state for mashctl.
+func (c *PCache) String() string {
+	c.mu.Lock()
+	free := len(c.freeList)
+	total := len(c.regions)
+	c.mu.Unlock()
+	return fmt.Sprintf("pcache{regions=%d free=%d blocks=%d used=%dB meta=%dB hit=%.3f}",
+		total, free, c.CachedBlocks(), c.UsedBytes(), c.MetadataBytes(), c.stats.HitRatio())
+}

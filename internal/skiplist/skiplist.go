@@ -1,0 +1,205 @@
+// Package skiplist implements the ordered in-memory index backing the
+// memtable. Writers are serialized by the caller (the DB's write path holds
+// a commit lock); readers run lock-free against atomically published nodes,
+// mirroring the memtable concurrency model of LevelDB/RocksDB.
+package skiplist
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"rocksmash/internal/arena"
+	"rocksmash/internal/keys"
+)
+
+const (
+	maxHeight = 12
+	// branching gives a 1/4 probability of promoting a node one level.
+	branching = 4
+)
+
+type node struct {
+	key   []byte // internal key, arena-backed
+	value []byte // arena-backed
+	// next[i] is the next node at level i.
+	next []atomic.Pointer[node]
+}
+
+// List is a skiplist ordered by keys.Compare. Insert must not be called
+// concurrently; all other methods are safe for concurrent use with a single
+// inserter.
+type List struct {
+	head   *node
+	arena  *arena.Arena
+	height atomic.Int32
+	count  atomic.Int64
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// New returns an empty skiplist allocating from a.
+func New(a *arena.Arena) *List {
+	h := &node{next: make([]atomic.Pointer[node], maxHeight)}
+	l := &List{head: h, arena: a, rng: rand.New(rand.NewSource(0xdecafbad))}
+	l.height.Store(1)
+	return l
+}
+
+func (l *List) randomHeight() int {
+	l.rngMu.Lock()
+	h := 1
+	for h < maxHeight && l.rng.Intn(branching) == 0 {
+		h++
+	}
+	l.rngMu.Unlock()
+	return h
+}
+
+// findGreaterOrEqual returns the first node with key >= k and, when prev is
+// non-nil, fills prev with the predecessor at every level.
+func (l *List) findGreaterOrEqual(k []byte, prev *[maxHeight]*node) *node {
+	x := l.head
+	level := int(l.height.Load()) - 1
+	for {
+		next := x.next[level].Load()
+		if next != nil && keys.Compare(next.key, k) < 0 {
+			x = next
+			continue
+		}
+		if prev != nil {
+			prev[level] = x
+		}
+		if level == 0 {
+			return next
+		}
+		level--
+	}
+}
+
+// findLessThan returns the last node with key < k, or the head sentinel.
+func (l *List) findLessThan(k []byte) *node {
+	x := l.head
+	level := int(l.height.Load()) - 1
+	for {
+		next := x.next[level].Load()
+		if next != nil && keys.Compare(next.key, k) < 0 {
+			x = next
+			continue
+		}
+		if level == 0 {
+			return x
+		}
+		level--
+	}
+}
+
+// findLast returns the last node in the list, or the head sentinel.
+func (l *List) findLast() *node {
+	x := l.head
+	level := int(l.height.Load()) - 1
+	for {
+		next := x.next[level].Load()
+		if next != nil {
+			x = next
+			continue
+		}
+		if level == 0 {
+			return x
+		}
+		level--
+	}
+}
+
+// Insert adds an entry. The internal key must not already be present (the
+// memtable guarantees uniqueness by including the sequence number in the
+// key). key and value are copied into the arena.
+func (l *List) Insert(key, value []byte) {
+	var prev [maxHeight]*node
+	l.findGreaterOrEqual(key, &prev)
+
+	h := l.randomHeight()
+	if cur := int(l.height.Load()); h > cur {
+		for i := cur; i < h; i++ {
+			prev[i] = l.head
+		}
+		l.height.Store(int32(h))
+	}
+
+	n := &node{
+		key:   l.arena.Append(key),
+		value: l.arena.Append(value),
+		next:  make([]atomic.Pointer[node], h),
+	}
+	for i := 0; i < h; i++ {
+		n.next[i].Store(prev[i].next[i].Load())
+		prev[i].next[i].Store(n) // publish
+	}
+	l.count.Add(1)
+}
+
+// Len returns the number of entries.
+func (l *List) Len() int { return int(l.count.Load()) }
+
+// Empty reports whether the list holds no entries.
+func (l *List) Empty() bool { return l.count.Load() == 0 }
+
+// Iterator walks the list. It is valid for use concurrently with Insert by
+// one other goroutine; entries inserted after iterator creation may or may
+// not be observed.
+type Iterator struct {
+	list *List
+	n    *node
+}
+
+// NewIterator returns an unpositioned iterator.
+func (l *List) NewIterator() *Iterator { return &Iterator{list: l} }
+
+// Valid reports whether the iterator is positioned on an entry.
+func (it *Iterator) Valid() bool { return it.n != nil }
+
+// Key returns the current internal key. Only valid when Valid().
+func (it *Iterator) Key() []byte { return it.n.key }
+
+// Value returns the current value. Only valid when Valid().
+func (it *Iterator) Value() []byte { return it.n.value }
+
+// Next advances to the next entry.
+func (it *Iterator) Next() { it.n = it.n.next[0].Load() }
+
+// Prev moves to the previous entry (O(log n)).
+func (it *Iterator) Prev() {
+	p := it.list.findLessThan(it.n.key)
+	if p == it.list.head {
+		it.n = nil
+	} else {
+		it.n = p
+	}
+}
+
+// SeekGE positions at the first entry with key >= k.
+func (it *Iterator) SeekGE(k []byte) { it.n = it.list.findGreaterOrEqual(k, nil) }
+
+// SeekLT positions at the last entry with key < k.
+func (it *Iterator) SeekLT(k []byte) {
+	p := it.list.findLessThan(k)
+	if p == it.list.head {
+		it.n = nil
+	} else {
+		it.n = p
+	}
+}
+
+// First positions at the first entry.
+func (it *Iterator) First() { it.n = it.list.head.next[0].Load() }
+
+// Last positions at the last entry.
+func (it *Iterator) Last() {
+	p := it.list.findLast()
+	if p == it.list.head {
+		it.n = nil
+	} else {
+		it.n = p
+	}
+}

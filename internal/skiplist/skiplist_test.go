@@ -1,0 +1,181 @@
+package skiplist
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"rocksmash/internal/arena"
+	"rocksmash/internal/keys"
+)
+
+func ik(k string, seq uint64) []byte {
+	return keys.MakeInternalKey(nil, []byte(k), seq, keys.KindSet)
+}
+
+func TestInsertAndIterate(t *testing.T) {
+	l := New(arena.New())
+	l.Insert(ik("b", 2), []byte("vb"))
+	l.Insert(ik("a", 1), []byte("va"))
+	l.Insert(ik("c", 3), []byte("vc"))
+
+	it := l.NewIterator()
+	it.First()
+	var got []string
+	for it.Valid() {
+		got = append(got, string(keys.UserKey(it.Key()))+"="+string(it.Value()))
+		it.Next()
+	}
+	want := []string{"a=va", "b=vb", "c=vc"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	if l.Len() != 3 {
+		t.Fatalf("len = %d", l.Len())
+	}
+}
+
+func TestSeqOrderingWithinKey(t *testing.T) {
+	l := New(arena.New())
+	l.Insert(ik("k", 1), []byte("old"))
+	l.Insert(ik("k", 9), []byte("new"))
+
+	it := l.NewIterator()
+	it.SeekGE(keys.MakeSeekKey(nil, []byte("k"), keys.MaxSequence))
+	if !it.Valid() || !bytes.Equal(it.Value(), []byte("new")) {
+		t.Fatal("newest entry should come first")
+	}
+	it.Next()
+	if !it.Valid() || !bytes.Equal(it.Value(), []byte("old")) {
+		t.Fatal("older entry should come second")
+	}
+}
+
+func TestSeekGE(t *testing.T) {
+	l := New(arena.New())
+	for i := 0; i < 100; i += 2 {
+		l.Insert(ik(fmt.Sprintf("k%03d", i), uint64(i+1)), []byte("v"))
+	}
+	it := l.NewIterator()
+	it.SeekGE(keys.MakeSeekKey(nil, []byte("k051"), keys.MaxSequence))
+	if !it.Valid() {
+		t.Fatal("expected valid")
+	}
+	if got := string(keys.UserKey(it.Key())); got != "k052" {
+		t.Fatalf("seek landed on %q", got)
+	}
+	// Seek past the end.
+	it.SeekGE(keys.MakeSeekKey(nil, []byte("z"), keys.MaxSequence))
+	if it.Valid() {
+		t.Fatal("seek past end should be invalid")
+	}
+}
+
+func TestSeekLTAndPrev(t *testing.T) {
+	l := New(arena.New())
+	for _, k := range []string{"a", "c", "e"} {
+		l.Insert(ik(k, 1), []byte(k))
+	}
+	it := l.NewIterator()
+	it.SeekLT(ik("d", 1))
+	if !it.Valid() || string(keys.UserKey(it.Key())) != "c" {
+		t.Fatalf("SeekLT landed on %v", it.Valid())
+	}
+	it.Prev()
+	if !it.Valid() || string(keys.UserKey(it.Key())) != "a" {
+		t.Fatal("Prev should land on a")
+	}
+	it.Prev()
+	if it.Valid() {
+		t.Fatal("Prev before first should be invalid")
+	}
+	it.SeekLT(ik("a", keys.MaxSequence))
+	if it.Valid() {
+		t.Fatal("SeekLT before first key should be invalid")
+	}
+}
+
+func TestFirstLastEmpty(t *testing.T) {
+	l := New(arena.New())
+	it := l.NewIterator()
+	it.First()
+	if it.Valid() {
+		t.Fatal("empty list First should be invalid")
+	}
+	it.Last()
+	if it.Valid() {
+		t.Fatal("empty list Last should be invalid")
+	}
+	if !l.Empty() {
+		t.Fatal("should be empty")
+	}
+}
+
+func TestMatchesReferenceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	l := New(arena.New())
+	var ref []string // encoded internal keys as strings
+	for i := 0; i < 2000; i++ {
+		k := fmt.Sprintf("key%04d", rng.Intn(500))
+		ikey := keys.MakeInternalKey(nil, []byte(k), uint64(i+1), keys.KindSet)
+		l.Insert(ikey, []byte(fmt.Sprint(i)))
+		ref = append(ref, string(ikey))
+	}
+	sort.Slice(ref, func(i, j int) bool {
+		return keys.Compare([]byte(ref[i]), []byte(ref[j])) < 0
+	})
+	it := l.NewIterator()
+	it.First()
+	for i := 0; i < len(ref); i++ {
+		if !it.Valid() {
+			t.Fatalf("iterator exhausted at %d/%d", i, len(ref))
+		}
+		if !bytes.Equal(it.Key(), []byte(ref[i])) {
+			t.Fatalf("entry %d mismatch", i)
+		}
+		it.Next()
+	}
+	if it.Valid() {
+		t.Fatal("iterator has extra entries")
+	}
+}
+
+func TestConcurrentReadDuringInsert(t *testing.T) {
+	l := New(arena.New())
+	const n = 5000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			l.Insert(ik(fmt.Sprintf("k%06d", i), uint64(i+1)), []byte("v"))
+		}
+	}()
+	// Readers: repeatedly scan; every observed prefix must be sorted.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pass := 0; pass < 20; pass++ {
+				it := l.NewIterator()
+				it.First()
+				var prev []byte
+				for it.Valid() {
+					if prev != nil && keys.Compare(prev, it.Key()) >= 0 {
+						t.Error("out-of-order observation")
+						return
+					}
+					prev = append(prev[:0], it.Key()...)
+					it.Next()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Len() != n {
+		t.Fatalf("len = %d want %d", l.Len(), n)
+	}
+}

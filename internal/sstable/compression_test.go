@@ -1,0 +1,124 @@
+package sstable
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"rocksmash/internal/keys"
+)
+
+func buildCompressed(t *testing.T, codec Compression, entries []entry) (*Reader, int) {
+	t.Helper()
+	be := newLocal(t)
+	name := fmt.Sprintf("c%d.sst", codec)
+	w, err := be.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultBuilderOptions()
+	opts.Compression = codec
+	b := NewBuilder(w, opts)
+	for _, e := range entries {
+		if err := b.Add(e.ikey, e.value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	sz, _ := be.Size(name)
+	f, err := be.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r, int(sz)
+}
+
+// compressibleEntries have repetitive values that flate shrinks well.
+func compressibleEntries(n int) []entry {
+	var es []entry
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key%06d", i)
+		v := bytes.Repeat([]byte("abcdefgh"), 64) // 512 B, highly repetitive
+		es = append(es, entry{keys.MakeInternalKey(nil, []byte(k), uint64(i+1), keys.KindSet), v})
+	}
+	return es
+}
+
+func TestFlateRoundTrip(t *testing.T) {
+	es := compressibleEntries(500)
+	r, _ := buildCompressed(t, CompressionFlate, es)
+	for i := 0; i < 500; i += 17 {
+		k := []byte(fmt.Sprintf("key%06d", i))
+		v, found, live, err := r.Get(k, keys.MaxSequence)
+		if err != nil || !found || !live {
+			t.Fatalf("get %q: %v %v %v", k, found, live, err)
+		}
+		if !bytes.Equal(v, bytes.Repeat([]byte("abcdefgh"), 64)) {
+			t.Fatalf("value corrupted for %q", k)
+		}
+	}
+	// Full scan too.
+	it := r.NewIter()
+	n := 0
+	for it.First(); it.Valid(); it.Next() {
+		n++
+	}
+	if it.Err() != nil || n != 500 {
+		t.Fatalf("scan n=%d err=%v", n, it.Err())
+	}
+}
+
+func TestFlateShrinksCompressibleData(t *testing.T) {
+	es := compressibleEntries(500)
+	_, rawSize := buildCompressed(t, CompressionNone, es)
+	_, zSize := buildCompressed(t, CompressionFlate, es)
+	if zSize >= rawSize/2 {
+		t.Fatalf("flate table %d not much smaller than raw %d", zSize, rawSize)
+	}
+}
+
+func TestIncompressibleBlocksStoredRaw(t *testing.T) {
+	// Random values: flate cannot shrink them; the table must not grow
+	// (beyond noise) and must still read back.
+	var es []entry
+	rnd := []byte{}
+	for i := 0; i < 300; i++ {
+		k := fmt.Sprintf("key%06d", i)
+		v := make([]byte, 256)
+		for j := range v {
+			rnd = append(rnd, byte(i*7+j*13))
+			v[j] = byte((i * 131071) ^ (j * 8191) ^ (i >> 3) ^ len(rnd))
+		}
+		es = append(es, entry{keys.MakeInternalKey(nil, []byte(k), uint64(i+1), keys.KindSet), v})
+	}
+	_, rawSize := buildCompressed(t, CompressionNone, es)
+	r, zSize := buildCompressed(t, CompressionFlate, es)
+	if zSize > rawSize+rawSize/20 {
+		t.Fatalf("incompressible table grew: %d vs %d", zSize, rawSize)
+	}
+	if _, found, _, err := r.Get([]byte("key000000"), keys.MaxSequence); err != nil || !found {
+		t.Fatalf("read back failed: %v %v", found, err)
+	}
+}
+
+func TestMetadataTailUncompressed(t *testing.T) {
+	es := compressibleEntries(200)
+	r, _ := buildCompressed(t, CompressionFlate, es)
+	// The pinned metadata must parse (it does, since Open succeeded) and
+	// MetaTail must produce a tail the TailReader can serve.
+	tailOff, tail, err := MetaTail(r.File())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tailOff == 0 || len(tail) == 0 {
+		t.Fatal("empty metadata tail")
+	}
+}

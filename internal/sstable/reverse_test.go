@@ -1,0 +1,98 @@
+package sstable
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rocksmash/internal/keys"
+)
+
+func TestIterLastAndPrev(t *testing.T) {
+	be := newLocal(t)
+	es := seqEntries(500, 16)
+	r, _ := buildTable(t, be, "rev.sst", BuilderOptions{BlockBytes: 256}, es)
+	it := r.NewIter()
+	i := 499
+	for it.Last(); it.Valid(); it.Prev() {
+		want := fmt.Sprintf("key%06d", i)
+		if got := string(keys.UserKey(it.Key())); got != want {
+			t.Fatalf("reverse entry %d = %q want %q", i, got, want)
+		}
+		i--
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+	if i != -1 {
+		t.Fatalf("reverse scan stopped at %d", i+1)
+	}
+}
+
+func TestIterSeekLT(t *testing.T) {
+	be := newLocal(t)
+	var es []entry
+	for i := 0; i < 100; i += 2 {
+		k := fmt.Sprintf("k%04d", i)
+		es = append(es, entry{keys.MakeInternalKey(nil, []byte(k), 1, keys.KindSet), []byte("v")})
+	}
+	r, _ := buildTable(t, be, "rev2.sst", BuilderOptions{BlockBytes: 128}, es)
+	it := r.NewIter()
+
+	it.SeekLT(keys.MakeSeekKey(nil, []byte("k0013"), keys.MaxSequence))
+	if !it.Valid() || string(keys.UserKey(it.Key())) != "k0012" {
+		t.Fatalf("SeekLT(k0013) = %q valid=%v", it.Key(), it.Valid())
+	}
+	it.SeekLT(keys.MakeSeekKey(nil, []byte("k0000"), keys.MaxSequence))
+	if it.Valid() {
+		t.Fatal("SeekLT before first should be invalid")
+	}
+	it.SeekLT(keys.MakeSeekKey(nil, []byte("zzz"), keys.MaxSequence))
+	if !it.Valid() || string(keys.UserKey(it.Key())) != "k0098" {
+		t.Fatalf("SeekLT(zzz) = %q", it.Key())
+	}
+}
+
+func TestIterDirectionMixingWithinTable(t *testing.T) {
+	be := newLocal(t)
+	es := seqEntries(200, 8)
+	r, _ := buildTable(t, be, "rev3.sst", BuilderOptions{BlockBytes: 128}, es)
+	it := r.NewIter()
+	rng := rand.New(rand.NewSource(2))
+	pos := -1
+	for step := 0; step < 2000; step++ {
+		switch rng.Intn(4) {
+		case 0:
+			it.First()
+			pos = 0
+		case 1:
+			it.Last()
+			pos = 199
+		case 2:
+			if pos < 0 {
+				continue
+			}
+			it.Next()
+			pos++
+			if pos > 199 {
+				pos = -1
+			}
+		case 3:
+			if pos < 0 {
+				continue
+			}
+			it.Prev()
+			pos--
+		}
+		if pos < 0 {
+			if it.Valid() {
+				t.Fatalf("step %d: valid at %q, want invalid", step, it.Key())
+			}
+			continue
+		}
+		want := fmt.Sprintf("key%06d", pos)
+		if !it.Valid() || string(keys.UserKey(it.Key())) != want {
+			t.Fatalf("step %d: at %q want %q", step, it.Key(), want)
+		}
+	}
+}

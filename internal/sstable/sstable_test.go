@@ -1,0 +1,346 @@
+package sstable
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"rocksmash/internal/keys"
+	"rocksmash/internal/storage"
+)
+
+func newLocal(t *testing.T) *storage.Local {
+	t.Helper()
+	l, err := storage.NewLocal(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// buildTable writes entries (already sorted by internal key) and opens a
+// reader over the result.
+func buildTable(t *testing.T, be storage.Backend, name string, opts BuilderOptions, entries []entry) (*Reader, Properties) {
+	t.Helper()
+	w, err := be.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder(w, opts)
+	for _, e := range entries {
+		if err := b.Add(e.ikey, e.value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	props, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := be.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r, props
+}
+
+type entry struct {
+	ikey  []byte
+	value []byte
+}
+
+func seqEntries(n int, valSize int) []entry {
+	var es []entry
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key%06d", i)
+		v := bytes.Repeat([]byte{byte(i)}, valSize)
+		es = append(es, entry{keys.MakeInternalKey(nil, []byte(k), uint64(i+1), keys.KindSet), v})
+	}
+	return es
+}
+
+func TestBuildAndGet(t *testing.T) {
+	be := newLocal(t)
+	es := seqEntries(1000, 32)
+	r, props := buildTable(t, be, "t.sst", DefaultBuilderOptions(), es)
+	if props.NumEntries != 1000 {
+		t.Fatalf("entries = %d", props.NumEntries)
+	}
+	for i := 0; i < 1000; i += 37 {
+		k := []byte(fmt.Sprintf("key%06d", i))
+		v, found, live, err := r.Get(k, keys.MaxSequence)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found || !live {
+			t.Fatalf("key%06d missing", i)
+		}
+		if !bytes.Equal(v, bytes.Repeat([]byte{byte(i)}, 32)) {
+			t.Fatalf("key%06d wrong value", i)
+		}
+	}
+	// Missing keys.
+	if _, found, _, _ := r.Get([]byte("nope"), keys.MaxSequence); found {
+		t.Fatal("found nonexistent key")
+	}
+	if _, found, _, _ := r.Get([]byte("key9999999"), keys.MaxSequence); found {
+		t.Fatal("found key past the end")
+	}
+}
+
+func TestTombstoneVisible(t *testing.T) {
+	be := newLocal(t)
+	es := []entry{
+		{keys.MakeInternalKey(nil, []byte("a"), 5, keys.KindDelete), nil},
+		{keys.MakeInternalKey(nil, []byte("a"), 3, keys.KindSet), []byte("old")},
+	}
+	r, _ := buildTable(t, be, "t.sst", DefaultBuilderOptions(), es)
+	_, found, live, err := r.Get([]byte("a"), keys.MaxSequence)
+	if err != nil || !found || live {
+		t.Fatalf("expected tombstone: found=%v live=%v err=%v", found, live, err)
+	}
+	v, found, live, err := r.Get([]byte("a"), 3)
+	if err != nil || !found || !live || string(v) != "old" {
+		t.Fatalf("old snapshot read failed: %q %v %v %v", v, found, live, err)
+	}
+}
+
+func TestIterFullScan(t *testing.T) {
+	be := newLocal(t)
+	es := seqEntries(500, 16)
+	r, _ := buildTable(t, be, "t.sst", BuilderOptions{BlockBytes: 256, RestartInterval: 4, BloomBitsPerKey: 10}, es)
+	it := r.NewIter()
+	i := 0
+	for it.First(); it.Valid(); it.Next() {
+		want := fmt.Sprintf("key%06d", i)
+		if got := string(keys.UserKey(it.Key())); got != want {
+			t.Fatalf("entry %d = %q want %q", i, got, want)
+		}
+		i++
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+	if i != 500 {
+		t.Fatalf("scanned %d entries", i)
+	}
+}
+
+func TestIterSeekGE(t *testing.T) {
+	be := newLocal(t)
+	var es []entry
+	for i := 0; i < 100; i += 2 {
+		k := fmt.Sprintf("k%04d", i)
+		es = append(es, entry{keys.MakeInternalKey(nil, []byte(k), 1, keys.KindSet), []byte("v")})
+	}
+	r, _ := buildTable(t, be, "t.sst", BuilderOptions{BlockBytes: 128}, es)
+	it := r.NewIter()
+	it.SeekGE(keys.MakeSeekKey(nil, []byte("k0013"), keys.MaxSequence))
+	if !it.Valid() || string(keys.UserKey(it.Key())) != "k0014" {
+		t.Fatalf("seek landed on valid=%v", it.Valid())
+	}
+	it.SeekGE(keys.MakeSeekKey(nil, []byte("zzz"), keys.MaxSequence))
+	if it.Valid() {
+		t.Fatal("seek past end should be invalid")
+	}
+}
+
+func TestPropertiesRoundTrip(t *testing.T) {
+	be := newLocal(t)
+	es := []entry{
+		{keys.MakeInternalKey(nil, []byte("aaa"), 10, keys.KindSet), []byte("v1")},
+		{keys.MakeInternalKey(nil, []byte("bbb"), 12, keys.KindDelete), nil},
+		{keys.MakeInternalKey(nil, []byte("ccc"), 11, keys.KindSet), []byte("v3")},
+	}
+	r, props := buildTable(t, be, "t.sst", DefaultBuilderOptions(), es)
+	got := r.Properties()
+	if got.NumEntries != 3 || got.NumDeletes != 1 {
+		t.Fatalf("props = %+v", got)
+	}
+	if got.MinSeq != 10 || got.MaxSeq != 12 {
+		t.Fatalf("seq range = [%d,%d]", got.MinSeq, got.MaxSeq)
+	}
+	if !bytes.Equal(keys.UserKey(got.Smallest), []byte("aaa")) ||
+		!bytes.Equal(keys.UserKey(got.Largest), []byte("ccc")) {
+		t.Fatalf("bounds = %q..%q", got.Smallest, got.Largest)
+	}
+	if props.NumEntries != got.NumEntries {
+		t.Fatal("builder props disagree with file props")
+	}
+}
+
+func TestNoFilterStillWorks(t *testing.T) {
+	be := newLocal(t)
+	es := seqEntries(50, 8)
+	opts := DefaultBuilderOptions()
+	opts.BloomBitsPerKey = 0
+	r, _ := buildTable(t, be, "t.sst", opts, es)
+	if !r.MayContain([]byte("anything")) {
+		t.Fatal("filterless table must not reject keys")
+	}
+	v, found, live, err := r.Get([]byte("key000007"), keys.MaxSequence)
+	if err != nil || !found || !live || len(v) != 8 {
+		t.Fatalf("get = %v %v %v %v", v, found, live, err)
+	}
+}
+
+func TestDataHandlesCoverFile(t *testing.T) {
+	be := newLocal(t)
+	es := seqEntries(300, 64)
+	r, _ := buildTable(t, be, "t.sst", BuilderOptions{BlockBytes: 512}, es)
+	hs, err := r.DataHandles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs) < 10 {
+		t.Fatalf("expected many blocks, got %d", len(hs))
+	}
+	// Handles must be ascending and non-overlapping.
+	for i := 1; i < len(hs); i++ {
+		if hs[i].Offset < hs[i-1].Offset+hs[i-1].Length {
+			t.Fatalf("handles overlap at %d", i)
+		}
+	}
+}
+
+func TestFetchHookInterposition(t *testing.T) {
+	be := newLocal(t)
+	es := seqEntries(200, 32)
+	r, _ := buildTable(t, be, "t.sst", BuilderOptions{BlockBytes: 512}, es)
+	calls := 0
+	r.SetFetch(func(fileNum uint64, h Handle) ([]byte, error) {
+		calls++
+		return r.readDirect(fileNum, h)
+	})
+	if _, found, _, err := r.Get([]byte("key000050"), keys.MaxSequence); err != nil || !found {
+		t.Fatalf("get via hook failed: %v %v", found, err)
+	}
+	if calls != 1 {
+		t.Fatalf("fetch hook called %d times", calls)
+	}
+}
+
+func TestCorruptBlockDetected(t *testing.T) {
+	be := newLocal(t)
+	es := seqEntries(100, 32)
+	_, _ = buildTable(t, be, "t.sst", DefaultBuilderOptions(), es)
+	data, err := be.ReadAll("t.sst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the first data block.
+	data[10] ^= 0xff
+	if err := storage.WriteObject(be, "bad.sst", data); err != nil {
+		t.Fatal(err)
+	}
+	f, err := be.Open("bad.sst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(f, 2)
+	if err != nil {
+		t.Fatal(err) // metadata is at the end; still intact
+	}
+	defer r.Close()
+	_, _, _, err = r.Get([]byte("key000000"), keys.MaxSequence)
+	if err == nil {
+		t.Fatal("corrupt data block should fail the read")
+	}
+}
+
+func TestTruncatedFileRejected(t *testing.T) {
+	be := newLocal(t)
+	if err := storage.WriteObject(be, "tiny.sst", []byte("not a table")); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := be.Open("tiny.sst")
+	if _, err := Open(f, 3); err == nil {
+		t.Fatal("tiny file should fail to open")
+	}
+}
+
+func TestHandleEncoding(t *testing.T) {
+	f := func(off, ln uint64) bool {
+		h := Handle{Offset: off, Length: ln}
+		dec, err := DecodeHandle(h.EncodeVarint(nil))
+		return err == nil && dec == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTableRoundTrip(t *testing.T) {
+	be := newLocal(t)
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := map[string][]byte{}
+		for i := 0; i < int(n%300)+1; i++ {
+			v := make([]byte, rng.Intn(100))
+			rng.Read(v)
+			m[fmt.Sprintf("k%05d", rng.Intn(5000))] = v
+		}
+		var ks []string
+		for k := range m {
+			ks = append(ks, k)
+		}
+		sort.Strings(ks)
+		var es []entry
+		for i, k := range ks {
+			es = append(es, entry{keys.MakeInternalKey(nil, []byte(k), uint64(i+1), keys.KindSet), m[k]})
+		}
+		name := fmt.Sprintf("q%d.sst", seed)
+		w, err := be.Create(name)
+		if err != nil {
+			return false
+		}
+		b := NewBuilder(w, BuilderOptions{BlockBytes: 256})
+		for _, e := range es {
+			if b.Add(e.ikey, e.value) != nil {
+				return false
+			}
+		}
+		if _, err := b.Finish(); err != nil {
+			return false
+		}
+		w.Close()
+		fr, err := be.Open(name)
+		if err != nil {
+			return false
+		}
+		r, err := Open(fr, 9)
+		if err != nil {
+			return false
+		}
+		defer r.Close()
+		for _, k := range ks {
+			v, found, live, err := r.Get([]byte(k), keys.MaxSequence)
+			if err != nil || !found || !live || !bytes.Equal(v, m[k]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetadataBytesPositive(t *testing.T) {
+	be := newLocal(t)
+	es := seqEntries(500, 16)
+	r, _ := buildTable(t, be, "t.sst", DefaultBuilderOptions(), es)
+	if r.MetadataBytes() <= 0 {
+		t.Fatal("metadata accounting should be positive")
+	}
+}

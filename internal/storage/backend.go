@@ -1,0 +1,96 @@
+// Package storage abstracts the two storage tiers the store integrates:
+// fast local storage (SSD/NVMe) and cloud object storage. Both expose the
+// same Backend interface; the cloud implementation layers a configurable
+// latency/bandwidth simulation and a request+capacity cost model on top, so
+// that experiments reproduce the performance and cost *profile* of a real
+// object store (S3/OSS) without network access.
+package storage
+
+import (
+	"errors"
+	"io"
+)
+
+// Tier identifies which storage class a backend represents.
+type Tier uint8
+
+const (
+	// TierLocal is fast, byte-addressable local storage.
+	TierLocal Tier = iota
+	// TierCloud is high-latency, high-capacity object storage.
+	TierCloud
+)
+
+// String implements fmt.Stringer.
+func (t Tier) String() string {
+	switch t {
+	case TierLocal:
+		return "local"
+	case TierCloud:
+		return "cloud"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrNotFound is returned when an object does not exist.
+var ErrNotFound = errors.New("storage: object not found")
+
+// Writer is a handle for creating an object. Cloud semantics: the object
+// becomes visible atomically at Close; Sync is a no-op there. Local
+// semantics: Sync flushes to stable media.
+type Writer interface {
+	io.Writer
+	// Sync makes previously written bytes durable (local tier). On the
+	// cloud tier durability is provided at Close and Sync is a no-op.
+	Sync() error
+	// Close completes the object. No writes may follow.
+	Close() error
+}
+
+// Reader is a random-access handle to an object.
+type Reader interface {
+	io.ReaderAt
+	io.Closer
+	// Size returns the object length in bytes.
+	Size() int64
+}
+
+// Backend is one storage tier.
+type Backend interface {
+	// Create makes a new object, truncating any existing one.
+	Create(name string) (Writer, error)
+	// Open returns a random-access reader; ErrNotFound if absent.
+	Open(name string) (Reader, error)
+	// ReadAll fetches a whole object.
+	ReadAll(name string) ([]byte, error)
+	// Delete removes an object. Deleting a missing object is not an error.
+	Delete(name string) error
+	// List returns the names of objects with the given prefix, sorted.
+	List(prefix string) ([]string, error)
+	// Size returns an object's length; ErrNotFound if absent.
+	Size(name string) (int64, error)
+	// Rename atomically replaces newname with oldname's object.
+	Rename(oldname, newname string) error
+	// Tier reports which storage class this backend is.
+	Tier() Tier
+	// Stats returns the backend's operation counters.
+	Stats() *Stats
+}
+
+// WriteObject writes data as a complete object.
+func WriteObject(b Backend, name string, data []byte) error {
+	w, err := b.Create(name)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		w.Close()
+		return err
+	}
+	if err := w.Sync(); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}

@@ -1,0 +1,59 @@
+package storage
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLocalExtraLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	l, err := NewLocal(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteObject(l, "o", make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	l.ExtraLatency = 10 * time.Millisecond
+	start := time.Now()
+	if _, err := l.ReadAll("o"); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 8*time.Millisecond {
+		t.Fatalf("extra latency not applied: %v", el)
+	}
+}
+
+func TestTransferTimeModel(t *testing.T) {
+	m := LatencyModel{ReadBandwidth: 100 << 20} // 100 MiB/s
+	d := m.transfer(10<<20, m.ReadBandwidth)    // 10 MiB
+	if d < 90*time.Millisecond || d > 110*time.Millisecond {
+		t.Fatalf("transfer(10MiB @100MiB/s) = %v, want ~100ms", d)
+	}
+	if m.transfer(0, m.ReadBandwidth) != 0 {
+		t.Fatal("zero bytes should cost nothing")
+	}
+	if m.transfer(1<<20, 0) != 0 {
+		t.Fatal("unlimited bandwidth should cost nothing")
+	}
+}
+
+func TestCloudWriteBandwidthApplied(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	lat := LatencyModel{WriteBandwith: 10 << 20} // 10 MiB/s
+	c, err := NewCloud(t.TempDir(), lat, DefaultCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := WriteObject(c, "o", make([]byte, 1<<20)); err != nil { // 1 MiB -> ~100ms
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 80*time.Millisecond {
+		t.Fatalf("write bandwidth not applied: %v", el)
+	}
+}

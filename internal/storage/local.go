@@ -1,0 +1,193 @@
+package storage
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Local is a directory-backed Backend representing the local SSD tier.
+// Object names map to files under the root; "/" in names maps to
+// subdirectories.
+type Local struct {
+	root  string
+	stats Stats
+
+	// ExtraLatency, when nonzero, is added to every read and write request
+	// to model slower local media in experiments. Zero for real runs.
+	ExtraLatency time.Duration
+
+	mu sync.Mutex // serializes Rename vs Create races on the same names
+}
+
+// NewLocal returns a local backend rooted at dir, creating it if needed.
+func NewLocal(dir string) (*Local, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Local{root: dir}, nil
+}
+
+// Root returns the backing directory.
+func (l *Local) Root() string { return l.root }
+
+// Tier implements Backend.
+func (l *Local) Tier() Tier { return TierLocal }
+
+// Stats implements Backend.
+func (l *Local) Stats() *Stats { return &l.stats }
+
+func (l *Local) path(name string) string { return filepath.Join(l.root, filepath.FromSlash(name)) }
+
+func (l *Local) sleep() {
+	if l.ExtraLatency > 0 {
+		time.Sleep(l.ExtraLatency)
+	}
+}
+
+type localWriter struct {
+	f *os.File
+	l *Local
+}
+
+func (w *localWriter) Write(p []byte) (int, error) {
+	w.l.sleep()
+	n, err := w.f.Write(p)
+	w.l.stats.BytesWrite.Add(int64(n))
+	return n, err
+}
+
+func (w *localWriter) Sync() error { return w.f.Sync() }
+
+func (w *localWriter) Close() error {
+	w.l.stats.PutOps.Add(1)
+	return w.f.Close()
+}
+
+// Create implements Backend.
+func (l *Local) Create(name string) (Writer, error) {
+	p := l.path(name)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(p, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &localWriter{f: f, l: l}, nil
+}
+
+type localReader struct {
+	f    *os.File
+	l    *Local
+	size int64
+}
+
+func (r *localReader) ReadAt(p []byte, off int64) (int, error) {
+	r.l.sleep()
+	n, err := r.f.ReadAt(p, off)
+	r.l.stats.GetOps.Add(1)
+	r.l.stats.BytesRead.Add(int64(n))
+	return n, err
+}
+
+func (r *localReader) Size() int64  { return r.size }
+func (r *localReader) Close() error { return r.f.Close() }
+
+// Open implements Backend.
+func (l *Local) Open(name string) (Reader, error) {
+	f, err := os.Open(l.path(name))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, ErrNotFound
+		}
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &localReader{f: f, l: l, size: st.Size()}, nil
+}
+
+// ReadAll implements Backend.
+func (l *Local) ReadAll(name string) ([]byte, error) {
+	r, err := l.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	buf := make([]byte, r.Size())
+	if _, err := r.ReadAt(buf, 0); err != nil && err != io.EOF {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Delete implements Backend.
+func (l *Local) Delete(name string) error {
+	l.stats.DeleteOps.Add(1)
+	err := os.Remove(l.path(name))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// List implements Backend.
+func (l *Local) List(prefix string) ([]string, error) {
+	l.stats.ListOps.Add(1)
+	var names []string
+	err := filepath.WalkDir(l.root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		rel, err := filepath.Rel(l.root, p)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		if strings.HasPrefix(rel, prefix) {
+			names = append(names, rel)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Size implements Backend.
+func (l *Local) Size(name string) (int64, error) {
+	st, err := os.Stat(l.path(name))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return 0, ErrNotFound
+		}
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// Rename implements Backend.
+func (l *Local) Rename(oldname, newname string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	np := l.path(newname)
+	if err := os.MkdirAll(filepath.Dir(np), 0o755); err != nil {
+		return err
+	}
+	return os.Rename(l.path(oldname), np)
+}

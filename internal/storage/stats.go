@@ -1,0 +1,48 @@
+package storage
+
+import "sync/atomic"
+
+// Stats counts operations and bytes moved through a backend. All fields are
+// updated atomically and may be read concurrently.
+type Stats struct {
+	GetOps     atomic.Int64 // read requests (Open/ReadAt/ReadAll)
+	PutOps     atomic.Int64 // completed object creations
+	DeleteOps  atomic.Int64
+	ListOps    atomic.Int64
+	BytesRead  atomic.Int64
+	BytesWrite atomic.Int64
+}
+
+// Snapshot is a point-in-time copy of Stats.
+type Snapshot struct {
+	GetOps     int64
+	PutOps     int64
+	DeleteOps  int64
+	ListOps    int64
+	BytesRead  int64
+	BytesWrite int64
+}
+
+// Snapshot returns a consistent-enough copy for reporting.
+func (s *Stats) Snapshot() Snapshot {
+	return Snapshot{
+		GetOps:     s.GetOps.Load(),
+		PutOps:     s.PutOps.Load(),
+		DeleteOps:  s.DeleteOps.Load(),
+		ListOps:    s.ListOps.Load(),
+		BytesRead:  s.BytesRead.Load(),
+		BytesWrite: s.BytesWrite.Load(),
+	}
+}
+
+// Sub returns s - o, counter-wise.
+func (s Snapshot) Sub(o Snapshot) Snapshot {
+	return Snapshot{
+		GetOps:     s.GetOps - o.GetOps,
+		PutOps:     s.PutOps - o.PutOps,
+		DeleteOps:  s.DeleteOps - o.DeleteOps,
+		ListOps:    s.ListOps - o.ListOps,
+		BytesRead:  s.BytesRead - o.BytesRead,
+		BytesWrite: s.BytesWrite - o.BytesWrite,
+	}
+}

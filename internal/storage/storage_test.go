@@ -1,0 +1,390 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+)
+
+func newTestLocal(t *testing.T) *Local {
+	t.Helper()
+	l, err := NewLocal(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func newTestCloud(t *testing.T) *Cloud {
+	t.Helper()
+	c, err := NewCloud(t.TempDir(), NoLatency(), DefaultCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func backends(t *testing.T) map[string]Backend {
+	return map[string]Backend{"local": newTestLocal(t), "cloud": newTestCloud(t)}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	for name, b := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			data := bytes.Repeat([]byte("abc"), 1000)
+			if err := WriteObject(b, "dir/obj1", data); err != nil {
+				t.Fatal(err)
+			}
+			got, err := b.ReadAll("dir/obj1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatal("round trip mismatch")
+			}
+			sz, err := b.Size("dir/obj1")
+			if err != nil || sz != int64(len(data)) {
+				t.Fatalf("size = %d, %v", sz, err)
+			}
+		})
+	}
+}
+
+func TestRandomAccessRead(t *testing.T) {
+	for name, b := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			data := make([]byte, 4096)
+			for i := range data {
+				data[i] = byte(i)
+			}
+			if err := WriteObject(b, "obj", data); err != nil {
+				t.Fatal(err)
+			}
+			r, err := b.Open("obj")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			buf := make([]byte, 100)
+			if _, err := r.ReadAt(buf, 1000); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf, data[1000:1100]) {
+				t.Fatal("range read mismatch")
+			}
+			if r.Size() != 4096 {
+				t.Fatalf("size = %d", r.Size())
+			}
+		})
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	for name, b := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, err := b.Open("nope"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("err = %v", err)
+			}
+			if _, err := b.Size("nope"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("size err = %v", err)
+			}
+		})
+	}
+}
+
+func TestDeleteIdempotent(t *testing.T) {
+	for name, b := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := WriteObject(b, "obj", []byte("x")); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Delete("obj"); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Delete("obj"); err != nil {
+				t.Fatal("second delete should be nil:", err)
+			}
+			if _, err := b.Open("obj"); !errors.Is(err, ErrNotFound) {
+				t.Fatal("object should be gone")
+			}
+		})
+	}
+}
+
+func TestListPrefix(t *testing.T) {
+	for name, b := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, n := range []string{"sst/000001.sst", "sst/000002.sst", "wal/000003.log"} {
+				if err := WriteObject(b, n, []byte("x")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			names, err := b.List("sst/")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(names) != 2 || names[0] != "sst/000001.sst" || names[1] != "sst/000002.sst" {
+				t.Fatalf("list = %v", names)
+			}
+		})
+	}
+}
+
+func TestRenameReplaces(t *testing.T) {
+	for name, b := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := WriteObject(b, "a", []byte("new")); err != nil {
+				t.Fatal(err)
+			}
+			if err := WriteObject(b, "b", []byte("old")); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Rename("a", "b"); err != nil {
+				t.Fatal(err)
+			}
+			got, err := b.ReadAll("b")
+			if err != nil || string(got) != "new" {
+				t.Fatalf("b = %q, %v", got, err)
+			}
+		})
+	}
+}
+
+func TestCloudAtomicVisibility(t *testing.T) {
+	c := newTestCloud(t)
+	w, err := c.Create("obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("partial")); err != nil {
+		t.Fatal(err)
+	}
+	// Before Close, the object must not be visible.
+	if _, err := c.Open("obj"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("object visible before Close")
+	}
+	names, _ := c.List("")
+	if len(names) != 0 {
+		t.Fatalf("list shows in-flight upload: %v", names)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Open("obj"); err != nil {
+		t.Fatal("object missing after Close")
+	}
+}
+
+func TestCloudCapacityAccounting(t *testing.T) {
+	c := newTestCloud(t)
+	if err := WriteObject(c, "a", make([]byte, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteObject(c, "b", make([]byte, 500)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.StoredBytes(); got != 1500 {
+		t.Fatalf("stored = %d", got)
+	}
+	// Overwrite shrinks then grows.
+	if err := WriteObject(c, "a", make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.StoredBytes(); got != 600 {
+		t.Fatalf("stored after overwrite = %d", got)
+	}
+	if err := c.Delete("b"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.StoredBytes(); got != 100 {
+		t.Fatalf("stored after delete = %d", got)
+	}
+}
+
+func TestCloudReopenRebuildsCapacity(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := NewCloud(dir, NoLatency(), DefaultCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteObject(c1, "x", make([]byte, 2048)); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewCloud(dir, NoLatency(), DefaultCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.StoredBytes(); got != 2048 {
+		t.Fatalf("reopened stored = %d", got)
+	}
+}
+
+func TestCostModelArithmetic(t *testing.T) {
+	m := CostModel{StoragePerGBMonth: 0.02, PutPer1K: 0.005, GetPer1K: 0.0004, EgressPerGB: 0.09}
+	s := Snapshot{GetOps: 2000, PutOps: 1000, BytesRead: 1 << 30}
+	r := m.Cost(2<<30, s)
+	if want := 0.04; !closeTo(r.StorageCost, want) {
+		t.Fatalf("storage = %v", r.StorageCost)
+	}
+	if want := 0.005 + 0.0008; !closeTo(r.RequestCost, want) {
+		t.Fatalf("requests = %v", r.RequestCost)
+	}
+	if want := 0.09; !closeTo(r.EgressCost, want) {
+		t.Fatalf("egress = %v", r.EgressCost)
+	}
+	if !closeTo(r.TotalMonthly, r.StorageCost+r.RequestCost+r.EgressCost) {
+		t.Fatal("total mismatch")
+	}
+}
+
+func closeTo(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}
+
+func TestCloudStatsMetering(t *testing.T) {
+	c := newTestCloud(t)
+	data := make([]byte, 1024)
+	if err := WriteObject(c, "o", data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReadAll("o"); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats().Snapshot()
+	if s.PutOps != 1 || s.GetOps != 1 {
+		t.Fatalf("ops = %+v", s)
+	}
+	if s.BytesWrite != 1024 || s.BytesRead != 1024 {
+		t.Fatalf("bytes = %+v", s)
+	}
+}
+
+func TestCloudFailureHook(t *testing.T) {
+	c := newTestCloud(t)
+	if err := WriteObject(c, "o", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("injected")
+	c.SetFailureHook(func(op, name string) error {
+		if op == "GET" {
+			return boom
+		}
+		return nil
+	})
+	if _, err := c.Open("o"); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	c.SetFailureHook(nil)
+	if _, err := c.Open("o"); err != nil {
+		t.Fatal("hook not cleared")
+	}
+}
+
+func TestCloudLoseObject(t *testing.T) {
+	c := newTestCloud(t)
+	if err := WriteObject(c, "o", make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	c.LoseObject("o")
+	if _, err := c.Open("o"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("lost object should be unreadable")
+	}
+	if c.StoredBytes() != 0 {
+		t.Fatalf("stored = %d", c.StoredBytes())
+	}
+	names, _ := c.List("")
+	if len(names) != 0 {
+		t.Fatalf("lost object still listed: %v", names)
+	}
+	// Re-uploading resurrects it.
+	if err := WriteObject(c, "o", []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := c.ReadAll("o"); err != nil || string(got) != "new" {
+		t.Fatalf("resurrect failed: %q %v", got, err)
+	}
+}
+
+func TestCloudLatencyApplied(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	dir := t.TempDir()
+	lat := LatencyModel{GetFirstByte: 20 * time.Millisecond}
+	c, err := NewCloud(dir, lat, DefaultCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteObject(c, "o", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := c.ReadAll("o"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("GET returned in %v; latency not applied", elapsed)
+	}
+}
+
+func TestLocalSyncDurability(t *testing.T) {
+	l := newTestLocal(t)
+	w, err := l.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadAllEmptyObject(t *testing.T) {
+	for name, b := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := WriteObject(b, "empty", nil); err != nil {
+				t.Fatal(err)
+			}
+			got, err := b.ReadAll("empty")
+			if err != nil && err != io.EOF {
+				t.Fatal(err)
+			}
+			if len(got) != 0 {
+				t.Fatalf("got %d bytes", len(got))
+			}
+		})
+	}
+}
+
+func TestManyObjects(t *testing.T) {
+	c := newTestCloud(t)
+	for i := 0; i < 50; i++ {
+		if err := WriteObject(c, fmt.Sprintf("o/%06d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := c.List("o/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 50 {
+		t.Fatalf("listed %d", len(names))
+	}
+	for i, n := range names {
+		if n != fmt.Sprintf("o/%06d", i) {
+			t.Fatalf("order broken at %d: %s", i, n)
+		}
+	}
+}

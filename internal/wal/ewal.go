@@ -1,0 +1,470 @@
+package wal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"rocksmash/internal/storage"
+)
+
+// SegmentMeta is the extended per-segment metadata the eWAL maintains in a
+// side index. MinSeq/MaxSeq bound the sequence numbers of the batches the
+// segment holds, letting recovery skip segments entirely covered by flushed
+// SSTables without reading them.
+type SegmentMeta struct {
+	Num    uint64 `json:"num"`
+	MinSeq uint64 `json:"min_seq"`
+	MaxSeq uint64 `json:"max_seq"` // 0 while the segment is still active
+	Closed bool   `json:"closed"`
+	Bytes  int64  `json:"bytes"`
+}
+
+type indexFile struct {
+	Segments []SegmentMeta `json:"segments"`
+}
+
+// Options configures the eWAL manager.
+type Options struct {
+	// Dir is the object-name prefix for segments, e.g. "wal".
+	Dir string
+	// SegmentBytes rolls the active segment when it exceeds this size.
+	SegmentBytes int64
+	// Sync forces a durability barrier after every append.
+	Sync bool
+	// Extended enables the eWAL side index (segment seq ranges). When
+	// false the manager behaves like a stock WAL: recovery must read every
+	// segment serially from the oldest.
+	Extended bool
+	// Backup, when non-nil, receives a copy of every sealed segment
+	// (typically the cloud backend), protecting unflushed writes against
+	// loss of the local device. Recovery falls back to the backup copy
+	// when a local segment is missing.
+	Backup storage.Backend
+}
+
+// DefaultOptions returns production defaults.
+func DefaultOptions() Options {
+	return Options{Dir: "wal", SegmentBytes: 16 << 20, Sync: false, Extended: true}
+}
+
+// Manager owns the set of WAL segments on a backend (always the local
+// tier in RocksMash; durability of cold segments is delegated to flushes).
+type Manager struct {
+	be   storage.Backend
+	opts Options
+
+	mu       sync.Mutex
+	segments []SegmentMeta // closed + active, ascending by Num
+	active   storage.Writer
+	activeRW *RecordWriter
+	nextNum  uint64
+}
+
+// SegmentName formats the object name of segment n under dir.
+func SegmentName(dir string, n uint64) string {
+	return fmt.Sprintf("%s/%06d.log", dir, n)
+}
+
+func indexName(dir string) string { return dir + "/INDEX" }
+
+// Open loads or initializes a WAL manager. nextNum must be larger than any
+// previously used segment number (the DB derives it from the manifest).
+func Open(be storage.Backend, opts Options, nextNum uint64) (*Manager, error) {
+	if opts.Dir == "" {
+		opts.Dir = "wal"
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = 16 << 20
+	}
+	m := &Manager{be: be, opts: opts, nextNum: nextNum}
+	if err := m.loadIndex(); err != nil {
+		return nil, err
+	}
+	for _, s := range m.segments {
+		if s.Num >= m.nextNum {
+			m.nextNum = s.Num + 1
+		}
+	}
+	return m, nil
+}
+
+// loadIndex reconciles the side index with the segments actually present.
+// Segments missing from the index (crash before index write) are added with
+// unknown sequence ranges so recovery still reads them.
+func (m *Manager) loadIndex() error {
+	var idx indexFile
+	data, err := m.be.ReadAll(indexName(m.opts.Dir))
+	switch {
+	case err == nil:
+		if jerr := json.Unmarshal(data, &idx); jerr != nil {
+			// A torn index is recoverable: fall back to directory scan.
+			idx = indexFile{}
+		}
+	case errors.Is(err, storage.ErrNotFound):
+	default:
+		return err
+	}
+	known := map[uint64]SegmentMeta{}
+	for _, s := range idx.Segments {
+		known[s.Num] = s
+	}
+	names, err := m.be.List(m.opts.Dir + "/")
+	if err != nil {
+		return err
+	}
+	m.segments = nil
+	seen := map[uint64]bool{}
+	for _, n := range names {
+		var num uint64
+		if _, err := fmt.Sscanf(n, m.opts.Dir+"/%06d.log", &num); err != nil {
+			continue
+		}
+		sz, _ := m.be.Size(n)
+		seen[num] = true
+		if s, ok := known[num]; ok {
+			s.Bytes = sz
+			m.segments = append(m.segments, s)
+		} else {
+			// Unknown to the index: treat as active-at-crash (unbounded).
+			m.segments = append(m.segments, SegmentMeta{Num: num, Bytes: sz})
+		}
+	}
+	// Segments surviving only on the backup tier (local device loss).
+	if m.opts.Backup != nil {
+		bnames, err := m.opts.Backup.List(m.opts.Dir + "/")
+		if err != nil {
+			return err
+		}
+		for _, n := range bnames {
+			var num uint64
+			if _, err := fmt.Sscanf(n, m.opts.Dir+"/%06d.log", &num); err != nil {
+				continue
+			}
+			if seen[num] {
+				continue
+			}
+			sz, _ := m.opts.Backup.Size(n)
+			if s, ok := known[num]; ok {
+				s.Bytes = sz
+				m.segments = append(m.segments, s)
+			} else {
+				m.segments = append(m.segments, SegmentMeta{Num: num, Bytes: sz})
+			}
+		}
+	}
+	sort.Slice(m.segments, func(i, j int) bool { return m.segments[i].Num < m.segments[j].Num })
+	return nil
+}
+
+func (m *Manager) writeIndexLocked() error {
+	if !m.opts.Extended {
+		return nil
+	}
+	data, err := json.Marshal(indexFile{Segments: m.segments})
+	if err != nil {
+		return err
+	}
+	// The index is advisory: recovery survives a missing or stale copy by
+	// reading the affected segments. Skipping the fsync keeps it off the
+	// commit and recovery critical paths.
+	w, err := m.be.Create(indexName(m.opts.Dir))
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+// Append writes one batch payload covering sequence numbers
+// [minSeq, maxSeq] and returns the segment number it landed in.
+func (m *Manager) Append(payload []byte, minSeq, maxSeq uint64) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.active == nil {
+		if err := m.rollLocked(); err != nil {
+			return 0, err
+		}
+	}
+	cur := &m.segments[len(m.segments)-1]
+	if err := m.activeRW.Append(payload); err != nil {
+		return 0, err
+	}
+	cur.Bytes += int64(len(payload) + headerLen)
+	if cur.MinSeq == 0 || minSeq < cur.MinSeq {
+		cur.MinSeq = minSeq
+	}
+	if maxSeq > cur.MaxSeq {
+		cur.MaxSeq = maxSeq
+	}
+	if m.opts.Sync {
+		if err := m.active.Sync(); err != nil {
+			return 0, err
+		}
+	}
+	num := cur.Num
+	if cur.Bytes >= m.opts.SegmentBytes {
+		if err := m.rollLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return num, nil
+}
+
+// Sync forces the active segment to stable storage.
+func (m *Manager) Sync() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.active == nil {
+		return nil
+	}
+	return m.active.Sync()
+}
+
+// Roll closes the active segment and starts a new one. The DB calls this
+// when it seals a memtable so that segment boundaries align with flush
+// units.
+func (m *Manager) Roll() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rollLocked()
+}
+
+func (m *Manager) rollLocked() error {
+	if m.active != nil {
+		if err := m.active.Sync(); err != nil {
+			return err
+		}
+		if err := m.active.Close(); err != nil {
+			return err
+		}
+		m.segments[len(m.segments)-1].Closed = true
+		m.active, m.activeRW = nil, nil
+		if err := m.backupSegmentLocked(m.segments[len(m.segments)-1].Num); err != nil {
+			return err
+		}
+	}
+	num := m.nextNum
+	m.nextNum++
+	w, err := m.be.Create(SegmentName(m.opts.Dir, num))
+	if err != nil {
+		return err
+	}
+	m.active = w
+	m.activeRW = NewRecordWriter(w)
+	m.segments = append(m.segments, SegmentMeta{Num: num})
+	return m.writeIndexLocked()
+}
+
+// ActiveSegment returns the number of the segment new appends go to
+// (0 if none has been created yet).
+func (m *Manager) ActiveSegment() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.active == nil {
+		return 0
+	}
+	return m.segments[len(m.segments)-1].Num
+}
+
+// Segments returns a copy of the segment metadata, ascending by number.
+func (m *Manager) Segments() []SegmentMeta {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]SegmentMeta, len(m.segments))
+	copy(out, m.segments)
+	return out
+}
+
+// backupSegmentLocked copies a sealed segment to the backup backend.
+func (m *Manager) backupSegmentLocked(num uint64) error {
+	if m.opts.Backup == nil {
+		return nil
+	}
+	name := SegmentName(m.opts.Dir, num)
+	data, err := m.be.ReadAll(name)
+	if err != nil {
+		return err
+	}
+	return storage.WriteObject(m.opts.Backup, name, data)
+}
+
+// DeleteObsolete removes closed segments whose every sequence number is
+// ≤ flushedSeq (their contents are durable in SSTables).
+func (m *Manager) DeleteObsolete(flushedSeq uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	keep := m.segments[:0]
+	var firstErr error
+	for _, s := range m.segments {
+		if s.Closed && s.MaxSeq != 0 && s.MaxSeq <= flushedSeq {
+			if err := m.be.Delete(SegmentName(m.opts.Dir, s.Num)); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if m.opts.Backup != nil {
+				if err := m.opts.Backup.Delete(SegmentName(m.opts.Dir, s.Num)); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+			continue
+		}
+		keep = append(keep, s)
+	}
+	m.segments = keep
+	if err := m.writeIndexLocked(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// SealAll marks every inactive segment closed with maxSeq as an upper
+// bound on its contents. Recovery calls this after replay so that segments
+// left open by a crash (whose true range the index never learned) become
+// eligible for garbage collection once their data is flushed.
+func (m *Manager) SealAll(maxSeq uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	activeIdx := -1
+	if m.active != nil {
+		activeIdx = len(m.segments) - 1
+	}
+	for i := range m.segments {
+		if i == activeIdx {
+			continue
+		}
+		s := &m.segments[i]
+		s.Closed = true
+		if s.MaxSeq == 0 {
+			s.MaxSeq = maxSeq
+		}
+	}
+	return m.writeIndexLocked()
+}
+
+// Close seals the active segment without starting a new one.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.active == nil {
+		return nil
+	}
+	if err := m.active.Sync(); err != nil {
+		return err
+	}
+	if err := m.active.Close(); err != nil {
+		return err
+	}
+	m.segments[len(m.segments)-1].Closed = true
+	m.active, m.activeRW = nil, nil
+	if err := m.backupSegmentLocked(m.segments[len(m.segments)-1].Num); err != nil {
+		return err
+	}
+	return m.writeIndexLocked()
+}
+
+// ReplayStats reports what recovery did.
+type ReplayStats struct {
+	SegmentsTotal   int
+	SegmentsSkipped int // skipped via eWAL seq-range metadata
+	Records         int64
+	Bytes           int64
+}
+
+// Replay streams every logical record with sequence data above flushedSeq
+// to fn. With parallelism > 1 and the extended index available, segments
+// are read and decoded concurrently; fn must then be safe for concurrent
+// calls (records within one segment are always delivered in order, by one
+// goroutine). Torn tails are tolerated on the newest segment and on any
+// segment that was active at crash time.
+func (m *Manager) Replay(flushedSeq uint64, parallelism int, fn func(segNum uint64, payload []byte) error) (ReplayStats, error) {
+	segs := m.Segments()
+	var stats ReplayStats
+	stats.SegmentsTotal = len(segs)
+
+	var work []SegmentMeta
+	for _, s := range segs {
+		if m.opts.Extended && s.Closed && s.MaxSeq != 0 && s.MaxSeq <= flushedSeq {
+			stats.SegmentsSkipped++
+			continue
+		}
+		work = append(work, s)
+	}
+	if parallelism < 1 || !m.opts.Extended {
+		parallelism = 1
+	}
+	if parallelism > len(work) {
+		parallelism = len(work)
+	}
+	if len(work) == 0 {
+		return stats, nil
+	}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		records  int64
+		bytes    int64
+	)
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	for _, s := range work {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(s SegmentMeta) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			recs, n, err := m.replaySegment(s, fn)
+			mu.Lock()
+			records += recs
+			bytes += n
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}(s)
+	}
+	wg.Wait()
+	stats.Records = records
+	stats.Bytes = bytes
+	return stats, firstErr
+}
+
+func (m *Manager) replaySegment(s SegmentMeta, fn func(uint64, []byte) error) (int64, int64, error) {
+	data, err := m.be.ReadAll(SegmentName(m.opts.Dir, s.Num))
+	if errors.Is(err, storage.ErrNotFound) && m.opts.Backup != nil {
+		// Local copy gone (e.g. device loss): restore from the backup tier.
+		data, err = m.opts.Backup.ReadAll(SegmentName(m.opts.Dir, s.Num))
+	}
+	if errors.Is(err, storage.ErrNotFound) {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	rr := NewRecordReader(data)
+	var records, bytes int64
+	for {
+		payload, err := rr.Next()
+		if err == io.EOF {
+			return records, bytes, nil
+		}
+		if err == io.ErrUnexpectedEOF {
+			// Torn tail: everything before it was intact; recovery keeps it.
+			return records, bytes, nil
+		}
+		if err != nil {
+			return records, bytes, err
+		}
+		records++
+		bytes += int64(len(payload))
+		if err := fn(s.Num, payload); err != nil {
+			return records, bytes, err
+		}
+	}
+}

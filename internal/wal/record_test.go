@@ -1,0 +1,157 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecordRoundTripSmall(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewRecordWriter(&buf)
+	payloads := [][]byte{[]byte("one"), []byte("two"), {}, []byte("four")}
+	for _, p := range payloads {
+		if err := w.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewRecordReader(buf.Bytes())
+	for i, want := range payloads {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestRecordSpansBlocks(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewRecordWriter(&buf)
+	big := make([]byte, BlockSize*3+123)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if err := w.Append(big); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRecordReader(buf.Bytes())
+	got, err := r.Next()
+	if err != nil || !bytes.Equal(got, big) {
+		t.Fatalf("big record: err=%v match=%v", err, bytes.Equal(got, big))
+	}
+	got, err = r.Next()
+	if err != nil || string(got) != "after" {
+		t.Fatalf("after record: %q %v", got, err)
+	}
+}
+
+func TestBlockBoundaryPadding(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewRecordWriter(&buf)
+	// Fill to within <7 bytes of a block boundary, forcing padding.
+	p1 := make([]byte, BlockSize-headerLen-3)
+	if err := w.Append(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("next-block")); err != nil {
+		t.Fatal(err)
+	}
+	if w.blockOffset() == 0 {
+		t.Fatal("writer should be inside the second block")
+	}
+	r := NewRecordReader(buf.Bytes())
+	if got, err := r.Next(); err != nil || len(got) != len(p1) {
+		t.Fatalf("p1: len=%d err=%v", len(got), err)
+	}
+	if got, err := r.Next(); err != nil || string(got) != "next-block" {
+		t.Fatalf("p2: %q %v", got, err)
+	}
+}
+
+func TestTornTailTolerated(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewRecordWriter(&buf)
+	w.Append([]byte("intact"))
+	w.Append([]byte("will-be-torn"))
+	data := buf.Bytes()
+	// Chop the last few bytes to simulate a crash mid-write.
+	data = data[:len(data)-5]
+	r := NewRecordReader(data)
+	got, err := r.Next()
+	if err != nil || string(got) != "intact" {
+		t.Fatalf("first record: %q %v", got, err)
+	}
+	if _, err := r.Next(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("torn tail should give ErrUnexpectedEOF, got %v", err)
+	}
+}
+
+func TestMidLogCorruptionDetected(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewRecordWriter(&buf)
+	w.Append(bytes.Repeat([]byte("a"), 100))
+	w.Append(bytes.Repeat([]byte("b"), 100))
+	data := append([]byte(nil), buf.Bytes()...)
+	// Flip a payload byte of the first record.
+	data[headerLen+10] ^= 0xff
+	r := NewRecordReader(data)
+	_, err := r.Next()
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("expected ErrCorrupt, got %v", err)
+	}
+}
+
+func TestZeroFilledTailIsEOF(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewRecordWriter(&buf)
+	w.Append([]byte("rec"))
+	data := append(buf.Bytes(), make([]byte, 64)...) // preallocated zeros
+	r := NewRecordReader(data)
+	if got, err := r.Next(); err != nil || string(got) != "rec" {
+		t.Fatalf("%q %v", got, err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("zero tail should be clean EOF, got %v", err)
+	}
+}
+
+func TestQuickRecordRoundTrip(t *testing.T) {
+	f := func(seed int64, count uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var buf bytes.Buffer
+		w := NewRecordWriter(&buf)
+		var payloads [][]byte
+		for i := 0; i < int(count); i++ {
+			p := make([]byte, rng.Intn(3*BlockSize))
+			rng.Read(p)
+			payloads = append(payloads, p)
+			if err := w.Append(p); err != nil {
+				return false
+			}
+		}
+		r := NewRecordReader(buf.Bytes())
+		for _, want := range payloads {
+			got, err := r.Next()
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		_, err := r.Next()
+		return err == io.EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

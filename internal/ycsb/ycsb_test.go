@@ -1,0 +1,161 @@
+package ycsb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestByName(t *testing.T) {
+	for _, n := range []string{"A", "B", "C", "D", "E", "F", "a", "f"} {
+		if _, err := ByName(n); err != nil {
+			t.Fatalf("ByName(%q): %v", n, err)
+		}
+	}
+	if _, err := ByName("Z"); err == nil {
+		t.Fatal("unknown workload should error")
+	}
+}
+
+func TestWorkloadProportionsSumToOne(t *testing.T) {
+	for _, w := range []Workload{WorkloadA, WorkloadB, WorkloadC, WorkloadD, WorkloadE, WorkloadF} {
+		sum := w.ReadProp + w.UpdateProp + w.InsertProp + w.ScanProp + w.RMWProp
+		if math.Abs(sum-1.0) > 1e-9 {
+			t.Fatalf("workload %s proportions sum to %f", w.Name, sum)
+		}
+	}
+}
+
+func TestZipfianRange(t *testing.T) {
+	z := NewZipfian(rand.New(rand.NewSource(1)), 1000, 0.99)
+	for i := 0; i < 100000; i++ {
+		v := z.Next()
+		if v >= 1000 {
+			t.Fatalf("sample %d out of range", v)
+		}
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	z := NewZipfian(rand.New(rand.NewSource(2)), 10000, 0.99)
+	counts := map[uint64]int{}
+	const samples = 200000
+	for i := 0; i < samples; i++ {
+		counts[z.Next()]++
+	}
+	// Rank 0 should dominate: classical zipf(0.99) gives it several
+	// percent of all draws over 10k items.
+	if frac := float64(counts[0]) / samples; frac < 0.02 {
+		t.Fatalf("rank-0 frequency %f too low for zipfian", frac)
+	}
+	// Top-100 ranks should hold a large share.
+	top := 0
+	for r := uint64(0); r < 100; r++ {
+		top += counts[r]
+	}
+	if frac := float64(top) / samples; frac < 0.3 {
+		t.Fatalf("top-100 share %f too low", frac)
+	}
+}
+
+func TestUniformChooserRange(t *testing.T) {
+	c := uniformChooser{rand.New(rand.NewSource(3))}
+	for i := 0; i < 10000; i++ {
+		if v := c.Next(50); v >= 50 {
+			t.Fatalf("uniform sample %d out of range", v)
+		}
+	}
+	if c.Next(0) != 0 {
+		t.Fatal("empty keyspace should return 0")
+	}
+}
+
+func TestLatestChooserPrefersRecent(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := latestChooser{NewZipfian(rng, 10000, 0.99)}
+	recent := 0
+	const samples = 100000
+	for i := 0; i < samples; i++ {
+		v := c.Next(10000)
+		if v >= 10000 {
+			t.Fatalf("latest sample %d out of range", v)
+		}
+		if v >= 9900 {
+			recent++
+		}
+	}
+	if frac := float64(recent) / samples; frac < 0.3 {
+		t.Fatalf("latest distribution not recency-biased: %f", frac)
+	}
+}
+
+func TestKeyDeterministicAndDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for i := uint64(0); i < 10000; i++ {
+		k := string(Key(i))
+		if seen[k] {
+			t.Fatalf("duplicate key at %d", i)
+		}
+		seen[k] = true
+		if string(Key(i)) != k {
+			t.Fatal("key not deterministic")
+		}
+	}
+}
+
+func TestGeneratorMixMatchesWorkload(t *testing.T) {
+	g := NewGenerator(WorkloadA, 1000, 100, 7)
+	counts := map[OpKind]int{}
+	const n = 50000
+	for i := 0; i < n; i++ {
+		op := g.Next()
+		counts[op.Kind]++
+		if op.Kind == OpUpdate && len(op.Value) != 100 {
+			t.Fatal("update without value")
+		}
+	}
+	readFrac := float64(counts[OpRead]) / n
+	if readFrac < 0.47 || readFrac > 0.53 {
+		t.Fatalf("workload A read fraction = %f", readFrac)
+	}
+}
+
+func TestGeneratorInsertGrowsKeyspace(t *testing.T) {
+	g := NewGenerator(WorkloadD, 100, 10, 8)
+	before := g.Inserted()
+	inserts := 0
+	for i := 0; i < 10000; i++ {
+		if g.Next().Kind == OpInsert {
+			inserts++
+		}
+	}
+	if g.Inserted() != before+uint64(inserts) {
+		t.Fatalf("inserted count mismatch: %d vs %d+%d", g.Inserted(), before, inserts)
+	}
+	if inserts == 0 {
+		t.Fatal("workload D produced no inserts")
+	}
+}
+
+func TestScanLengthsBounded(t *testing.T) {
+	g := NewGenerator(WorkloadE, 1000, 10, 9)
+	for i := 0; i < 20000; i++ {
+		op := g.Next()
+		if op.Kind == OpScan {
+			if op.ScanLen < 1 || op.ScanLen > WorkloadE.MaxScanLen {
+				t.Fatalf("scan length %d out of bounds", op.ScanLen)
+			}
+		}
+	}
+}
+
+func TestGeneratorDeterministicForSeed(t *testing.T) {
+	g1 := NewGenerator(WorkloadB, 500, 64, 42)
+	g2 := NewGenerator(WorkloadB, 500, 64, 42)
+	for i := 0; i < 1000; i++ {
+		a, b := g1.Next(), g2.Next()
+		if a.Kind != b.Kind || string(a.Key) != string(b.Key) {
+			t.Fatalf("divergence at op %d", i)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package rocksmash_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"rocksmash"
+)
+
+func open(t *testing.T, opts *rocksmash.Options) *rocksmash.DB {
+	t.Helper()
+	d, err := rocksmash.Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	d := open(t, nil)
+	if err := d.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.Get([]byte("k"))
+	if err != nil || string(v) != "v" {
+		t.Fatalf("get = %q, %v", v, err)
+	}
+	if _, err := d.Get([]byte("missing")); !errors.Is(err, rocksmash.ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPublicAPIBatchAndIterator(t *testing.T) {
+	d := open(t, nil)
+	b := rocksmash.NewWriteBatch()
+	for i := 0; i < 10; i++ {
+		b.Set([]byte(fmt.Sprintf("k%02d", i)), []byte(fmt.Sprint(i)))
+	}
+	if err := d.Write(b); err != nil {
+		t.Fatal(err)
+	}
+	it, err := d.NewIterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	n := 0
+	for it.First(); it.Valid(); it.Next() {
+		n++
+	}
+	if n != 10 {
+		t.Fatalf("scanned %d", n)
+	}
+}
+
+func TestPublicAPIPolicies(t *testing.T) {
+	for _, p := range []rocksmash.Policy{
+		rocksmash.PolicyMash, rocksmash.PolicyLocalOnly,
+		rocksmash.PolicyCloudOnly, rocksmash.PolicyCloudLRU,
+	} {
+		t.Run(p.String(), func(t *testing.T) {
+			opts := rocksmash.DefaultOptions()
+			opts.Policy = p
+			opts.CloudLatency = rocksmash.LatencyModel{} // fast tests
+			d := open(t, &opts)
+			if err := d.Put([]byte("a"), []byte("b")); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			v, err := d.Get([]byte("a"))
+			if err != nil || string(v) != "b" {
+				t.Fatalf("get = %q, %v", v, err)
+			}
+		})
+	}
+}
+
+func TestPublicAPISnapshotAndMetrics(t *testing.T) {
+	d := open(t, nil)
+	d.Put([]byte("x"), []byte("1"))
+	s := d.GetSnapshot()
+	defer s.Release()
+	d.Put([]byte("x"), []byte("2"))
+	v, err := s.Get([]byte("x"))
+	if err != nil || string(v) != "1" {
+		t.Fatalf("snapshot get = %q, %v", v, err)
+	}
+	m := d.Metrics()
+	if m.Policy != "mash" || m.LastSeq == 0 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
