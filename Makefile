@@ -1,0 +1,25 @@
+# Developer entry points. `make check` is the full gate: vet plus the test
+# suite under the race detector (the I/O pipeline paths are concurrent).
+
+GO ?= go
+
+.PHONY: all build test race vet bench check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+check: build vet test race

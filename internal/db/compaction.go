@@ -2,7 +2,6 @@ package db
 
 import (
 	"bytes"
-	"fmt"
 
 	"rocksmash/internal/keys"
 	"rocksmash/internal/manifest"
@@ -137,21 +136,56 @@ func (d *DB) doCompaction(c *compaction) error {
 		inputHeat += d.pcache.FileHeat(f.Num)
 	}
 
-	// Build the merged input iterator.
-	var children []internalIterator
+	// Build the merged input iterator, pipelining cloud-tier block reads
+	// through span prefetchers when CompactionPrefetchBlocks is enabled.
+	var (
+		children []internalIterator
+		pool     *prefetchPool
+	)
 	all := append(append([]*manifest.FileMetadata{}, c.inputs...), c.overlap...)
 	for _, f := range all {
 		h, err := d.tables.get(f)
 		if err != nil {
+			if pool != nil {
+				pool.close()
+			}
 			for _, ch := range children {
 				ch.Close()
 			}
 			return err
 		}
+		if d.opts.CompactionPrefetchBlocks > 1 && f.Tier == storage.TierCloud {
+			if pool == nil {
+				pool = newPrefetchPool()
+			}
+			if pf, perr := newTablePrefetcher(h.reader, pool, d.opts.CompactionPrefetchBlocks, &d.stats); perr == nil {
+				children = append(children, newPrefetchTableIter(h, d.tables, pf))
+				continue
+			}
+			// An unreadable block index will fail the merge too; let the
+			// unpipelined path surface the error.
+		}
 		children = append(children, newCompactionTableIter(h, d.tables))
 	}
 	merged := newMergingIter(children...)
 	defer merged.Close()
+	if pool != nil {
+		// Deferred after merged.Close so it runs first: in-flight span
+		// fetches must drain before table references are released.
+		defer pool.close()
+	}
+
+	// Finished outputs are handed to the upload pool as they complete, so
+	// uploads overlap the remaining merge work; wait gathers them before
+	// the manifest edit, and abort removes any already-uploaded objects on
+	// failure so an aborted compaction leaves no orphans behind.
+	warm := d.opts.Policy == PolicyMash && d.opts.CompactionInheritance &&
+		outTier == storage.TierCloud && inputHeat > 0
+	up := d.newUploader(d.opts.UploadParallelism, warm)
+	fail := func(err error) error {
+		up.abort()
+		return err
+	}
 
 	var (
 		outputs  []*builtTable
@@ -171,7 +205,7 @@ func (d *DB) doCompaction(c *compaction) error {
 			return err
 		}
 		if props.NumEntries > 0 {
-			outputs = append(outputs, &builtTable{
+			t := &builtTable{
 				meta: manifest.FileMetadata{
 					Num: curNum, Size: uint64(out.buf.Len()),
 					Smallest: props.Smallest, Largest: props.Largest,
@@ -180,7 +214,14 @@ func (d *DB) doCompaction(c *compaction) error {
 				},
 				metaOff: builder.MetaOffset(),
 				data:    out.buf.Bytes(),
-			})
+			}
+			outputs = append(outputs, t)
+			up.add(t)
+			// Stop merging early if an upload already failed; the work
+			// could only produce more outputs to clean up.
+			if err := up.peekErr(); err != nil {
+				return err
+			}
 		}
 		builder, out = nil, nil
 		return nil
@@ -221,7 +262,7 @@ func (d *DB) doCompaction(c *compaction) error {
 		if builder != nil && newUserKey &&
 			int64(builder.EstimatedSize()) >= d.opts.TargetFileBytes {
 			if err := finishOutput(); err != nil {
-				return err
+				return fail(err)
 			}
 		}
 		if builder == nil {
@@ -234,28 +275,19 @@ func (d *DB) doCompaction(c *compaction) error {
 			})
 		}
 		if err := builder.Add(ik, merged.Value()); err != nil {
-			return err
+			return fail(err)
 		}
 	}
 	if err := merged.Err(); err != nil {
-		return err
+		return fail(err)
 	}
 	if err := finishOutput(); err != nil {
-		return err
+		return fail(err)
 	}
-
-	// Upload outputs; warm the persistent cache when inheriting heat.
-	warm := d.opts.Policy == PolicyMash && d.opts.CompactionInheritance &&
-		outTier == storage.TierCloud && inputHeat > 0
-	for _, t := range outputs {
-		if err := d.uploadTable(t); err != nil {
-			return fmt.Errorf("db: compaction upload: %w", err)
-		}
-		if warm {
-			if err := d.warmPCache(t); err != nil {
-				return err
-			}
-		}
+	// Gather in-flight uploads before the manifest edit: outputs must be
+	// durable in their tier before any version references them.
+	if err := up.wait(); err != nil {
+		return fail(err)
 	}
 
 	// Install the edit.

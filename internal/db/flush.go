@@ -9,6 +9,7 @@ import (
 
 	"rocksmash/internal/manifest"
 	"rocksmash/internal/memtable"
+	"rocksmash/internal/pcache"
 	"rocksmash/internal/sstable"
 	"rocksmash/internal/storage"
 )
@@ -118,13 +119,15 @@ func (d *DB) warmPCache(t *builtTable) error {
 	if err != nil {
 		return err
 	}
+	blocks := make([]pcache.Block, 0, len(handles))
 	for _, h := range handles {
 		body, err := sstable.ReadRawBlock(bytesReader{t.data}, h)
 		if err != nil {
 			return err
 		}
-		d.pcache.Put(t.meta.Num, h.Offset, body)
+		blocks = append(blocks, pcache.Block{Off: h.Offset, Body: body})
 	}
+	d.pcache.PutBulk(t.meta.Num, blocks)
 	return nil
 }
 

@@ -24,6 +24,13 @@ type Stats struct {
 	CompactBytesIn     atomic.Int64
 	CompactBytesOut    atomic.Int64
 	CompactDroppedKeys atomic.Int64
+
+	// I/O pipeline counters: coalesced range GETs issued by the compaction
+	// prefetcher and by iterator readahead, and the blocks they carried.
+	PrefetchSpans   atomic.Int64
+	PrefetchBlocks  atomic.Int64
+	ReadaheadSpans  atomic.Int64
+	ReadaheadBlocks atomic.Int64
 }
 
 // RecoveryReport describes what the last Open had to do to recover.
@@ -62,6 +69,11 @@ type Metrics struct {
 	Flushes     int64
 	Compactions int64
 	WriteStalls int64
+
+	PrefetchSpans   int64
+	PrefetchBlocks  int64
+	ReadaheadSpans  int64
+	ReadaheadBlocks int64
 }
 
 // Metrics gathers a summary snapshot.
@@ -79,6 +91,11 @@ func (d *DB) Metrics() Metrics {
 		Flushes:     d.stats.Flushes.Load(),
 		Compactions: d.stats.Compactions.Load(),
 		WriteStalls: d.stats.WriteStalls.Load(),
+
+		PrefetchSpans:   d.stats.PrefetchSpans.Load(),
+		PrefetchBlocks:  d.stats.PrefetchBlocks.Load(),
+		ReadaheadSpans:  d.stats.ReadaheadSpans.Load(),
+		ReadaheadBlocks: d.stats.ReadaheadBlocks.Load(),
 	}
 	for l := range v.Levels {
 		m.LevelFiles = append(m.LevelFiles, len(v.Levels[l]))

@@ -17,6 +17,7 @@ import (
 type tableHandle struct {
 	reader *sstable.Reader
 	tier   storage.Tier
+	ra     raState // sequential-scan readahead detection (cloud tables)
 
 	mu    sync.Mutex
 	refs  int
@@ -169,6 +170,11 @@ func (tc *tableCache) fetchFor(h *tableHandle) sstable.FetchFunc {
 			if body, ok := db.pcache.Get(fileNum, hd.Offset); ok {
 				db.blockCache.Put(ck, body)
 				return body, nil
+			}
+			if n := db.opts.IteratorReadaheadBlocks; n > 1 {
+				if body, ok := h.tryReadahead(db, fileNum, hd, n); ok {
+					return body, nil
+				}
 			}
 		}
 		body, err := sstable.ReadRawBlock(h.reader.File(), hd)

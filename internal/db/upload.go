@@ -1,0 +1,108 @@
+package db
+
+import (
+	"fmt"
+
+	"rocksmash/internal/manifest"
+	"rocksmash/internal/storage"
+	"sync"
+)
+
+// uploader ships finished compaction output tables to their tier while the
+// merge keeps running. With parallelism <= 1 uploads happen inline on the
+// caller (the historical serial behavior); above that, up to parallelism
+// uploads proceed concurrently, each with uploadTable's retry semantics.
+// wait must be called (and return nil) before the outputs are installed in
+// the manifest, so installation stays atomic.
+type uploader struct {
+	d    *DB
+	warm bool
+	sem  chan struct{}
+	wg   sync.WaitGroup
+
+	mu       sync.Mutex
+	err      error
+	uploaded []*builtTable
+}
+
+func (d *DB) newUploader(parallelism int, warm bool) *uploader {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	return &uploader{d: d, warm: warm, sem: make(chan struct{}, parallelism)}
+}
+
+// add hands a finished table to the pool. It blocks only when parallelism
+// uploads are already in flight (backpressure so the merge cannot build
+// output tables faster than they drain).
+func (u *uploader) add(t *builtTable) {
+	if cap(u.sem) <= 1 {
+		u.record(t, u.uploadOne(t))
+		return
+	}
+	u.sem <- struct{}{}
+	u.wg.Add(1)
+	go func() {
+		defer u.wg.Done()
+		defer func() { <-u.sem }()
+		u.record(t, u.uploadOne(t))
+	}()
+}
+
+func (u *uploader) uploadOne(t *builtTable) error {
+	if err := u.d.uploadTable(t); err != nil {
+		return fmt.Errorf("db: compaction upload: %w", err)
+	}
+	if u.warm {
+		return u.d.warmPCache(t)
+	}
+	return nil
+}
+
+func (u *uploader) record(t *builtTable, err error) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if err != nil {
+		if u.err == nil {
+			u.err = err
+		}
+		return
+	}
+	u.uploaded = append(u.uploaded, t)
+}
+
+// peekErr reports the first failure recorded so far without waiting, so the
+// merge loop can stop producing outputs early.
+func (u *uploader) peekErr() error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.err
+}
+
+// wait blocks until every submitted upload finished and returns the first
+// failure, if any.
+func (u *uploader) wait() error {
+	u.wg.Wait()
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.err
+}
+
+// abort waits out in-flight uploads and then deletes every output object
+// (and local metadata sidecar) that already landed, so a failed compaction
+// does not leak orphaned tables into the cloud backend. Deletion is best
+// effort: the caller is about to return the original error, and anything
+// left behind is unreferenced garbage, not a correctness problem.
+func (u *uploader) abort() {
+	u.wg.Wait()
+	u.mu.Lock()
+	uploaded := u.uploaded
+	u.uploaded = nil
+	u.mu.Unlock()
+	for _, t := range uploaded {
+		_ = u.d.backendFor(t.meta.Tier).Delete(manifest.TableName(t.meta.Num))
+		if t.meta.Tier == storage.TierCloud {
+			_ = u.d.local.Delete(metaSidecarName(t.meta.Num))
+		}
+	}
+}

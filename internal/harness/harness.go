@@ -136,7 +136,7 @@ func expOptions(p db.Policy) db.Options {
 		PutFirstByte:  3 * time.Millisecond,
 		MetaRTT:       time.Millisecond,
 		ReadBandwidth: 400 << 20,
-		WriteBandwith: 400 << 20,
+		WriteBandwidth: 400 << 20,
 	}
 	return o
 }

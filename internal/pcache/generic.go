@@ -150,6 +150,15 @@ func (g *GenericLRU) Put(fileNum, blockOff uint64, body []byte) {
 	g.stats.BytesInserted.Add(int64(len(body)))
 }
 
+// PutBulk implements BlockCache. The generic cache has no batched admission
+// path — each block pays the full per-entry cost, one more contrast with the
+// packed region layout.
+func (g *GenericLRU) PutBulk(fileNum uint64, blocks []Block) {
+	for _, b := range blocks {
+		g.Put(fileNum, b.Off, b.Body)
+	}
+}
+
 func (g *GenericLRU) removeLocked(e *genericEntry) {
 	g.order.Remove(e.elem)
 	delete(g.items, e.key)

@@ -175,11 +175,26 @@ func (c *PCache) get(fileNum, blockOff uint64) ([]byte, bool) {
 // Put implements BlockCache: append the block into the file's open region,
 // allocating (and if necessary evicting) regions as needed.
 func (c *PCache) Put(fileNum, blockOff uint64, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.putLocked(fileNum, blockOff, body)
+}
+
+// PutBulk implements BlockCache: one lock acquisition admits the whole run.
+// Adjacent blocks of one file land back to back in the file's open regions,
+// preserving the compaction-aware layout.
+func (c *PCache) PutBulk(fileNum uint64, blocks []Block) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, b := range blocks {
+		c.putLocked(fileNum, b.Off, b.Body)
+	}
+}
+
+func (c *PCache) putLocked(fileNum, blockOff uint64, body []byte) {
 	if int64(len(body)) > c.opts.RegionBytes {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 
 	// Already cached? (Possible under racing readers.)
 	for _, id := range c.byFile[fileNum] {

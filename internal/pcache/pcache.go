@@ -59,6 +59,12 @@ type BlockCache interface {
 	Probe(fileNum, blockOff uint64) ([]byte, bool)
 	// Put admits a block body. Implementations may decline silently.
 	Put(fileNum, blockOff uint64, body []byte)
+	// PutBulk admits a run of blocks from one file in a single call — the
+	// admission path for coalesced range reads (iterator readahead,
+	// compaction warming), where many adjacent blocks arrive at once.
+	// Implementations may batch index updates; admission of individual
+	// blocks may still be declined silently.
+	PutBulk(fileNum uint64, blocks []Block)
 	// DropFile evicts every block of fileNum (the file was deleted by
 	// compaction).
 	DropFile(fileNum uint64)
@@ -75,6 +81,12 @@ type BlockCache interface {
 	Close() error
 }
 
+// Block is one (offset, body) pair for bulk admission.
+type Block struct {
+	Off  uint64
+	Body []byte
+}
+
 // Null is a BlockCache that caches nothing (cloud-only baseline).
 type Null struct{ stats Stats }
 
@@ -89,6 +101,9 @@ func (n *Null) Probe(uint64, uint64) ([]byte, bool) { return nil, false }
 
 // Put drops the block.
 func (n *Null) Put(uint64, uint64, []byte) {}
+
+// PutBulk drops the blocks.
+func (n *Null) PutBulk(uint64, []Block) {}
 
 // DropFile is a no-op.
 func (n *Null) DropFile(uint64) {}

@@ -13,11 +13,11 @@ import (
 // independently, mirroring an object store's ability to serve concurrent
 // requests.
 type LatencyModel struct {
-	GetFirstByte  time.Duration // per GET request
-	PutFirstByte  time.Duration // per PUT request
-	MetaRTT       time.Duration // DELETE/LIST/HEAD round trip
-	ReadBandwidth int64         // bytes/second per stream; 0 = unlimited
-	WriteBandwith int64         // bytes/second per stream; 0 = unlimited
+	GetFirstByte   time.Duration // per GET request
+	PutFirstByte   time.Duration // per PUT request
+	MetaRTT        time.Duration // DELETE/LIST/HEAD round trip
+	ReadBandwidth  int64         // bytes/second per stream; 0 = unlimited
+	WriteBandwidth int64         // bytes/second per stream; 0 = unlimited
 }
 
 // DefaultLatency models a same-region object store, scaled down ~5x from
@@ -26,11 +26,11 @@ type LatencyModel struct {
 // the paper's results.
 func DefaultLatency() LatencyModel {
 	return LatencyModel{
-		GetFirstByte:  2 * time.Millisecond,
-		PutFirstByte:  3 * time.Millisecond,
-		MetaRTT:       1 * time.Millisecond,
-		ReadBandwidth: 400 << 20,
-		WriteBandwith: 400 << 20,
+		GetFirstByte:   2 * time.Millisecond,
+		PutFirstByte:   3 * time.Millisecond,
+		MetaRTT:        1 * time.Millisecond,
+		ReadBandwidth:  400 << 20,
+		WriteBandwidth: 400 << 20,
 	}
 }
 
@@ -73,10 +73,13 @@ type CostReport struct {
 	TotalMonthly float64 // storage + requests + egress (requests treated as monthly)
 }
 
-// String renders the report as a table row block.
+// String renders the report as a table row block. The mean GET size shows
+// how well reads coalesce: bigger requests mean fewer billed round trips
+// for the same bytes.
 func (r CostReport) String() string {
-	return fmt.Sprintf("stored=%.3fGB storage=$%.4f/mo requests=$%.4f egress=$%.4f total=$%.4f",
-		float64(r.StoredBytes)/(1<<30), r.StorageCost, r.RequestCost, r.EgressCost, r.TotalMonthly)
+	return fmt.Sprintf("stored=%.3fGB storage=$%.4f/mo requests=$%.4f egress=$%.4f total=$%.4f gets=%d avg-get=%.1fKB",
+		float64(r.StoredBytes)/(1<<30), r.StorageCost, r.RequestCost, r.EgressCost, r.TotalMonthly,
+		r.Snapshot.GetOps, r.Snapshot.BytesPerGet()/1024)
 }
 
 // Cost prices a usage snapshot plus current capacity.
@@ -205,7 +208,7 @@ func (w *cloudWriter) Close() error {
 		return err
 	}
 	// Pay the PUT: request latency + transfer time for the whole object.
-	time.Sleep(w.c.lat.PutFirstByte + w.c.lat.transfer(w.n, w.c.lat.WriteBandwith))
+	time.Sleep(w.c.lat.PutFirstByte + w.c.lat.transfer(w.n, w.c.lat.WriteBandwidth))
 	if err := w.c.fs.Rename(w.tmp, w.final); err != nil {
 		return err
 	}
@@ -236,12 +239,19 @@ func (c *Cloud) Create(name string) (Writer, error) {
 }
 
 type cloudReader struct {
-	c *Cloud
-	r Reader
+	c    *Cloud
+	r    Reader
+	name string
 }
 
 func (r *cloudReader) ReadAt(p []byte, off int64) (int, error) {
-	// Each ReadAt is one GET (range request).
+	// Each ReadAt is one GET (range request, possibly spanning many
+	// blocks). Every request is a fresh round trip, so injected failures
+	// and object loss apply here too — a long-lived open handle does not
+	// shield readers from a mid-stream outage.
+	if err := r.c.checkFail("GET", r.name); err != nil {
+		return 0, err
+	}
 	time.Sleep(r.c.lat.GetFirstByte + r.c.lat.transfer(int64(len(p)), r.c.lat.ReadBandwidth))
 	n, err := r.r.ReadAt(p, off)
 	r.c.stats.GetOps.Add(1)
@@ -261,7 +271,7 @@ func (c *Cloud) Open(name string) (Reader, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &cloudReader{c: c, r: r}, nil
+	return &cloudReader{c: c, r: r, name: name}, nil
 }
 
 // ReadAll implements Backend.

@@ -44,7 +44,7 @@ func TestCloudWriteBandwidthApplied(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing test")
 	}
-	lat := LatencyModel{WriteBandwith: 10 << 20} // 10 MiB/s
+	lat := LatencyModel{WriteBandwidth: 10 << 20} // 10 MiB/s
 	c, err := NewCloud(t.TempDir(), lat, DefaultCost())
 	if err != nil {
 		t.Fatal(err)

@@ -35,6 +35,19 @@ func (s *Stats) Snapshot() Snapshot {
 	}
 }
 
+// BytesPerGet returns the mean read-request size in bytes. Request
+// coalescing (prefetch, readahead) shows up directly here: the same bytes
+// arrive in fewer, larger GETs.
+func (s *Stats) BytesPerGet() float64 { return s.Snapshot().BytesPerGet() }
+
+// BytesPerGet returns the mean read-request size in bytes.
+func (s Snapshot) BytesPerGet() float64 {
+	if s.GetOps == 0 {
+		return 0
+	}
+	return float64(s.BytesRead) / float64(s.GetOps)
+}
+
 // Sub returns s - o, counter-wise.
 func (s Snapshot) Sub(o Snapshot) Snapshot {
 	return Snapshot{
