@@ -28,10 +28,10 @@ func benchOptions(p rocksmash.Policy) rocksmash.Options {
 	o.TargetFileBytes = 1 << 20
 	o.PCacheBytes = 16 << 20
 	o.CloudLatency = rocksmash.LatencyModel{
-		GetFirstByte:  500 * time.Microsecond,
-		PutFirstByte:  800 * time.Microsecond,
-		MetaRTT:       200 * time.Microsecond,
-		ReadBandwidth: 400 << 20,
+		GetFirstByte:   500 * time.Microsecond,
+		PutFirstByte:   800 * time.Microsecond,
+		MetaRTT:        200 * time.Microsecond,
+		ReadBandwidth:  400 << 20,
 		WriteBandwidth: 400 << 20,
 	}
 	return o

@@ -21,6 +21,7 @@ import (
 	"rocksmash/internal/db"
 	"rocksmash/internal/harness"
 	"rocksmash/internal/histogram"
+	"rocksmash/internal/obs"
 	"rocksmash/internal/sstable"
 	"rocksmash/internal/ycsb"
 )
@@ -37,6 +38,9 @@ func main() {
 		quick      = flag.Bool("quick", false, "shrink experiment datasets ~10x")
 		seed       = flag.Int64("seed", 42, "workload RNG seed")
 		compress   = flag.Bool("compress", false, "flate-compress SSTable data blocks")
+		metrics    = flag.String("metrics-addr", "", "serve live metrics over HTTP on this address (/debug/vars, /stats)")
+		tracePath  = flag.String("trace", "", "append engine events as JSON lines to this file (see `mashctl trace`)")
+		dumpStats  = flag.Bool("stats", false, "print the DumpStats report after the benchmarks")
 	)
 	flag.Parse()
 
@@ -74,12 +78,16 @@ func main() {
 	if *compress {
 		opts.Compression = sstable.CompressionFlate
 	}
+	opts.TracePath = *tracePath
 	d, err := db.OpenAt(dir, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mashbench: open:", err)
 		os.Exit(1)
 	}
 	defer d.Close()
+	if *metrics != "" {
+		obs.Serve(*metrics, d)
+	}
 
 	fmt.Printf("mashbench: policy=%s num=%d valuesize=%d dir=%s\n", p, *num, *valueSize, dir)
 	for _, b := range strings.Split(*benchmarks, ",") {
@@ -97,6 +105,10 @@ func main() {
 		m.LevelFiles, float64(m.LocalBytes)/(1<<20), float64(m.CloudBytes)/(1<<20), m.PCacheHit, m.BlockHit)
 	if rep, ok := d.CloudCost(); ok {
 		fmt.Println("cloud bill:", rep)
+	}
+	if *dumpStats {
+		fmt.Println()
+		fmt.Print(d.DumpStats())
 	}
 }
 

@@ -11,6 +11,7 @@
 //	mashctl pcache   -db /path/to/db
 //	mashctl cost     -db /path/to/db
 //	mashctl verify   -db /path/to/db   # checksum-audit every table block
+//	mashctl trace    -f trace.jsonl    # summarize an engine event trace
 package main
 
 import (
@@ -36,7 +37,22 @@ func main() {
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	dbDir := fs.String("db", "", "database directory (as passed to Open)")
 	num := fs.Uint64("num", 0, "table file number (sst command)")
+	traceFile := fs.String("f", "", "trace file to summarize (trace command; default <db>/trace.jsonl)")
+	top := fs.Int("top", 10, "number of slowest events to list (trace command)")
 	fs.Parse(os.Args[2:])
+
+	if cmd == "trace" {
+		// The trace file is self-contained; -db is only a default location.
+		path := *traceFile
+		if path == "" {
+			if *dbDir == "" {
+				fatal(errors.New("trace: -f (or -db) is required"))
+			}
+			path = filepath.Join(*dbDir, "trace.jsonl")
+		}
+		cmdTrace(path, *top)
+		return
+	}
 	if *dbDir == "" {
 		fatal(errors.New("-db is required"))
 	}
@@ -65,7 +81,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mashctl {manifest|sst|wal|pcache|cost|verify} -db DIR [-num N]")
+	fmt.Fprintln(os.Stderr, "usage: mashctl {manifest|sst|wal|pcache|cost|verify|trace} -db DIR [-num N] [-f TRACE] [-top N]")
 	os.Exit(2)
 }
 

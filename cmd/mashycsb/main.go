@@ -14,6 +14,7 @@ import (
 
 	"rocksmash/internal/db"
 	"rocksmash/internal/histogram"
+	"rocksmash/internal/obs"
 	"rocksmash/internal/ycsb"
 )
 
@@ -26,6 +27,9 @@ func main() {
 		ops       = flag.Int("ops", 20000, "operations to run")
 		valueSize = flag.Int("valuesize", 400, "value size in bytes")
 		seed      = flag.Int64("seed", 42, "workload RNG seed")
+		metrics   = flag.String("metrics-addr", "", "serve live metrics over HTTP on this address (/debug/vars, /stats)")
+		tracePath = flag.String("trace", "", "append engine events as JSON lines to this file (see `mashctl trace`)")
+		dumpStats = flag.Bool("stats", false, "print the DumpStats report after the run")
 	)
 	flag.Parse()
 
@@ -56,11 +60,15 @@ func main() {
 	}
 	opts := db.DefaultOptions()
 	opts.Policy = p
+	opts.TracePath = *tracePath
 	d, err := db.OpenAt(dir, opts)
 	if err != nil {
 		fatal(err)
 	}
 	defer d.Close()
+	if *metrics != "" {
+		obs.Serve(*metrics, d)
+	}
 
 	// Load phase.
 	fmt.Printf("loading %d records (%dB values) under policy %s...\n", *records, *valueSize, p)
@@ -132,6 +140,10 @@ func main() {
 		float64(m.LocalBytes)/(1<<20), float64(m.CloudBytes)/(1<<20), m.PCacheHit, m.BlockHit, m.WriteStalls)
 	if rep, ok := d.CloudCost(); ok {
 		fmt.Println("  cloud bill:", rep)
+	}
+	if *dumpStats {
+		fmt.Println()
+		fmt.Print(d.DumpStats())
 	}
 }
 

@@ -2,7 +2,10 @@ package db
 
 import (
 	"bytes"
+	"sync/atomic"
+	"time"
 
+	"rocksmash/internal/event"
 	"rocksmash/internal/keys"
 	"rocksmash/internal/manifest"
 	"rocksmash/internal/sstable"
@@ -136,13 +139,31 @@ func (d *DB) doCompaction(c *compaction) error {
 		inputHeat += d.pcache.FileHeat(f.Num)
 	}
 
+	// Stage-timing state for CompactionEnd. The fetch-wait accumulator is
+	// only wired when a listener is attached, keeping the unobserved path
+	// free of per-block clock reads.
+	all := append(append([]*manifest.FileMetadata{}, c.inputs...), c.overlap...)
+	inputBytes := int64(sumSizes(all))
+	observed := d.listener != nil
+	var readNS *atomic.Int64
+	var droppedBefore, spansBefore int64
+	compactStart := time.Now()
+	if observed {
+		readNS = new(atomic.Int64)
+		droppedBefore = d.stats.CompactDroppedKeys.Load()
+		spansBefore = d.stats.PrefetchSpans.Load()
+		d.evCompactionBegin(event.CompactionBegin{
+			Level: c.level, OutputLevel: c.output,
+			Inputs: len(all), InputBytes: inputBytes,
+		})
+	}
+
 	// Build the merged input iterator, pipelining cloud-tier block reads
 	// through span prefetchers when CompactionPrefetchBlocks is enabled.
 	var (
 		children []internalIterator
 		pool     *prefetchPool
 	)
-	all := append(append([]*manifest.FileMetadata{}, c.inputs...), c.overlap...)
 	for _, f := range all {
 		h, err := d.tables.get(f)
 		if err != nil {
@@ -154,18 +175,24 @@ func (d *DB) doCompaction(c *compaction) error {
 			}
 			return err
 		}
+		var fetch sstable.FetchFunc
 		if d.opts.CompactionPrefetchBlocks > 1 && f.Tier == storage.TierCloud {
 			if pool == nil {
 				pool = newPrefetchPool()
 			}
 			if pf, perr := newTablePrefetcher(h.reader, pool, d.opts.CompactionPrefetchBlocks, &d.stats); perr == nil {
-				children = append(children, newPrefetchTableIter(h, d.tables, pf))
-				continue
+				fetch = d.tables.prefetchFetchFor(h, pf)
 			}
 			// An unreadable block index will fail the merge too; let the
 			// unpipelined path surface the error.
 		}
-		children = append(children, newCompactionTableIter(h, d.tables))
+		if fetch == nil {
+			fetch = d.tables.compactionFetchFor(h)
+		}
+		if readNS != nil {
+			fetch = timedFetch(fetch, readNS)
+		}
+		children = append(children, &tableIter{h: h, it: h.reader.NewIterWithFetch(fetch)})
 	}
 	merged := newMergingIter(children...)
 	defer merged.Close()
@@ -227,6 +254,7 @@ func (d *DB) doCompaction(c *compaction) error {
 		return nil
 	}
 
+	mergeStart := time.Now()
 	for merged.First(); merged.Valid(); merged.Next() {
 		ik := merged.Key()
 		uk := keys.UserKey(ik)
@@ -284,6 +312,7 @@ func (d *DB) doCompaction(c *compaction) error {
 	if err := finishOutput(); err != nil {
 		return fail(err)
 	}
+	mergeDur := time.Since(mergeStart)
 	// Gather in-flight uploads before the manifest edit: outputs must be
 	// durable in their tier before any version references them.
 	if err := up.wait(); err != nil {
@@ -291,6 +320,7 @@ func (d *DB) doCompaction(c *compaction) error {
 	}
 
 	// Install the edit.
+	installStart := time.Now()
 	edit := &manifest.VersionEdit{}
 	for _, f := range c.inputs {
 		edit.Deleted = append(edit.Deleted, manifest.DeletedFile{Level: c.level, Num: f.Num})
@@ -326,11 +356,31 @@ func (d *DB) doCompaction(c *compaction) error {
 				return err
 			}
 		}
+		d.evTableDeleted(f.Num, f.Tier)
 	}
 
 	d.stats.Compactions.Add(1)
 	d.stats.CompactBytesIn.Add(int64(sumSizes(all)))
 	d.stats.CompactBytesOut.Add(int64(sumBuilt(outputs)))
+	dur := time.Since(compactStart)
+	d.lat.compact.Record(dur)
+	if observed {
+		d.evCompactionEnd(event.CompactionEnd{
+			Level:         c.level,
+			OutputLevel:   c.output,
+			Inputs:        len(all),
+			Outputs:       len(outputs),
+			InputBytes:    inputBytes,
+			OutputBytes:   int64(sumBuilt(outputs)),
+			DroppedKeys:   d.stats.CompactDroppedKeys.Load() - droppedBefore,
+			PrefetchSpans: d.stats.PrefetchSpans.Load() - spansBefore,
+			ReadDur:       time.Duration(readNS.Load()),
+			MergeDur:      mergeDur,
+			UploadDur:     up.dur(),
+			InstallDur:    time.Since(installStart),
+			Duration:      dur,
+		})
+	}
 	return nil
 }
 

@@ -6,9 +6,11 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rocksmash/internal/batch"
 	"rocksmash/internal/cache"
+	"rocksmash/internal/event"
 	"rocksmash/internal/manifest"
 	"rocksmash/internal/memtable"
 	"rocksmash/internal/pcache"
@@ -63,6 +65,18 @@ type DB struct {
 	closed atomic.Bool
 
 	stats Stats
+	// lat holds the always-on per-operation latency histograms.
+	lat *latencies
+	// listener receives lifecycle events; nil when observability is off
+	// (the fast path — every fire site is nil-guarded and allocation-free).
+	listener event.Listener
+	// trace is the DB-owned JSONL writer behind Options.TracePath.
+	trace    *event.TraceWriter
+	openedAt time.Time
+
+	// dumpMu guards lastDump, the windowed-delta baseline for DumpStats.
+	dumpMu   sync.Mutex
+	lastDump dumpWindow
 
 	recovery RecoveryReport
 }
@@ -83,9 +97,31 @@ func Open(opts Options, local storage.Backend, cloud storage.Backend) (*DB, erro
 		bgWork:     make(chan struct{}, 1),
 		bgQuit:     make(chan struct{}),
 		bgDone:     make(chan struct{}),
+		lat:        newLatencies(),
+		openedAt:   time.Now(),
 	}
 	if cs, ok := cloud.(*storage.Cloud); ok {
 		d.cloudSim = cs
+	}
+	// Assemble the effective listener: user listener plus the JSONL trace
+	// writer when TracePath is set.
+	listener := opts.EventListener
+	if opts.TracePath != "" {
+		tw, err := event.CreateTrace(opts.TracePath)
+		if err != nil {
+			return nil, fmt.Errorf("db: creating trace: %w", err)
+		}
+		d.trace = tw
+		listener = event.Multi(listener, tw)
+	}
+	d.listener = listener
+	// Route SSTable and sidecar I/O through recording wrappers so GET/PUT
+	// latency is measured per tier. The WAL and manifest keep the raw local
+	// backend: their I/O granularity (append, rotate) is not a per-object
+	// PUT and would pollute the distribution.
+	d.local = storage.Instrument(local, d.lat.localGet, d.lat.localPut)
+	if cloud != nil {
+		d.cloud = storage.Instrument(cloud, d.lat.cloudGet, d.lat.cloudPut)
 	}
 	d.immWake = sync.NewCond(&d.mu)
 	d.tables = newTableCache(d, opts.MaxOpenTables)
@@ -107,7 +143,9 @@ func Open(opts Options, local storage.Backend, cloud storage.Backend) (*DB, erro
 		Extended:     opts.ExtendedWAL,
 	}
 	if opts.WALCloudBackup && cloud != nil {
-		walOpts.Backup = cloud
+		// Through the instrumented wrapper: segment backups are whole-object
+		// PUTs and belong in the cloud PUT latency distribution.
+		walOpts.Backup = d.cloud
 	}
 	if d.wal, err = wal.Open(local, walOpts, 1); err != nil {
 		return nil, err
@@ -142,7 +180,7 @@ func OpenAt(dir string, opts Options) (*DB, error) {
 func (d *DB) initPCache() error {
 	dir := d.opts.pcacheDir
 	if dir == "" {
-		if l, ok := d.local.(*storage.Local); ok {
+		if l, ok := storage.BaseBackend(d.local).(*storage.Local); ok {
 			dir = filepath.Join(l.Root(), "..", "pcache")
 		} else {
 			dir = "pcache"
@@ -158,12 +196,14 @@ func (d *DB) initPCache() error {
 		if err != nil {
 			return err
 		}
+		pc.SetListener(d.listener)
 		d.pcache = pc
 	case d.opts.Policy == PolicyCloudLRU && d.opts.PCacheBytes > 0:
 		pc, err := pcache.NewGenericLRU(dir, d.opts.PCacheBytes)
 		if err != nil {
 			return err
 		}
+		pc.SetListener(d.listener)
 		d.pcache = pc
 	default:
 		d.pcache = pcache.NewNull()
@@ -200,6 +240,15 @@ func (d *DB) Write(b *batch.Batch) error {
 	if b.Empty() {
 		return nil
 	}
+	start := time.Now()
+	err := d.write(b)
+	// Commit latency includes any stall time: that is what a caller of Put
+	// observes, and stall tails are exactly what the histogram is for.
+	d.lat.put.Record(time.Since(start))
+	return err
+}
+
+func (d *DB) write(b *batch.Batch) error {
 	if err := d.makeRoomForWrite(int64(b.Size())); err != nil {
 		return err
 	}
@@ -234,10 +283,36 @@ func (d *DB) currentMem() *memtable.MemTable {
 }
 
 // makeRoomForWrite seals the memtable when full and applies backpressure
-// when flushing or L0 falls behind.
-func (d *DB) makeRoomForWrite(incoming int64) error {
+// when flushing or L0 falls behind. Stall events fire with d.mu released
+// (the listener contract); the loop re-evaluates its conditions after every
+// re-acquisition, so the temporary unlock is safe.
+func (d *DB) makeRoomForWrite(incoming int64) (err error) {
+	var (
+		stallStart  time.Time
+		stallReason string
+	)
 	d.mu.Lock()
-	defer d.mu.Unlock()
+	defer func() {
+		d.mu.Unlock()
+		if !stallStart.IsZero() {
+			if l := d.listener; l != nil {
+				l.OnWriteStallEnd(event.WriteStallEnd{
+					Reason:   stallReason,
+					Duration: time.Since(stallStart),
+				})
+			}
+		}
+	}()
+	// stallBegin marks the stall and fires WriteStallBegin outside d.mu.
+	// It returns with d.mu re-held; the caller must re-check conditions.
+	stallBegin := func(reason string) {
+		stallStart, stallReason = time.Now(), reason
+		if l := d.listener; l != nil {
+			d.mu.Unlock()
+			l.OnWriteStallBegin(event.WriteStallBegin{Reason: reason})
+			d.mu.Lock()
+		}
+	}
 	for {
 		if d.bgErr != nil {
 			return d.bgErr
@@ -251,10 +326,18 @@ func (d *DB) makeRoomForWrite(incoming int64) error {
 			return nil
 		case d.imm != nil:
 			// A flush is already in flight; wait for it.
+			if stallStart.IsZero() {
+				stallBegin("memtable")
+				continue
+			}
 			d.immWake.Wait()
 		case len(d.vs.Current().Levels[0]) >= d.opts.L0StallFiles:
 			// Too many L0 files; wait for compaction to catch up.
-			d.stats.WriteStalls.Add(1)
+			if stallStart.IsZero() {
+				d.stats.WriteStalls.Add(1)
+				stallBegin("l0")
+				continue
+			}
 			d.immWake.Wait()
 		default:
 			// Seal the memtable. Roll the WAL so the sealed memtable's
@@ -289,7 +372,13 @@ func (d *DB) GetAt(key []byte, seq uint64) ([]byte, error) {
 		return nil, ErrClosed
 	}
 	d.stats.Reads.Add(1)
+	start := time.Now()
+	v, err := d.getAt(key, seq)
+	d.lat.get.Record(time.Since(start))
+	return v, err
+}
 
+func (d *DB) getAt(key []byte, seq uint64) ([]byte, error) {
 	d.mu.Lock()
 	mem, imm := d.mem, d.imm
 	recovered := d.recovered
@@ -556,6 +645,12 @@ func (d *DB) Close() error {
 	d.tables.close()
 	if err := d.vs.Close(); err != nil && firstErr == nil {
 		firstErr = err
+	}
+	// Last: the flushes above may still fire events into the trace.
+	if d.trace != nil {
+		if err := d.trace.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 	return firstErr
 }

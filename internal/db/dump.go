@@ -1,0 +1,157 @@
+package db
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"rocksmash/internal/storage"
+)
+
+// dumpWindow is the counter baseline captured by the previous DumpStats
+// call, so each report can show interval (since-last-dump) deltas next to
+// the cumulative totals — RocksDB's "cumulative / interval" convention.
+type dumpWindow struct {
+	at              time.Time
+	reads           int64
+	writes          int64
+	bytesWritten    int64
+	stalls          int64
+	flushes         int64
+	flushBytes      int64
+	compactions     int64
+	compactBytesIn  int64
+	compactBytesOut int64
+	uploadRetries   int64
+	localIO         storage.Snapshot
+	cloudIO         storage.Snapshot
+}
+
+func windowOf(m Metrics, at time.Time) dumpWindow {
+	return dumpWindow{
+		at:              at,
+		reads:           m.Reads,
+		writes:          m.Writes,
+		bytesWritten:    m.BytesWritten,
+		stalls:          m.WriteStalls,
+		flushes:         m.Flushes,
+		flushBytes:      m.FlushBytes,
+		compactions:     m.Compactions,
+		compactBytesIn:  m.CompactBytesIn,
+		compactBytesOut: m.CompactBytesOut,
+		uploadRetries:   m.UploadRetries,
+		localIO:         m.LocalIO,
+		cloudIO:         m.CloudIO,
+	}
+}
+
+// humanBytes renders a byte count with a binary-unit suffix.
+func humanBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+// DumpStats renders a multi-line, human-readable statistics report in the
+// spirit of RocksDB's GetProperty("rocksdb.stats"): cumulative counters,
+// interval deltas since the previous DumpStats call, the level shape, the
+// engine latency distributions, cache state and cloud I/O with its bill.
+func (d *DB) DumpStats() string {
+	m := d.Metrics()
+	now := time.Now()
+
+	d.dumpMu.Lock()
+	prev := d.lastDump
+	d.lastDump = windowOf(m, now)
+	d.dumpMu.Unlock()
+	if prev.at.IsZero() {
+		// First dump: the interval spans the DB's whole lifetime.
+		prev.at = d.openedAt
+	}
+	interval := now.Sub(prev.at)
+	uptime := now.Sub(d.openedAt)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "** DB Stats (policy=%s, uptime=%s, interval=%s) **\n",
+		m.Policy, uptime.Round(time.Millisecond), interval.Round(time.Millisecond))
+	fmt.Fprintf(&b, "Cumulative writes: %d ops, %s user data, stalls: %d\n",
+		m.Writes, humanBytes(m.BytesWritten), m.WriteStalls)
+	fmt.Fprintf(&b, "Cumulative reads:  %d ops\n", m.Reads)
+	fmt.Fprintf(&b, "Interval writes:   %d ops, %s user data, stalls: %d\n",
+		m.Writes-prev.writes, humanBytes(m.BytesWritten-prev.bytesWritten), m.WriteStalls-prev.stalls)
+	fmt.Fprintf(&b, "Interval reads:    %d ops\n", m.Reads-prev.reads)
+
+	b.WriteString("\n** Level Shape **\n")
+	fmt.Fprintf(&b, "%-6s %8s %12s %8s\n", "level", "files", "bytes", "tier")
+	for l := range m.LevelFiles {
+		if m.LevelFiles[l] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "L%-5d %8d %12s %8s\n",
+			l, m.LevelFiles[l], humanBytes(int64(m.LevelBytes[l])), d.opts.tierForLevel(l))
+	}
+	fmt.Fprintf(&b, "Placement: local %s, cloud %s, pinned metadata %s\n",
+		humanBytes(m.LocalBytes), humanBytes(m.CloudBytes), humanBytes(m.MetaBytes))
+
+	b.WriteString("\n** Flush & Compaction **\n")
+	fmt.Fprintf(&b, "Flushes:     %d cum (%d interval), %s written\n",
+		m.Flushes, m.Flushes-prev.flushes, humanBytes(m.FlushBytes))
+	fmt.Fprintf(&b, "Compactions: %d cum (%d interval), in %s, out %s, dropped keys %d\n",
+		m.Compactions, m.Compactions-prev.compactions,
+		humanBytes(m.CompactBytesIn), humanBytes(m.CompactBytesOut), m.CompactDroppedKeys)
+	fmt.Fprintf(&b, "Upload retries: %d cum (%d interval)\n",
+		m.UploadRetries, m.UploadRetries-prev.uploadRetries)
+	fmt.Fprintf(&b, "Pipeline: prefetch %d spans/%d blocks, readahead %d spans/%d blocks\n",
+		m.PrefetchSpans, m.PrefetchBlocks, m.ReadaheadSpans, m.ReadaheadBlocks)
+
+	b.WriteString("\n** Latency (cumulative) **\n")
+	fmt.Fprintf(&b, "%-10s %10s %10s %10s %10s %10s %10s\n",
+		"op", "count", "mean", "p50", "p90", "p99", "max")
+	for _, row := range []struct {
+		name string
+		s    LatencySummary
+	}{
+		{"get", m.GetLat},
+		{"put", m.PutLat},
+		{"flush", m.FlushLat},
+		{"compact", m.CompactLat},
+		{"local.get", m.LocalGetLat},
+		{"local.put", m.LocalPutLat},
+		{"cloud.get", m.CloudGetLat},
+		{"cloud.put", m.CloudPutLat},
+	} {
+		fmt.Fprintf(&b, "%-10s %10d %10s %10s %10s %10s %10s\n",
+			row.name, row.s.Count, row.s.Mean, row.s.P50, row.s.P90, row.s.P99, row.s.Max)
+	}
+
+	b.WriteString("\n** Caches **\n")
+	fmt.Fprintf(&b, "Block cache: hit %.3f\n", m.BlockHit)
+	fmt.Fprintf(&b, "PCache:      hit %.3f, used %s, metadata %s\n",
+		m.PCacheHit, humanBytes(m.PCacheUsed), humanBytes(m.PCacheMeta))
+
+	b.WriteString("\n** Storage I/O **\n")
+	li := m.LocalIO.Sub(prev.localIO)
+	ci := m.CloudIO.Sub(prev.cloudIO)
+	fmt.Fprintf(&b, "Local cum:      %d GET (%s), %d PUT (%s)\n",
+		m.LocalIO.GetOps, humanBytes(m.LocalIO.BytesRead), m.LocalIO.PutOps, humanBytes(m.LocalIO.BytesWrite))
+	fmt.Fprintf(&b, "Local interval: %d GET (%s), %d PUT (%s)\n",
+		li.GetOps, humanBytes(li.BytesRead), li.PutOps, humanBytes(li.BytesWrite))
+	fmt.Fprintf(&b, "Cloud cum:      %d GET (%s, %.1f B/GET), %d PUT (%s)\n",
+		m.CloudIO.GetOps, humanBytes(m.CloudIO.BytesRead), m.CloudIO.BytesPerGet(),
+		m.CloudIO.PutOps, humanBytes(m.CloudIO.BytesWrite))
+	fmt.Fprintf(&b, "Cloud interval: %d GET (%s), %d PUT (%s)\n",
+		ci.GetOps, humanBytes(ci.BytesRead), ci.PutOps, humanBytes(ci.BytesWrite))
+	if m.CloudCost.TotalMonthly > 0 {
+		fmt.Fprintf(&b, "Cloud bill: storage $%.4f/mo + requests $%.4f + egress $%.4f = $%.4f\n",
+			m.CloudCost.StorageCost, m.CloudCost.RequestCost, m.CloudCost.EgressCost,
+			m.CloudCost.TotalMonthly)
+	}
+	return b.String()
+}

@@ -1,0 +1,69 @@
+package db
+
+import (
+	"fmt"
+	"testing"
+
+	"rocksmash/internal/event"
+)
+
+// benchDB opens a local-only store sized so the benchmark loop never
+// flushes: the measurement isolates the per-op instrumentation cost.
+func benchDB(b *testing.B, l event.Listener) *DB {
+	b.Helper()
+	o := testOptions(PolicyLocalOnly)
+	o.MemtableBytes = 256 << 20
+	o.EventListener = l
+	d, err := OpenAt(b.TempDir(), o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { d.Close() })
+	return d
+}
+
+func benchKeys(n int) [][]byte {
+	ks := make([][]byte, n)
+	for i := range ks {
+		ks[i] = []byte(fmt.Sprintf("bench-%08d", i))
+	}
+	return ks
+}
+
+func benchmarkPut(b *testing.B, l event.Listener) {
+	d := benchDB(b, l)
+	keys := benchKeys(1 << 12)
+	val := make([]byte, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Put(keys[i&(len(keys)-1)], val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchmarkGet(b *testing.B, l event.Listener) {
+	d := benchDB(b, l)
+	keys := benchKeys(1 << 12)
+	val := make([]byte, 100)
+	for _, k := range keys {
+		if err := d.Put(k, val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Get(keys[i&(len(keys)-1)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The WithListener/nil pairs bound the listener tax on the hot path; the
+// observability contract is that the delta stays under a few percent.
+func BenchmarkPut(b *testing.B)             { benchmarkPut(b, nil) }
+func BenchmarkPutWithListener(b *testing.B) { benchmarkPut(b, event.NopListener{}) }
+func BenchmarkGet(b *testing.B)             { benchmarkGet(b, nil) }
+func BenchmarkGetWithListener(b *testing.B) { benchmarkGet(b, event.NopListener{}) }

@@ -65,24 +65,34 @@ const uploadRetries = 3
 // metadata from the cloud.
 func (d *DB) uploadTable(t *builtTable) error {
 	be := d.backendFor(t.meta.Tier)
+	name := manifest.TableName(t.meta.Num)
 	attempts := 1
 	if t.meta.Tier == storage.TierCloud {
 		attempts = uploadRetries
 	}
-	var err error
+	start := time.Now()
+	var (
+		err  error
+		used int
+	)
 	for i := 0; i < attempts; i++ {
-		if err = storage.WriteObject(be, manifest.TableName(t.meta.Num), t.data); err == nil {
+		used = i + 1
+		if err = storage.WriteObject(be, name, t.data); err == nil {
 			break
 		}
 		d.stats.UploadRetries.Add(1)
+		d.evCloudRetry("put", name, used, err)
 		time.Sleep(time.Duration(i+1) * 10 * time.Millisecond)
 	}
 	if err != nil {
 		return err
 	}
 	if t.meta.Tier == storage.TierCloud {
-		return d.writeMetaSidecar(t.meta.Num, t.metaOff, t.data[t.metaOff:])
+		if err := d.writeMetaSidecar(t.meta.Num, t.metaOff, t.data[t.metaOff:]); err != nil {
+			return err
+		}
 	}
+	d.evTableUploaded(t.meta.Num, t.meta.Tier, int64(t.meta.Size), used, time.Since(start))
 	return nil
 }
 
@@ -150,6 +160,12 @@ func (d *DB) flushMemtable(imm *memtable.MemTable) error {
 	if len(children) == 0 {
 		return nil
 	}
+	reason := "memtable"
+	if imm == nil || imm.Empty() {
+		reason = "recovery"
+	}
+	d.evFlushBegin(reason)
+	flushStart := time.Now()
 	restoreOnError := func() {
 		if len(rec) == 0 {
 			return
@@ -228,5 +244,8 @@ func (d *DB) flushMemtable(imm *memtable.MemTable) error {
 	if err := d.wal.DeleteObsolete(d.vs.FlushedSeq()); err != nil {
 		return err
 	}
+	dur := time.Since(flushStart)
+	d.lat.flush.Record(dur)
+	d.evFlushEnd(t.meta.Num, int64(t.meta.Size), tier, dur)
 	return nil
 }

@@ -4,6 +4,7 @@
 package db
 
 import (
+	"rocksmash/internal/event"
 	"rocksmash/internal/sstable"
 	"rocksmash/internal/storage"
 )
@@ -122,6 +123,15 @@ type Options struct {
 	// RecoveryParallelism is the number of WAL segments recovered
 	// concurrently. 1 reproduces stock serial recovery.
 	RecoveryParallelism int
+
+	// EventListener receives engine lifecycle events (flush, compaction,
+	// upload, stall, cache transitions). Nil disables event dispatch at zero
+	// cost; see package event for the listener contract.
+	EventListener event.Listener
+	// TracePath, when set, appends every event as a JSON line to this file
+	// (machine-readable run trace, decodable with event.ReadTraceFile and
+	// summarized by `mashctl trace`). Combines with EventListener.
+	TracePath string
 
 	// Cloud configures the simulated object store when the DB creates its
 	// own backends (OpenAt). Ignored when backends are supplied directly.

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rocksmash/internal/histogram"
 	"rocksmash/internal/manifest"
 	"rocksmash/internal/storage"
 )
@@ -50,6 +51,38 @@ func (r RecoveryReport) String() string {
 		r.WALSegments, r.WALSkipped, r.WALRecords, r.WALBytes, r.RecoveredKeys, r.Parallelism, r.Duration)
 }
 
+// LatencySummary condenses one latency histogram into the percentiles
+// reporting cares about. Durations are zero when Count is zero.
+type LatencySummary struct {
+	Count int64
+	Mean  time.Duration
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// summarize extracts a LatencySummary from a histogram.
+func summarize(h *histogram.H) LatencySummary {
+	return LatencySummary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Percentile(50),
+		P90:   h.Percentile(90),
+		P99:   h.Percentile(99),
+		Max:   h.Max(),
+	}
+}
+
+// String renders the summary on one line.
+func (s LatencySummary) String() string {
+	if s.Count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%s p50=%s p90=%s p99=%s max=%s",
+		s.Count, s.Mean, s.P50, s.P90, s.P99, s.Max)
+}
+
 // Metrics is a point-in-time summary for reporting.
 type Metrics struct {
 	Policy      string
@@ -70,10 +103,32 @@ type Metrics struct {
 	Compactions int64
 	WriteStalls int64
 
+	// Engine activity counters.
+	Reads              int64
+	Writes             int64
+	BytesWritten       int64
+	FlushBytes         int64
+	UploadRetries      int64
+	CompactBytesIn     int64
+	CompactBytesOut    int64
+	CompactDroppedKeys int64
+
 	PrefetchSpans   int64
 	PrefetchBlocks  int64
 	ReadaheadSpans  int64
 	ReadaheadBlocks int64
+
+	// Per-operation latency distributions (engine-side).
+	GetLat     LatencySummary
+	PutLat     LatencySummary
+	FlushLat   LatencySummary
+	CompactLat LatencySummary
+	// Per-tier storage request latency (GET = read request, PUT = whole
+	// object creation), recorded by the instrumented backends.
+	LocalGetLat LatencySummary
+	LocalPutLat LatencySummary
+	CloudGetLat LatencySummary
+	CloudPutLat LatencySummary
 }
 
 // Metrics gathers a summary snapshot.
@@ -92,10 +147,28 @@ func (d *DB) Metrics() Metrics {
 		Compactions: d.stats.Compactions.Load(),
 		WriteStalls: d.stats.WriteStalls.Load(),
 
+		Reads:              d.stats.Reads.Load(),
+		Writes:             d.stats.Writes.Load(),
+		BytesWritten:       d.stats.BytesWritten.Load(),
+		FlushBytes:         d.stats.FlushBytes.Load(),
+		UploadRetries:      d.stats.UploadRetries.Load(),
+		CompactBytesIn:     d.stats.CompactBytesIn.Load(),
+		CompactBytesOut:    d.stats.CompactBytesOut.Load(),
+		CompactDroppedKeys: d.stats.CompactDroppedKeys.Load(),
+
 		PrefetchSpans:   d.stats.PrefetchSpans.Load(),
 		PrefetchBlocks:  d.stats.PrefetchBlocks.Load(),
 		ReadaheadSpans:  d.stats.ReadaheadSpans.Load(),
 		ReadaheadBlocks: d.stats.ReadaheadBlocks.Load(),
+
+		GetLat:      summarize(d.lat.get),
+		PutLat:      summarize(d.lat.put),
+		FlushLat:    summarize(d.lat.flush),
+		CompactLat:  summarize(d.lat.compact),
+		LocalGetLat: summarize(d.lat.localGet),
+		LocalPutLat: summarize(d.lat.localPut),
+		CloudGetLat: summarize(d.lat.cloudGet),
+		CloudPutLat: summarize(d.lat.cloudPut),
 	}
 	for l := range v.Levels {
 		m.LevelFiles = append(m.LevelFiles, len(v.Levels[l]))

@@ -2,10 +2,12 @@ package db
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"rocksmash/internal/manifest"
 	"rocksmash/internal/storage"
-	"sync"
 )
 
 // uploader ships finished compaction output tables to their tier while the
@@ -23,7 +25,15 @@ type uploader struct {
 	mu       sync.Mutex
 	err      error
 	uploaded []*builtTable
+
+	// ns sums per-table upload wall time (including pcache warming). With
+	// parallel uploads this can exceed the compaction's elapsed time; the
+	// sum still measures how much work the upload stage absorbed.
+	ns atomic.Int64
 }
+
+// dur returns the summed upload wall time recorded so far.
+func (u *uploader) dur() time.Duration { return time.Duration(u.ns.Load()) }
 
 func (d *DB) newUploader(parallelism int, warm bool) *uploader {
 	if parallelism < 1 {
@@ -50,6 +60,8 @@ func (u *uploader) add(t *builtTable) {
 }
 
 func (u *uploader) uploadOne(t *builtTable) error {
+	start := time.Now()
+	defer func() { u.ns.Add(time.Since(start).Nanoseconds()) }()
 	if err := u.d.uploadTable(t); err != nil {
 		return fmt.Errorf("db: compaction upload: %w", err)
 	}

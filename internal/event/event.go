@@ -1,0 +1,248 @@
+// Package event defines the engine's observability layer: typed lifecycle
+// events with structured payloads, modelled on RocksDB's EventListener
+// subsystem. The DB fires events at flush, compaction, upload, write-stall,
+// and persistent-cache transitions; listeners observe where time and bytes
+// go without touching the engine's hot paths.
+//
+// Contract for implementations:
+//
+//   - Listeners must be safe for concurrent use: events fire from the write
+//     path, the background flush/compaction goroutine, and upload workers
+//     simultaneously.
+//   - Listeners are invoked outside the engine's internal locks, so they may
+//     read engine state (Get, Metrics, DumpStats) safely. They must not call
+//     back into the write path (Put, Write, Flush, CompactAll): a listener
+//     blocking the background goroutine on write progress deadlocks.
+//   - Callbacks run synchronously on engine goroutines; a slow listener
+//     slows the operation that fired it. Offload heavy work.
+package event
+
+import "time"
+
+// Type names an event kind; it is the "type" field of trace records.
+type Type string
+
+// Event types, in rough lifecycle order.
+const (
+	TFlushBegin      Type = "flush_begin"
+	TFlushEnd        Type = "flush_end"
+	TCompactionBegin Type = "compaction_begin"
+	TCompactionEnd   Type = "compaction_end"
+	TTableUploaded   Type = "table_uploaded"
+	TTableDeleted    Type = "table_deleted"
+	TWriteStallBegin Type = "write_stall_begin"
+	TWriteStallEnd   Type = "write_stall_end"
+	TPCacheAdmit     Type = "pcache_admit"
+	TPCacheEvict     Type = "pcache_evict"
+	TCloudRetry      Type = "cloud_retry"
+)
+
+// FlushBegin fires when a sealed memtable (or recovery memtables) starts
+// flushing to an L0 table.
+type FlushBegin struct {
+	// Reason is "memtable" for a sealed memtable flush and "recovery" for a
+	// flush draining only WAL-recovered memtables.
+	Reason string `json:"reason"`
+}
+
+// FlushEnd fires after the flush output is durable and installed.
+type FlushEnd struct {
+	Table    uint64        `json:"table"`
+	Bytes    int64         `json:"bytes"`
+	Tier     string        `json:"tier"`
+	Duration time.Duration `json:"dur"`
+}
+
+// CompactionBegin fires when a compaction unit starts merging.
+type CompactionBegin struct {
+	Level       int   `json:"level"`
+	OutputLevel int   `json:"output_level"`
+	Inputs      int   `json:"inputs"` // input files, both levels
+	InputBytes  int64 `json:"input_bytes"`
+}
+
+// CompactionEnd fires after the outputs are installed and the inputs
+// retired. The stage durations decompose where the compaction spent time:
+// ReadDur is time blocked fetching input blocks (a subset of MergeDur, the
+// merge loop's wall time), UploadDur is the summed per-table upload time
+// (it can exceed Duration when uploads overlap the merge), and InstallDur
+// covers the manifest edit plus input retirement.
+type CompactionEnd struct {
+	Level         int           `json:"level"`
+	OutputLevel   int           `json:"output_level"`
+	Inputs        int           `json:"inputs"`
+	Outputs       int           `json:"outputs"`
+	InputBytes    int64         `json:"input_bytes"`
+	OutputBytes   int64         `json:"output_bytes"`
+	DroppedKeys   int64         `json:"dropped_keys"`
+	PrefetchSpans int64         `json:"prefetch_spans"`
+	ReadDur       time.Duration `json:"read_dur"`
+	MergeDur      time.Duration `json:"merge_dur"`
+	UploadDur     time.Duration `json:"upload_dur"`
+	InstallDur    time.Duration `json:"install_dur"`
+	Duration      time.Duration `json:"dur"`
+}
+
+// TableUploaded fires when a built table object is durable in its tier.
+type TableUploaded struct {
+	Table    uint64        `json:"table"`
+	Tier     string        `json:"tier"`
+	Bytes    int64         `json:"bytes"`
+	Attempts int           `json:"attempts"`
+	Duration time.Duration `json:"dur"`
+}
+
+// TableDeleted fires when a compaction input object is removed.
+type TableDeleted struct {
+	Table uint64 `json:"table"`
+	Tier  string `json:"tier"`
+}
+
+// WriteStallBegin fires when the write path starts waiting on background
+// work. Reason is "memtable" (sealed memtable still flushing) or "l0"
+// (too many L0 files; compaction must catch up).
+type WriteStallBegin struct {
+	Reason string `json:"reason"`
+}
+
+// WriteStallEnd fires when the stalled write proceeds.
+type WriteStallEnd struct {
+	Reason   string        `json:"reason"`
+	Duration time.Duration `json:"dur"`
+}
+
+// PCacheAdmit fires when the persistent cache admits blocks of a file. Bulk
+// admissions (readahead, compaction warming) report one event per batch.
+type PCacheAdmit struct {
+	File   uint64 `json:"file"`
+	Blocks int    `json:"blocks"`
+	Bytes  int64  `json:"bytes"`
+}
+
+// PCacheEvict fires when cached blocks of a file are discarded. Reason is
+// "clock" (region reclaimed by the CLOCK policy), "lru" (generic-cache LRU
+// eviction), or "drop-file" (the file was deleted by compaction).
+type PCacheEvict struct {
+	File   uint64 `json:"file"`
+	Blocks int    `json:"blocks"`
+	Bytes  int64  `json:"bytes"`
+	Reason string `json:"reason"`
+}
+
+// CloudRetry fires when a cloud request fails and will be retried.
+type CloudRetry struct {
+	Op      string `json:"op"`
+	Object  string `json:"object"`
+	Attempt int    `json:"attempt"`
+	Err     string `json:"err"`
+}
+
+// Listener receives engine lifecycle events. Embed NopListener to implement
+// only the methods of interest.
+type Listener interface {
+	OnFlushBegin(FlushBegin)
+	OnFlushEnd(FlushEnd)
+	OnCompactionBegin(CompactionBegin)
+	OnCompactionEnd(CompactionEnd)
+	OnTableUploaded(TableUploaded)
+	OnTableDeleted(TableDeleted)
+	OnWriteStallBegin(WriteStallBegin)
+	OnWriteStallEnd(WriteStallEnd)
+	OnPCacheAdmit(PCacheAdmit)
+	OnPCacheEvict(PCacheEvict)
+	OnCloudRetry(CloudRetry)
+}
+
+// NopListener implements Listener with no-ops; embed it in partial
+// implementations so they stay compatible as events are added.
+type NopListener struct{}
+
+func (NopListener) OnFlushBegin(FlushBegin)           {}
+func (NopListener) OnFlushEnd(FlushEnd)               {}
+func (NopListener) OnCompactionBegin(CompactionBegin) {}
+func (NopListener) OnCompactionEnd(CompactionEnd)     {}
+func (NopListener) OnTableUploaded(TableUploaded)     {}
+func (NopListener) OnTableDeleted(TableDeleted)       {}
+func (NopListener) OnWriteStallBegin(WriteStallBegin) {}
+func (NopListener) OnWriteStallEnd(WriteStallEnd)     {}
+func (NopListener) OnPCacheAdmit(PCacheAdmit)         {}
+func (NopListener) OnPCacheEvict(PCacheEvict)         {}
+func (NopListener) OnCloudRetry(CloudRetry)           {}
+
+// multi fans every event out to each listener in order.
+type multi []Listener
+
+// Multi combines listeners into one that dispatches to all of them, in
+// argument order. Nil entries are skipped; a single survivor is returned
+// unwrapped, and an empty set yields nil (no listener).
+func Multi(ls ...Listener) Listener {
+	var out multi
+	for _, l := range ls {
+		if l != nil {
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return out
+}
+
+func (m multi) OnFlushBegin(e FlushBegin) {
+	for _, l := range m {
+		l.OnFlushBegin(e)
+	}
+}
+func (m multi) OnFlushEnd(e FlushEnd) {
+	for _, l := range m {
+		l.OnFlushEnd(e)
+	}
+}
+func (m multi) OnCompactionBegin(e CompactionBegin) {
+	for _, l := range m {
+		l.OnCompactionBegin(e)
+	}
+}
+func (m multi) OnCompactionEnd(e CompactionEnd) {
+	for _, l := range m {
+		l.OnCompactionEnd(e)
+	}
+}
+func (m multi) OnTableUploaded(e TableUploaded) {
+	for _, l := range m {
+		l.OnTableUploaded(e)
+	}
+}
+func (m multi) OnTableDeleted(e TableDeleted) {
+	for _, l := range m {
+		l.OnTableDeleted(e)
+	}
+}
+func (m multi) OnWriteStallBegin(e WriteStallBegin) {
+	for _, l := range m {
+		l.OnWriteStallBegin(e)
+	}
+}
+func (m multi) OnWriteStallEnd(e WriteStallEnd) {
+	for _, l := range m {
+		l.OnWriteStallEnd(e)
+	}
+}
+func (m multi) OnPCacheAdmit(e PCacheAdmit) {
+	for _, l := range m {
+		l.OnPCacheAdmit(e)
+	}
+}
+func (m multi) OnPCacheEvict(e PCacheEvict) {
+	for _, l := range m {
+		l.OnPCacheEvict(e)
+	}
+}
+func (m multi) OnCloudRetry(e CloudRetry) {
+	for _, l := range m {
+		l.OnCloudRetry(e)
+	}
+}

@@ -120,13 +120,12 @@ func readPhase(cfg Config, tag string, p db.Policy, records, reads int) (time.Du
 		return 0, nil, nil, err
 	}
 	gen := ycsb.NewGenerator(ycsb.WorkloadC, uint64(records), 400, cfg.seed())
-	start := time.Now()
-	h, _, err := runOps(d, gen, reads)
+	dur, h, _, err := runPhase(cfg, tag+"/"+p.String(), d, gen, reads)
 	if err != nil {
 		d.Close()
 		return 0, nil, nil, err
 	}
-	return time.Since(start), h, d, nil
+	return dur, h, d, nil
 }
 
 // fig6ReadRandom measures zipfian point-read throughput.
@@ -240,12 +239,11 @@ func fig9HitRatio(cfg Config) error {
 				return err
 			}
 			gen := ycsb.NewGenerator(ycsb.WorkloadC, uint64(records), 400, cfg.seed())
-			start := time.Now()
-			if _, _, err := runOps(d, gen, reads); err != nil {
+			dur, _, _, err := runPhase(cfg, fmt.Sprintf("fig9-%dMB", capBytes>>20), d, gen, reads)
+			if err != nil {
 				d.Close()
 				return err
 			}
-			dur := time.Since(start)
 			hit, _, _ := d.PCacheStats()
 			name := "lsm-aware"
 			if p == db.PolicyCloudLRU {
@@ -287,12 +285,11 @@ func fig10CompactionAware(cfg Config) error {
 		// Mixed read/write stream keeps compactions churning while the
 		// zipfian read set stays hot.
 		gen := ycsb.NewGenerator(ycsb.WorkloadA, uint64(records), 400, cfg.seed())
-		start := time.Now()
-		if _, _, err := runOps(d, gen, ops); err != nil {
+		dur, _, _, err := runPhase(cfg, fmt.Sprintf("fig10-inherit=%v", inherit), d, gen, ops)
+		if err != nil {
 			d.Close()
 			return err
 		}
-		dur := time.Since(start)
 		m := d.Metrics()
 		label := "invalidate-only"
 		if inherit {
@@ -419,7 +416,7 @@ func tab2Metadata(cfg Config) error {
 			return err
 		}
 		gen := ycsb.NewGenerator(ycsb.WorkloadC, uint64(records), 400, cfg.seed())
-		if _, _, err := runOps(d, gen, reads); err != nil {
+		if _, _, _, err := runPhase(cfg, "tab2/"+p.String(), d, gen, reads); err != nil {
 			d.Close()
 			return err
 		}
@@ -472,12 +469,11 @@ func tab3Cost(cfg Config) error {
 			return err
 		}
 		gen := ycsb.NewGenerator(ycsb.WorkloadB, uint64(records), 400, cfg.seed())
-		start := time.Now()
-		if _, _, err := runOps(d, gen, ops); err != nil {
+		dur, _, _, err := runPhase(cfg, "tab3/"+sc.name, d, gen, ops)
+		if err != nil {
 			d.Close()
 			return err
 		}
-		dur := time.Since(start)
 		m := d.Metrics()
 		localGB := float64(m.LocalBytes) / (1 << 30)
 		cloudGB := float64(m.CloudBytes) / (1 << 30)
@@ -718,12 +714,11 @@ func fig13LocalLevels(cfg Config) error {
 			return err
 		}
 		gen := ycsb.NewGenerator(ycsb.WorkloadB, uint64(records), 400, cfg.seed())
-		start := time.Now()
-		if _, _, err := runOps(d, gen, ops); err != nil {
+		dur, _, _, err := runPhase(cfg, fmt.Sprintf("fig13-L%d", ll), d, gen, ops)
+		if err != nil {
 			d.Close()
 			return err
 		}
-		dur := time.Since(start)
 		m := d.Metrics()
 		label := fmt.Sprint(ll)
 		if ll == -1 {

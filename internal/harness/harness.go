@@ -132,10 +132,10 @@ func expOptions(p db.Policy) db.Options {
 	o.LevelMultiplier = 8
 	o.TargetFileBytes = 1 << 20
 	o.CloudLatency = storage.LatencyModel{
-		GetFirstByte:  2 * time.Millisecond,
-		PutFirstByte:  3 * time.Millisecond,
-		MetaRTT:       time.Millisecond,
-		ReadBandwidth: 400 << 20,
+		GetFirstByte:   2 * time.Millisecond,
+		PutFirstByte:   3 * time.Millisecond,
+		MetaRTT:        time.Millisecond,
+		ReadBandwidth:  400 << 20,
 		WriteBandwidth: 400 << 20,
 	}
 	return o
@@ -210,6 +210,34 @@ func runOps(d *db.DB, gen *ycsb.Generator, count int) (reads, writes *histogram.
 		}
 	}
 	return reads, writes, nil
+}
+
+// phaseReport prints per-phase latency percentile lines, so every
+// experiment shows the distribution shape behind its throughput number.
+func phaseReport(cfg Config, phase string, reads, writes *histogram.H, dur time.Duration) {
+	w := cfg.out()
+	line := func(kind string, h *histogram.H) {
+		if h == nil || h.Count() == 0 {
+			return
+		}
+		fmt.Fprintf(w, "    [%s %s] %s ops/s  p50=%s p90=%s p99=%s max=%s\n",
+			phase, kind, kops(int(h.Count()), dur),
+			h.Percentile(50), h.Percentile(90), h.Percentile(99), h.Max())
+	}
+	line("read", reads)
+	line("write", writes)
+}
+
+// runPhase times a runOps phase and prints its percentile report.
+func runPhase(cfg Config, phase string, d *db.DB, gen *ycsb.Generator, count int) (time.Duration, *histogram.H, *histogram.H, error) {
+	start := time.Now()
+	reads, writes, err := runOps(d, gen, count)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	dur := time.Since(start)
+	phaseReport(cfg, phase, reads, writes, dur)
+	return dur, reads, writes, nil
 }
 
 // kops formats an ops/sec figure.

@@ -1,0 +1,41 @@
+// Package obs exposes a running DB's metrics over HTTP for the command-line
+// tools: Metrics() as JSON under expvar's /debug/vars, and the DumpStats()
+// text report under /stats.
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+
+	"rocksmash/internal/db"
+)
+
+var publishOnce sync.Once
+
+// Serve starts a background HTTP listener on addr (e.g. ":8080").
+//
+//	/debug/vars  expvar JSON, including a "rocksmash" Metrics() snapshot
+//	/stats       the DumpStats() multi-line text report
+//
+// Listen errors are reported to stderr; the caller keeps running either way
+// (metrics are an observer, never a reason to fail a run).
+func Serve(addr string, d *db.DB) {
+	publishOnce.Do(func() {
+		expvar.Publish("rocksmash", expvar.Func(func() any { return d.Metrics() }))
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, d.DumpStats())
+	})
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+		}
+	}()
+}

@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"rocksmash/internal/event"
 )
 
 // GenericLRU is the baseline persistent cache the paper compares against: a
@@ -20,11 +22,32 @@ type GenericLRU struct {
 	capacity int64
 	stats    Stats
 	heat     *heatMap
+	ev       event.Listener // set once before concurrent use; nil disables events
 
 	mu    sync.Mutex
 	items map[blockKey]*genericEntry
 	order *list.List
 	used  int64
+	pend  []event.PCacheEvict // evictions queued under mu, fired after unlock
+}
+
+// SetListener attaches an event listener. Must be called before the cache
+// is shared between goroutines; a nil listener keeps every path event-free.
+func (g *GenericLRU) SetListener(l event.Listener) { g.ev = l }
+
+func (g *GenericLRU) takePendLocked() []event.PCacheEvict {
+	evs := g.pend
+	g.pend = nil
+	return evs
+}
+
+func (g *GenericLRU) fireEvicts(evs []event.PCacheEvict) {
+	if g.ev == nil {
+		return
+	}
+	for _, e := range evs {
+		g.ev.OnPCacheEvict(e)
+	}
 }
 
 type blockKey struct {
@@ -124,13 +147,15 @@ func (g *GenericLRU) Put(fileNum, blockOff uint64, body []byte) {
 			break
 		}
 		victim := back.Value.(*genericEntry)
-		g.removeLocked(victim)
+		g.removeLocked(victim, "lru")
 	}
 	e := &genericEntry{key: k, length: int64(len(body))}
 	e.elem = g.order.PushFront(e)
 	g.items[k] = e
 	g.used += e.length
+	evs := g.takePendLocked()
 	g.mu.Unlock()
+	g.fireEvicts(evs)
 
 	// Write-then-rename so concurrent readers never observe a torn block.
 	tmp := g.blockPath(k) + ".tmp"
@@ -141,13 +166,17 @@ func (g *GenericLRU) Put(fileNum, blockOff uint64, body []byte) {
 	if err != nil {
 		g.mu.Lock()
 		if cur, ok := g.items[k]; ok && cur == e {
-			g.removeLocked(cur)
+			// Rollback of this Put's own entry, not an eviction: no event.
+			g.removeLocked(cur, "")
 		}
 		g.mu.Unlock()
 		return
 	}
 	g.stats.Inserted.Add(1)
 	g.stats.BytesInserted.Add(int64(len(body)))
+	if g.ev != nil {
+		g.ev.OnPCacheAdmit(event.PCacheAdmit{File: fileNum, Blocks: 1, Bytes: int64(len(body))})
+	}
 }
 
 // PutBulk implements BlockCache. The generic cache has no batched admission
@@ -159,7 +188,12 @@ func (g *GenericLRU) PutBulk(fileNum uint64, blocks []Block) {
 	}
 }
 
-func (g *GenericLRU) removeLocked(e *genericEntry) {
+func (g *GenericLRU) removeLocked(e *genericEntry, reason string) {
+	if g.ev != nil && reason != "" {
+		g.pend = append(g.pend, event.PCacheEvict{
+			File: e.key.fileNum, Blocks: 1, Bytes: e.length, Reason: reason,
+		})
+	}
 	g.order.Remove(e.elem)
 	delete(g.items, e.key)
 	g.used -= e.length
@@ -178,11 +212,13 @@ func (g *GenericLRU) DropFile(fileNum uint64) {
 		}
 	}
 	for _, e := range victims {
-		g.removeLocked(e)
+		g.removeLocked(e, "drop-file")
 	}
+	evs := g.takePendLocked()
 	g.mu.Unlock()
 	g.heat.drop(fileNum)
 	g.stats.FilesDropped.Add(1)
+	g.fireEvicts(evs)
 }
 
 // FileHeat implements BlockCache.

@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+
+	"rocksmash/internal/event"
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -54,6 +56,7 @@ type PCache struct {
 	f     *os.File
 	stats Stats
 	heat  *heatMap
+	ev    event.Listener // set once before concurrent use; nil disables events
 
 	mu       sync.Mutex
 	regions  []region
@@ -61,6 +64,31 @@ type PCache struct {
 	openReg  map[uint64]int32   // fileNum -> region currently accepting blocks
 	freeList []int32
 	hand     int32 // CLOCK hand
+
+	// pend accumulates eviction events generated while mu is held; they are
+	// drained and fired after unlock so listeners never run under the cache
+	// lock. Only populated when ev is non-nil.
+	pend []event.PCacheEvict
+}
+
+// SetListener attaches an event listener. Must be called before the cache
+// is shared between goroutines; a nil listener keeps every path event-free.
+func (c *PCache) SetListener(l event.Listener) { c.ev = l }
+
+// takePendLocked drains the events collected under mu.
+func (c *PCache) takePendLocked() []event.PCacheEvict {
+	evs := c.pend
+	c.pend = nil
+	return evs
+}
+
+func (c *PCache) fireEvicts(evs []event.PCacheEvict) {
+	if c.ev == nil {
+		return
+	}
+	for _, e := range evs {
+		c.ev.OnPCacheEvict(e)
+	}
 }
 
 const (
@@ -176,24 +204,40 @@ func (c *PCache) get(fileNum, blockOff uint64) ([]byte, bool) {
 // allocating (and if necessary evicting) regions as needed.
 func (c *PCache) Put(fileNum, blockOff uint64, body []byte) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.putLocked(fileNum, blockOff, body)
+	n := c.putLocked(fileNum, blockOff, body)
+	evs := c.takePendLocked()
+	c.mu.Unlock()
+	c.fireEvicts(evs)
+	if c.ev != nil && n > 0 {
+		c.ev.OnPCacheAdmit(event.PCacheAdmit{File: fileNum, Blocks: 1, Bytes: n})
+	}
 }
 
 // PutBulk implements BlockCache: one lock acquisition admits the whole run.
 // Adjacent blocks of one file land back to back in the file's open regions,
 // preserving the compaction-aware layout.
 func (c *PCache) PutBulk(fileNum uint64, blocks []Block) {
+	var n int64
+	var cnt int
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	for _, b := range blocks {
-		c.putLocked(fileNum, b.Off, b.Body)
+		if m := c.putLocked(fileNum, b.Off, b.Body); m > 0 {
+			n += m
+			cnt++
+		}
+	}
+	evs := c.takePendLocked()
+	c.mu.Unlock()
+	c.fireEvicts(evs)
+	if c.ev != nil && cnt > 0 {
+		c.ev.OnPCacheAdmit(event.PCacheAdmit{File: fileNum, Blocks: cnt, Bytes: n})
 	}
 }
 
-func (c *PCache) putLocked(fileNum, blockOff uint64, body []byte) {
+// putLocked admits one block, returning the bytes cached (0 if declined).
+func (c *PCache) putLocked(fileNum, blockOff uint64, body []byte) int64 {
 	if int64(len(body)) > c.opts.RegionBytes {
-		return
+		return 0
 	}
 
 	// Already cached? (Possible under racing readers.)
@@ -201,7 +245,7 @@ func (c *PCache) putLocked(fileNum, blockOff uint64, body []byte) {
 		es := c.regions[id].entries
 		i := sort.Search(len(es), func(i int) bool { return es[i].blockOff >= blockOff })
 		if i < len(es) && es[i].blockOff == blockOff {
-			return
+			return 0
 		}
 	}
 
@@ -215,7 +259,7 @@ func (c *PCache) putLocked(fileNum, blockOff uint64, body []byte) {
 	if !ok {
 		nid, allocated := c.allocRegionLocked(fileNum)
 		if !allocated {
-			return
+			return 0
 		}
 		id = nid
 		c.openReg[fileNum] = id
@@ -223,7 +267,7 @@ func (c *PCache) putLocked(fileNum, blockOff uint64, body []byte) {
 	r := &c.regions[id]
 	base := int64(id) * c.opts.RegionBytes
 	if _, err := c.f.WriteAt(body, base+int64(r.used)); err != nil {
-		return
+		return 0
 	}
 	e := packedEntry{
 		blockOff: blockOff,
@@ -239,6 +283,7 @@ func (c *PCache) putLocked(fileNum, blockOff uint64, body []byte) {
 	r.ref = true
 	c.stats.Inserted.Add(1)
 	c.stats.BytesInserted.Add(int64(len(body)))
+	return int64(len(body))
 }
 
 // allocRegionLocked returns a free region for fileNum, evicting via CLOCK
@@ -253,7 +298,7 @@ func (c *PCache) allocRegionLocked(fileNum uint64) (int32, bool) {
 		if !ok {
 			return 0, false
 		}
-		c.evictRegionLocked(vid)
+		c.evictRegionLocked(vid, "clock")
 		id = c.freeList[len(c.freeList)-1]
 		c.freeList = c.freeList[:len(c.freeList)-1]
 	}
@@ -284,10 +329,16 @@ func (c *PCache) clockVictimLocked(skipFile uint64) (int32, bool) {
 	return 0, false
 }
 
-// evictRegionLocked frees one region and unlinks it from its file.
-func (c *PCache) evictRegionLocked(id int32) {
+// evictRegionLocked frees one region and unlinks it from its file. The
+// eviction event is queued (not fired) because the caller holds c.mu.
+func (c *PCache) evictRegionLocked(id int32, reason string) {
 	r := &c.regions[id]
 	fn := r.fileNum
+	if c.ev != nil {
+		c.pend = append(c.pend, event.PCacheEvict{
+			File: fn, Blocks: len(r.entries), Bytes: int64(r.used), Reason: reason,
+		})
+	}
 	ids := c.byFile[fn]
 	for i, x := range ids {
 		if x == id {
@@ -315,11 +366,13 @@ func (c *PCache) DropFile(fileNum uint64) {
 	c.mu.Lock()
 	ids := append([]int32(nil), c.byFile[fileNum]...)
 	for _, id := range ids {
-		c.evictRegionLocked(id)
+		c.evictRegionLocked(id, "drop-file")
 	}
+	evs := c.takePendLocked()
 	c.mu.Unlock()
 	c.heat.drop(fileNum)
 	c.stats.FilesDropped.Add(1)
+	c.fireEvicts(evs)
 }
 
 // FileHeat implements BlockCache.

@@ -1,0 +1,120 @@
+package storage
+
+import (
+	"time"
+
+	"rocksmash/internal/histogram"
+)
+
+// Instrumented wraps a Backend and records per-request latency into
+// histograms: every read request (ReadAt / ReadAll) into getH, and every
+// completed object creation (Create through Close — one PUT) into putH.
+// Counters are untouched; the wrapped backend's Stats remain authoritative.
+// This is how the engine makes per-tier first-byte cost visible: the same
+// wrapper records both the local SSD tier and the simulated cloud tier.
+type Instrumented struct {
+	b    Backend
+	getH *histogram.H
+	putH *histogram.H
+}
+
+// Instrument wraps b, recording GET latency into getH and PUT latency into
+// putH. Either histogram may be nil to skip that side.
+func Instrument(b Backend, getH, putH *histogram.H) *Instrumented {
+	return &Instrumented{b: b, getH: getH, putH: putH}
+}
+
+// Unwrap returns the wrapped backend.
+func (i *Instrumented) Unwrap() Backend { return i.b }
+
+// BaseBackend strips any Instrumented (or other Unwrap-able) layers.
+func BaseBackend(b Backend) Backend {
+	for {
+		u, ok := b.(interface{ Unwrap() Backend })
+		if !ok {
+			return b
+		}
+		b = u.Unwrap()
+	}
+}
+
+type instrWriter struct {
+	Writer
+	h     *histogram.H
+	start time.Time
+	done  bool
+}
+
+func (w *instrWriter) Close() error {
+	err := w.Writer.Close()
+	if !w.done {
+		w.done = true
+		if w.h != nil {
+			w.h.Record(time.Since(w.start))
+		}
+	}
+	return err
+}
+
+// Create implements Backend; the PUT latency recorded at Close spans the
+// whole object creation, matching an object store's upload semantics.
+func (i *Instrumented) Create(name string) (Writer, error) {
+	start := time.Now()
+	w, err := i.b.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &instrWriter{Writer: w, h: i.putH, start: start}, nil
+}
+
+type instrReader struct {
+	Reader
+	h *histogram.H
+}
+
+func (r *instrReader) ReadAt(p []byte, off int64) (int, error) {
+	start := time.Now()
+	n, err := r.Reader.ReadAt(p, off)
+	if r.h != nil {
+		r.h.Record(time.Since(start))
+	}
+	return n, err
+}
+
+// Open implements Backend; each ReadAt through the returned reader records
+// one GET observation.
+func (i *Instrumented) Open(name string) (Reader, error) {
+	r, err := i.b.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &instrReader{Reader: r, h: i.getH}, nil
+}
+
+// ReadAll implements Backend, recording the whole fetch as one GET.
+func (i *Instrumented) ReadAll(name string) ([]byte, error) {
+	start := time.Now()
+	buf, err := i.b.ReadAll(name)
+	if i.getH != nil {
+		i.getH.Record(time.Since(start))
+	}
+	return buf, err
+}
+
+// Delete implements Backend.
+func (i *Instrumented) Delete(name string) error { return i.b.Delete(name) }
+
+// List implements Backend.
+func (i *Instrumented) List(prefix string) ([]string, error) { return i.b.List(prefix) }
+
+// Size implements Backend.
+func (i *Instrumented) Size(name string) (int64, error) { return i.b.Size(name) }
+
+// Rename implements Backend.
+func (i *Instrumented) Rename(oldname, newname string) error { return i.b.Rename(oldname, newname) }
+
+// Tier implements Backend.
+func (i *Instrumented) Tier() Tier { return i.b.Tier() }
+
+// Stats implements Backend.
+func (i *Instrumented) Stats() *Stats { return i.b.Stats() }

@@ -36,6 +36,7 @@ package rocksmash
 import (
 	"rocksmash/internal/batch"
 	"rocksmash/internal/db"
+	"rocksmash/internal/event"
 	"rocksmash/internal/sstable"
 	"rocksmash/internal/storage"
 )
@@ -79,6 +80,33 @@ type Snapshot = db.Snapshot
 
 // Metrics is a point-in-time operational summary.
 type Metrics = db.Metrics
+
+// LatencySummary condenses one latency histogram (count, mean, p50/p90/p99,
+// max), as embedded in Metrics.
+type LatencySummary = db.LatencySummary
+
+// EventListener receives engine lifecycle events (Options.EventListener).
+// Embed NopListener to implement only the events of interest; see the
+// internal event package docs for the listener contract.
+type EventListener = event.Listener
+
+// NopListener implements EventListener with no-ops, for embedding.
+type NopListener = event.NopListener
+
+// Event payload types, as delivered to an EventListener.
+type (
+	FlushBeginEvent      = event.FlushBegin
+	FlushEndEvent        = event.FlushEnd
+	CompactionBeginEvent = event.CompactionBegin
+	CompactionEndEvent   = event.CompactionEnd
+	TableUploadedEvent   = event.TableUploaded
+	TableDeletedEvent    = event.TableDeleted
+	WriteStallBeginEvent = event.WriteStallBegin
+	WriteStallEndEvent   = event.WriteStallEnd
+	PCacheAdmitEvent     = event.PCacheAdmit
+	PCacheEvictEvent     = event.PCacheEvict
+	CloudRetryEvent      = event.CloudRetry
+)
 
 // RecoveryReport describes the work the last Open performed to recover.
 type RecoveryReport = db.RecoveryReport
