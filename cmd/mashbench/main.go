@@ -11,11 +11,13 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"rocksmash/internal/db"
@@ -23,8 +25,52 @@ import (
 	"rocksmash/internal/histogram"
 	"rocksmash/internal/obs"
 	"rocksmash/internal/sstable"
+	"rocksmash/internal/storage"
 	"rocksmash/internal/ycsb"
 )
+
+// unavailableReads counts Gets answered with ErrCloudUnavailable during a
+// chaos run: an expected degraded-mode outcome, not a benchmark failure.
+var unavailableReads atomic.Int64
+
+// readErr filters benchmark read errors: not-found is a normal outcome, and
+// under fault injection a typed cloud-unavailable error is counted instead
+// of aborting the run.
+func readErr(err error) error {
+	if err == nil || err == db.ErrNotFound {
+		return nil
+	}
+	if errors.Is(err, db.ErrCloudUnavailable) {
+		unavailableReads.Add(1)
+		return nil
+	}
+	return err
+}
+
+// scheduleOutage parses "start,duration" and arms a one-shot full outage on
+// the faulty cloud backend.
+func scheduleOutage(f *storage.Faulty, spec string) error {
+	parts := strings.SplitN(spec, ",", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("bad -outage %q, want start,duration (e.g. 10s,30s)", spec)
+	}
+	start, err := time.ParseDuration(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return fmt.Errorf("bad -outage start: %w", err)
+	}
+	dur, err := time.ParseDuration(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return fmt.Errorf("bad -outage duration: %w", err)
+	}
+	if f == nil {
+		return errors.New("-outage needs a cloud-tier policy")
+	}
+	time.AfterFunc(start, func() {
+		fmt.Printf("chaos: cloud outage begins (for %s)\n", dur)
+		f.StartOutage(dur)
+	})
+	return nil
+}
 
 func main() {
 	var (
@@ -41,6 +87,9 @@ func main() {
 		metrics    = flag.String("metrics-addr", "", "serve live metrics over HTTP on this address (/debug/vars, /stats)")
 		tracePath  = flag.String("trace", "", "append engine events as JSON lines to this file (see `mashctl trace`)")
 		dumpStats  = flag.Bool("stats", false, "print the DumpStats report after the benchmarks")
+		faultGet   = flag.Float64("fault-get-rate", 0, "inject cloud GET failures with this probability [0,1]")
+		faultPut   = flag.Float64("fault-put-rate", 0, "inject cloud PUT failures with this probability [0,1]")
+		outage     = flag.String("outage", "", "script a full cloud outage as start,duration (e.g. 10s,30s)")
 	)
 	flag.Parse()
 
@@ -79,7 +128,20 @@ func main() {
 		opts.Compression = sstable.CompressionFlate
 	}
 	opts.TracePath = *tracePath
-	d, err := db.OpenAt(dir, opts)
+	var d *db.DB
+	var faulty *storage.Faulty
+	if *faultGet > 0 || *faultPut > 0 || *outage != "" {
+		d, faulty, err = db.OpenAtChaos(dir, opts, storage.FaultConfig{
+			Seed:         *seed,
+			GetErrorRate: *faultGet,
+			PutErrorRate: *faultPut,
+		})
+		if err == nil && *outage != "" {
+			err = scheduleOutage(faulty, *outage)
+		}
+	} else {
+		d, err = db.OpenAt(dir, opts)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mashbench: open:", err)
 		os.Exit(1)
@@ -105,6 +167,11 @@ func main() {
 		m.LevelFiles, float64(m.LocalBytes)/(1<<20), float64(m.CloudBytes)/(1<<20), m.PCacheHit, m.BlockHit)
 	if rep, ok := d.CloudCost(); ok {
 		fmt.Println("cloud bill:", rep)
+	}
+	if faulty != nil {
+		fmt.Printf("chaos: injected=%d unavailable-reads=%d breaker=%s trips=%d degraded=%s pending=%d drained=%d\n",
+			faulty.InjectedFaults(), unavailableReads.Load(), m.BreakerState, m.BreakerTrips,
+			m.DegradedDur.Round(time.Millisecond), m.PendingTables, m.DrainedTables)
 	}
 	if *dumpStats {
 		fmt.Println()
@@ -157,7 +224,7 @@ func runBench(d *db.DB, name string, num, reads, valueSize int, seed int64) erro
 		for i := 0; i < reads; i++ {
 			op := gen.Next()
 			s := time.Now()
-			if _, err := d.Get(op.Key); err != nil && err != db.ErrNotFound {
+			if _, err := d.Get(op.Key); readErr(err) != nil {
 				return err
 			}
 			h.Record(time.Since(s))
@@ -181,7 +248,7 @@ func runBench(d *db.DB, name string, num, reads, valueSize int, seed int64) erro
 			s := time.Now()
 			switch op.Kind {
 			case ycsb.OpRead:
-				if _, err := d.Get(op.Key); err != nil && err != db.ErrNotFound {
+				if _, err := d.Get(op.Key); readErr(err) != nil {
 					return err
 				}
 			default:

@@ -54,6 +54,9 @@ func cmdTrace(path string, top int) {
 		evictBlocks = map[string]int{}
 		evictBytes  = map[string]int64{}
 		retries     int
+		retryByOp   = map[string]int{}
+		pendingUps  int
+		transitions = map[string]int{}
 		slow        []slowEvent
 	)
 	for _, rec := range recs {
@@ -93,6 +96,9 @@ func cmdTrace(path string, top int) {
 			if e.Attempts > 1 {
 				retried++
 			}
+			if e.Pending {
+				pendingUps++
+			}
 			slow = append(slow, slowEvent{rec,
 				fmt.Sprintf("upload #%d to %s (%s)", e.Table, e.Tier, sizeStr(e.Bytes)), e.Duration})
 		case event.WriteStallEnd:
@@ -107,6 +113,9 @@ func cmdTrace(path string, top int) {
 			evictBytes[e.Reason] += e.Bytes
 		case event.CloudRetry:
 			retries++
+			retryByOp[e.Op]++
+		case event.BreakerState:
+			transitions[e.From+"->"+e.To]++
 		}
 	}
 
@@ -148,6 +157,32 @@ func cmdTrace(path string, top int) {
 	if uploads > 0 {
 		fmt.Printf("\nuploads: %d tables, %s, %s total; %d needed retries (%d retry events)\n",
 			uploads, sizeStr(uploadBytes), uploadDur.Round(time.Millisecond), retried, retries)
+	}
+	if retries > 0 || pendingUps > 0 || len(transitions) > 0 {
+		fmt.Println("\nrobustness:")
+		if retries > 0 {
+			ops := make([]string, 0, len(retryByOp))
+			for op := range retryByOp {
+				ops = append(ops, op)
+			}
+			sort.Strings(ops)
+			for _, op := range ops {
+				fmt.Printf("  cloud retries (%s): %d\n", op, retryByOp[op])
+			}
+		}
+		if pendingUps > 0 {
+			fmt.Printf("  degraded landings (pending-upload): %d\n", pendingUps)
+		}
+		if len(transitions) > 0 {
+			ts := make([]string, 0, len(transitions))
+			for tr := range transitions {
+				ts = append(ts, tr)
+			}
+			sort.Strings(ts)
+			for _, tr := range ts {
+				fmt.Printf("  breaker %-20s %d\n", tr, transitions[tr])
+			}
+		}
 	}
 	if len(stallCount) > 0 {
 		fmt.Println("\nwrite stalls:")

@@ -7,16 +7,63 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"rocksmash/internal/db"
 	"rocksmash/internal/histogram"
 	"rocksmash/internal/obs"
+	"rocksmash/internal/storage"
 	"rocksmash/internal/ycsb"
 )
+
+// unavailableReads counts Gets answered with ErrCloudUnavailable during a
+// chaos run: an expected degraded-mode outcome, not a workload failure.
+var unavailableReads atomic.Int64
+
+// readErr filters run-phase read errors the way the benchmarks expect:
+// not-found is a normal outcome, and a typed cloud-unavailable error under
+// fault injection is counted rather than fatal.
+func readErr(err error) error {
+	if err == nil || err == db.ErrNotFound {
+		return nil
+	}
+	if errors.Is(err, db.ErrCloudUnavailable) {
+		unavailableReads.Add(1)
+		return nil
+	}
+	return err
+}
+
+// scheduleOutage parses "start,duration" and arms a one-shot full outage on
+// the faulty cloud backend.
+func scheduleOutage(f *storage.Faulty, spec string) error {
+	parts := strings.SplitN(spec, ",", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("bad -outage %q, want start,duration (e.g. 10s,30s)", spec)
+	}
+	start, err := time.ParseDuration(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return fmt.Errorf("bad -outage start: %w", err)
+	}
+	dur, err := time.ParseDuration(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return fmt.Errorf("bad -outage duration: %w", err)
+	}
+	if f == nil {
+		return errors.New("-outage needs a cloud-tier policy")
+	}
+	time.AfterFunc(start, func() {
+		fmt.Printf("chaos: cloud outage begins (for %s)\n", dur)
+		f.StartOutage(dur)
+	})
+	return nil
+}
 
 func main() {
 	var (
@@ -30,6 +77,9 @@ func main() {
 		metrics   = flag.String("metrics-addr", "", "serve live metrics over HTTP on this address (/debug/vars, /stats)")
 		tracePath = flag.String("trace", "", "append engine events as JSON lines to this file (see `mashctl trace`)")
 		dumpStats = flag.Bool("stats", false, "print the DumpStats report after the run")
+		faultGet  = flag.Float64("fault-get-rate", 0, "inject cloud GET failures with this probability [0,1]")
+		faultPut  = flag.Float64("fault-put-rate", 0, "inject cloud PUT failures with this probability [0,1]")
+		outage    = flag.String("outage", "", "script a full cloud outage as start,duration (e.g. 10s,30s); the clock starts at the run phase")
 	)
 	flag.Parse()
 
@@ -61,7 +111,19 @@ func main() {
 	opts := db.DefaultOptions()
 	opts.Policy = p
 	opts.TracePath = *tracePath
-	d, err := db.OpenAt(dir, opts)
+	var d *db.DB
+	var faulty *storage.Faulty
+	if *faultGet > 0 || *faultPut > 0 || *outage != "" {
+		// Chaos runs keep the load phase healthy: random fault rates apply
+		// from the start, but the scripted outage is armed at the run phase.
+		d, faulty, err = db.OpenAtChaos(dir, opts, storage.FaultConfig{
+			Seed:         *seed,
+			GetErrorRate: *faultGet,
+			PutErrorRate: *faultPut,
+		})
+	} else {
+		d, err = db.OpenAt(dir, opts)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -80,11 +142,19 @@ func main() {
 		}
 	}
 	if err := d.CompactAll(); err != nil {
-		fatal(err)
+		if !errors.Is(err, db.ErrCloudUnavailable) {
+			fatal(err)
+		}
+		fmt.Println("load compaction deferred: cloud unavailable")
 	}
 	fmt.Printf("load done in %s\n", time.Since(loadStart).Round(time.Millisecond))
 
 	// Run phase.
+	if *outage != "" {
+		if err := scheduleOutage(faulty, *outage); err != nil {
+			fatal(err)
+		}
+	}
 	gen := ycsb.NewGenerator(wl, uint64(*records), *valueSize, *seed)
 	readH, writeH := histogram.New(), histogram.New()
 	runStart := time.Now()
@@ -93,7 +163,7 @@ func main() {
 		s := time.Now()
 		switch op.Kind {
 		case ycsb.OpRead:
-			if _, err := d.Get(op.Key); err != nil && err != db.ErrNotFound {
+			if _, err := d.Get(op.Key); readErr(err) != nil {
 				fatal(err)
 			}
 			readH.Record(time.Since(s))
@@ -111,12 +181,12 @@ func main() {
 			for j := 0; j < op.ScanLen && it.Valid(); j++ {
 				it.Next()
 			}
-			if err := it.Close(); err != nil {
+			if err := it.Close(); readErr(err) != nil {
 				fatal(err)
 			}
 			readH.Record(time.Since(s))
 		case ycsb.OpReadModifyWrite:
-			if _, err := d.Get(op.Key); err != nil && err != db.ErrNotFound {
+			if _, err := d.Get(op.Key); readErr(err) != nil {
 				fatal(err)
 			}
 			if err := d.Put(op.Key, op.Value); err != nil {
@@ -140,6 +210,11 @@ func main() {
 		float64(m.LocalBytes)/(1<<20), float64(m.CloudBytes)/(1<<20), m.PCacheHit, m.BlockHit, m.WriteStalls)
 	if rep, ok := d.CloudCost(); ok {
 		fmt.Println("  cloud bill:", rep)
+	}
+	if faulty != nil {
+		fmt.Printf("  chaos: injected=%d unavailable-reads=%d breaker=%s trips=%d degraded=%s pending=%d drained=%d\n",
+			faulty.InjectedFaults(), unavailableReads.Load(), m.BreakerState, m.BreakerTrips,
+			m.DegradedDur.Round(time.Millisecond), m.PendingTables, m.DrainedTables)
 	}
 	if *dumpStats {
 		fmt.Println()

@@ -343,17 +343,19 @@ func (d *DB) doCompaction(c *compaction) error {
 	}
 
 	// Retire the inputs: caches first (constant-time region frees for the
-	// LSM-aware cache), then the objects themselves.
+	// LSM-aware cache), then the objects themselves. The version no longer
+	// references these objects, so a failed delete (cloud outage) is not an
+	// error: it goes on the deferred queue and the drainer retries it.
 	for _, f := range all {
 		d.tables.evict(f.Num)
 		d.blockCache.InvalidateFile(f.Num)
 		d.pcache.DropFile(f.Num)
 		if err := d.backendFor(f.Tier).Delete(manifest.TableName(f.Num)); err != nil {
-			return err
+			d.deferDelete(f.Tier, manifest.TableName(f.Num))
 		}
 		if f.Tier == storage.TierCloud {
 			if err := d.local.Delete(metaSidecarName(f.Num)); err != nil {
-				return err
+				d.deferDelete(storage.TierLocal, metaSidecarName(f.Num))
 			}
 		}
 		d.evTableDeleted(f.Num, f.Tier)

@@ -14,6 +14,7 @@ import (
 	"rocksmash/internal/manifest"
 	"rocksmash/internal/memtable"
 	"rocksmash/internal/pcache"
+	"rocksmash/internal/retry"
 	"rocksmash/internal/storage"
 	"rocksmash/internal/wal"
 )
@@ -24,6 +25,12 @@ var ErrClosed = errors.New("db: closed")
 // ErrNotFound is returned by Get when the key does not exist.
 var ErrNotFound = errors.New("db: key not found")
 
+// ErrCloudUnavailable marks reads that genuinely need the cloud tier while
+// its circuit breaker is open. Locally held data (memtables, local-tier
+// tables, cached blocks) keeps serving during an outage; only a cold
+// cloud-block fetch surfaces this error.
+var ErrCloudUnavailable = storage.ErrCloudUnavailable
+
 // DB is the LSM-tree store. It is safe for concurrent use.
 type DB struct {
 	opts  Options
@@ -32,6 +39,10 @@ type DB struct {
 	// cloudSim is non-nil when the DB owns a simulated cloud backend and
 	// can produce cost reports.
 	cloudSim *storage.Cloud
+	// cloudRel is the retry/breaker decorator d.cloud points at (nil for
+	// PolicyLocalOnly); breaker is its circuit breaker.
+	cloudRel *storage.Reliable
+	breaker  *retry.Breaker
 
 	vs         *manifest.Set
 	wal        *wal.Manager
@@ -63,6 +74,15 @@ type DB struct {
 	bgQuit chan struct{}
 	bgDone chan struct{}
 	closed atomic.Bool
+
+	// drainWake nudges the pending-upload drainer ahead of its ticker (the
+	// breaker closing sends here); drainDone closes when the drainer exits.
+	// deferredMu guards deferred, the queue of table/sidecar deletions that
+	// failed and will be retried by the drainer.
+	drainWake  chan struct{}
+	drainDone  chan struct{}
+	deferredMu sync.Mutex
+	deferred   []deferredDelete
 
 	stats Stats
 	// lat holds the always-on per-operation latency histograms.
@@ -97,10 +117,14 @@ func Open(opts Options, local storage.Backend, cloud storage.Backend) (*DB, erro
 		bgWork:     make(chan struct{}, 1),
 		bgQuit:     make(chan struct{}),
 		bgDone:     make(chan struct{}),
+		drainWake:  make(chan struct{}, 1),
+		drainDone:  make(chan struct{}),
 		lat:        newLatencies(),
 		openedAt:   time.Now(),
 	}
-	if cs, ok := cloud.(*storage.Cloud); ok {
+	// Unwrap decorators (Faulty, Instrumented, ...) to find the simulated
+	// cloud for cost reporting and object-loss injection.
+	if cs, ok := storage.BaseBackend(cloud).(*storage.Cloud); ok {
 		d.cloudSim = cs
 	}
 	// Assemble the effective listener: user listener plus the JSONL trace
@@ -121,7 +145,26 @@ func Open(opts Options, local storage.Backend, cloud storage.Backend) (*DB, erro
 	// PUT and would pollute the distribution.
 	d.local = storage.Instrument(local, d.lat.localGet, d.lat.localPut)
 	if cloud != nil {
-		d.cloud = storage.Instrument(cloud, d.lat.cloudGet, d.lat.cloudPut)
+		// Layering: Reliable(Instrumented(cloud)) — each retry attempt is a
+		// real request and lands in the latency histograms; the breaker and
+		// backoff sit above them. The breaker's OnStateChange feeds events,
+		// stats, and the drainer wake-up; backoff waits abort at bgQuit so
+		// Close never sleeps out an outage.
+		userCB := opts.CloudBreaker.OnStateChange
+		d.breaker = retry.NewBreaker(retry.BreakerConfig{
+			FailureThreshold: opts.CloudBreaker.FailureThreshold,
+			Cooldown:         opts.CloudBreaker.Cooldown,
+			OnStateChange: func(from, to retry.State) {
+				d.onBreakerChange(from, to)
+				if userCB != nil {
+					userCB(from, to)
+				}
+			},
+		})
+		d.cloudRel = storage.NewReliable(
+			storage.Instrument(cloud, d.lat.cloudGet, d.lat.cloudPut),
+			opts.CloudRetry, d.breaker, d.onCloudRetry, d.bgQuit)
+		d.cloud = d.cloudRel
 	}
 	d.immWake = sync.NewCond(&d.mu)
 	d.tables = newTableCache(d, opts.MaxOpenTables)
@@ -153,7 +196,12 @@ func Open(opts Options, local storage.Backend, cloud storage.Backend) (*DB, erro
 	if err := d.recover(); err != nil {
 		return nil, err
 	}
+	// A crash between an object write and its manifest edit (or during a
+	// degraded-mode drain) can strand table objects no version references.
+	// Background work has not started yet, so the sweep races nothing.
+	d.cleanOrphans()
 	go d.backgroundLoop()
+	go d.drainLoop()
 	return d, nil
 }
 
@@ -175,6 +223,34 @@ func OpenAt(dir string, opts Options) (*DB, error) {
 	}
 	opts.pcacheDir = filepath.Join(dir, "pcache")
 	return Open(opts, local, cloud)
+}
+
+// OpenAtChaos opens like OpenAt but wraps the cloud backend in a Faulty
+// fault-injection decorator, for benchmark chaos flags and robustness
+// experiments. The returned Faulty handle scripts outages and reports
+// injected-fault counts; it is nil for PolicyLocalOnly.
+func OpenAtChaos(dir string, opts Options, cfg storage.FaultConfig) (*DB, *storage.Faulty, error) {
+	opts = opts.sanitize()
+	local, err := storage.NewLocal(filepath.Join(dir, "local"))
+	if err != nil {
+		return nil, nil, err
+	}
+	var cloud storage.Backend
+	var faulty *storage.Faulty
+	if opts.Policy != PolicyLocalOnly {
+		c, err := storage.NewCloud(filepath.Join(dir, "cloud"), opts.CloudLatency, opts.CloudCost)
+		if err != nil {
+			return nil, nil, err
+		}
+		faulty = storage.NewFaulty(c, cfg)
+		cloud = faulty
+	}
+	opts.pcacheDir = filepath.Join(dir, "pcache")
+	d, err := Open(opts, local, cloud)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, faulty, nil
 }
 
 func (d *DB) initPCache() error {
@@ -586,6 +662,14 @@ func (d *DB) backgroundLoop() {
 		for {
 			did, err := d.maybeCompact()
 			if err != nil {
+				// A compaction stopped by a cloud outage is deferred, not
+				// fatal: the tree is unchanged, and the breaker's close
+				// transition reschedules background work. Anything else
+				// wedges the DB as before.
+				if errors.Is(err, storage.ErrCloudUnavailable) {
+					d.stats.CompactionsDeferred.Add(1)
+					break
+				}
 				d.mu.Lock()
 				d.bgErr = err
 				d.immWake.Broadcast()
@@ -615,9 +699,10 @@ func (d *DB) Close() error {
 	if !d.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	// Stop background work.
+	// Stop background work (the flush/compaction loop and the drainer).
 	close(d.bgQuit)
 	<-d.bgDone
+	<-d.drainDone
 
 	// Flush any sealed or recovered memtables synchronously so no WAL
 	// data is stranded longer than necessary (the WAL still covers the
@@ -667,6 +752,7 @@ func (d *DB) Crash() {
 	}
 	close(d.bgQuit)
 	<-d.bgDone
+	<-d.drainDone
 	d.tables.close()
 }
 

@@ -8,8 +8,10 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"rocksmash/internal/batch"
+	"rocksmash/internal/retry"
 	"rocksmash/internal/storage"
 )
 
@@ -28,6 +30,16 @@ func testOptions(p Policy) Options {
 	o.LevelMultiplier = 4
 	o.TargetFileBytes = 64 << 10
 	o.CloudLatency = storage.NoLatency()
+	// Fast fault-tolerance knobs: real backoffs and cooldowns would dominate
+	// the injected-failure tests' wall time.
+	o.CloudRetry = retry.Policy{
+		MaxAttempts: 4,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  2 * time.Millisecond,
+		Deadline:    10 * time.Second,
+	}
+	o.CloudBreaker = retry.BreakerConfig{Cooldown: 5 * time.Millisecond}
+	o.PendingDrainInterval = 10 * time.Millisecond
 	return o
 }
 

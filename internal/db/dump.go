@@ -23,6 +23,7 @@ type dumpWindow struct {
 	compactBytesIn  int64
 	compactBytesOut int64
 	uploadRetries   int64
+	readRetries     int64
 	localIO         storage.Snapshot
 	cloudIO         storage.Snapshot
 }
@@ -40,6 +41,7 @@ func windowOf(m Metrics, at time.Time) dumpWindow {
 		compactBytesIn:  m.CompactBytesIn,
 		compactBytesOut: m.CompactBytesOut,
 		uploadRetries:   m.UploadRetries,
+		readRetries:     m.ReadRetries,
 		localIO:         m.LocalIO,
 		cloudIO:         m.CloudIO,
 	}
@@ -110,6 +112,22 @@ func (d *DB) DumpStats() string {
 		m.UploadRetries, m.UploadRetries-prev.uploadRetries)
 	fmt.Fprintf(&b, "Pipeline: prefetch %d spans/%d blocks, readahead %d spans/%d blocks\n",
 		m.PrefetchSpans, m.PrefetchBlocks, m.ReadaheadSpans, m.ReadaheadBlocks)
+
+	if m.BreakerState != "" {
+		b.WriteString("\n** Robustness **\n")
+		fmt.Fprintf(&b, "Cloud breaker: %s, trips %d, half-opens %d, degraded %s\n",
+			m.BreakerState, m.BreakerTrips, m.BreakerHalfOpens, m.DegradedDur.Round(time.Millisecond))
+		fmt.Fprintf(&b, "Read retries: %d cum (%d interval)\n",
+			m.ReadRetries, m.ReadRetries-prev.readRetries)
+		fmt.Fprintf(&b, "Degraded landings: %d tables, drained %d, pending %d (%s)\n",
+			m.DegradedTables, m.DrainedTables, m.PendingTables, humanBytes(m.PendingBytes))
+		if m.CompactionsDeferred > 0 {
+			fmt.Fprintf(&b, "Compactions deferred by outages: %d\n", m.CompactionsDeferred)
+		}
+		if m.DeferredDeletes > 0 {
+			fmt.Fprintf(&b, "Deferred deletes: %d queued for retry\n", m.DeferredDeletes)
+		}
+	}
 
 	b.WriteString("\n** Latency (cumulative) **\n")
 	fmt.Fprintf(&b, "%-10s %10s %10s %10s %10s %10s %10s\n",

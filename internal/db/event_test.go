@@ -254,9 +254,10 @@ func TestNilListenerZeroAllocs(t *testing.T) {
 		d.evFlushEnd(1, 4096, storage.TierLocal, time.Millisecond)
 		d.evCompactionBegin(event.CompactionBegin{Level: 0, OutputLevel: 1})
 		d.evCompactionEnd(event.CompactionEnd{Level: 0, OutputLevel: 1})
-		d.evTableUploaded(1, storage.TierCloud, 4096, 1, time.Millisecond)
+		d.evTableUploaded(1, storage.TierCloud, 4096, 1, time.Millisecond, false)
 		d.evTableDeleted(1, storage.TierCloud)
 		d.evCloudRetry("put", "tables/000001.sst", 1, retryErr)
+		d.evBreakerState("closed", "open")
 		d.lat.get.Record(time.Microsecond)
 		d.lat.put.Record(time.Microsecond)
 	})

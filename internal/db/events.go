@@ -66,10 +66,11 @@ func (d *DB) evCompactionEnd(e event.CompactionEnd) {
 	}
 }
 
-func (d *DB) evTableUploaded(table uint64, tier storage.Tier, bytes int64, attempts int, dur time.Duration) {
+func (d *DB) evTableUploaded(table uint64, tier storage.Tier, bytes int64, attempts int, dur time.Duration, pending bool) {
 	if l := d.listener; l != nil {
 		l.OnTableUploaded(event.TableUploaded{
 			Table: table, Tier: tier.String(), Bytes: bytes, Attempts: attempts, Duration: dur,
+			Pending: pending,
 		})
 	}
 }
@@ -83,6 +84,12 @@ func (d *DB) evTableDeleted(table uint64, tier storage.Tier) {
 func (d *DB) evCloudRetry(op, object string, attempt int, err error) {
 	if l := d.listener; l != nil {
 		l.OnCloudRetry(event.CloudRetry{Op: op, Object: object, Attempt: attempt, Err: err.Error()})
+	}
+}
+
+func (d *DB) evBreakerState(from, to string) {
+	if l := d.listener; l != nil {
+		l.OnBreakerState(event.BreakerState{From: from, To: to})
 	}
 }
 

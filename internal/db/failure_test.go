@@ -5,7 +5,44 @@ import (
 	"fmt"
 	"sync/atomic"
 	"testing"
+	"time"
 )
+
+// waitForDrain blocks until the pending-upload backlog is empty, failing the
+// test if it does not drain within timeout.
+func waitForDrain(t *testing.T, d *DB, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		n, b := d.PendingCloudTables()
+		if n == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pending backlog did not drain: %d tables (%d bytes), breaker=%s",
+				n, b, d.BreakerState())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// waitForDeferredEmpty blocks until the deferred-delete queue is empty.
+func waitForDeferredEmpty(t *testing.T, d *DB, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		d.deferredMu.Lock()
+		n := len(d.deferred)
+		d.deferredMu.Unlock()
+		if n == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("deferred-delete queue did not drain: %d entries", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
 
 // TestTransientCloudFailureRetried injects a cloud PUT failure that clears
 // after two attempts; the flush must succeed via retry.
@@ -37,10 +74,11 @@ func TestTransientCloudFailureRetried(t *testing.T) {
 	}
 }
 
-// TestPersistentCloudFailureSurfaces verifies a cloud outage that outlasts
-// the retries is reported as a flush error, not silently swallowed, and
-// that the data stays readable from the memtable/WAL side.
-func TestPersistentCloudFailureSurfaces(t *testing.T) {
+// TestPersistentCloudFailureDegrades verifies a cloud outage that outlasts
+// the retries does not fail the flush: the table lands on local storage
+// marked pending-upload, reads keep working against the local copy, and the
+// drainer migrates the backlog to the cloud once the outage clears.
+func TestPersistentCloudFailureDegrades(t *testing.T) {
 	d, _ := openTest(t, PolicyCloudOnly)
 	defer d.Close()
 	d.cloudSim.SetFailureHook(func(op, name string) error {
@@ -52,8 +90,56 @@ func TestPersistentCloudFailureSurfaces(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		mustPut(t, d, fmt.Sprintf("k%04d", i), "v")
 	}
+	if err := d.Flush(); err != nil {
+		t.Fatalf("flush during an outage must degrade, not fail: %v", err)
+	}
+	if n, _ := d.PendingCloudTables(); n == 0 {
+		t.Fatal("degraded flush left no pending-upload backlog")
+	}
+	if d.EngineStats().DegradedTables.Load() == 0 {
+		t.Fatal("DegradedTables counter not incremented")
+	}
+	// Reads are served from the locally landed table throughout.
+	mustGet(t, d, "k0000", "v")
+	mustGet(t, d, "k0049", "v")
+
+	// Outage ends: the drainer probes the breaker shut and migrates the
+	// backlog; afterwards every table object lives in the cloud.
+	d.cloudSim.SetFailureHook(nil)
+	waitForDrain(t, d, 10*time.Second)
+	if names, err := d.cloudSim.List("sst/"); err != nil || len(names) == 0 {
+		t.Fatalf("drained tables missing from cloud: names=%v err=%v", names, err)
+	}
+	if d.EngineStats().DrainedTables.Load() == 0 {
+		t.Fatal("DrainedTables counter not incremented")
+	}
+	mustGet(t, d, "k0000", "v")
+	mustGet(t, d, "k0049", "v")
+}
+
+// TestPersistentCloudFailureStrictMode verifies DisableDegradedMode restores
+// the fail-hard contract: a persistent outage surfaces as a flush error and
+// the data stays readable from the memtable/WAL side.
+func TestPersistentCloudFailureStrictMode(t *testing.T) {
+	dir := t.TempDir()
+	o := testOptions(PolicyCloudOnly)
+	o.DisableDegradedMode = true
+	d, err := OpenAt(dir, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	d.cloudSim.SetFailureHook(func(op, name string) error {
+		if op == "PUT" {
+			return errors.New("injected outage")
+		}
+		return nil
+	})
+	for i := 0; i < 50; i++ {
+		mustPut(t, d, fmt.Sprintf("k%04d", i), "v")
+	}
 	if err := d.Flush(); err == nil {
-		t.Fatal("flush during a persistent outage should fail")
+		t.Fatal("strict-mode flush during a persistent outage should fail")
 	}
 	// The data is still in the WAL + memtable; reads keep working.
 	d.cloudSim.SetFailureHook(nil)

@@ -54,46 +54,58 @@ type builtTable struct {
 // tail (filter + index + properties + footer).
 func metaSidecarName(num uint64) string { return fmt.Sprintf("meta/%06d.meta", num) }
 
-// uploadRetries bounds re-attempts of cloud uploads; object stores return
-// transient errors routinely and a flush must not wedge the engine over
-// one failed PUT.
-const uploadRetries = 3
-
-// uploadTable writes the table object to its tier's backend, retrying
-// transient cloud failures. For cloud-tier tables the metadata tail is
-// additionally persisted on local storage so future opens never fetch
-// metadata from the cloud.
+// uploadTable writes the table object to its tier's backend. Cloud uploads
+// go through the Reliable wrapper (retry policy + circuit breaker); the
+// backoff waits abort when the DB closes mid-outage. For cloud-tier tables
+// the metadata tail is additionally persisted on local storage so future
+// opens never fetch metadata from the cloud.
+//
+// When a cloud upload exhausts its retries (or the breaker is open) and
+// degraded mode is enabled, the table is landed on *local* storage instead
+// and marked PendingCloud in its metadata: the flush or compaction
+// succeeds, acked writes stay durable, and the background drainer migrates
+// the file to the cloud once the breaker closes. t.meta.Tier reflects
+// where the table actually landed when uploadTable returns.
 func (d *DB) uploadTable(t *builtTable) error {
-	be := d.backendFor(t.meta.Tier)
 	name := manifest.TableName(t.meta.Num)
-	attempts := 1
-	if t.meta.Tier == storage.TierCloud {
-		attempts = uploadRetries
-	}
 	start := time.Now()
-	var (
-		err  error
-		used int
-	)
-	for i := 0; i < attempts; i++ {
-		used = i + 1
-		if err = storage.WriteObject(be, name, t.data); err == nil {
-			break
+	if t.meta.Tier != storage.TierCloud {
+		if err := storage.WriteObject(d.local, name, t.data); err != nil {
+			return err
 		}
-		d.stats.UploadRetries.Add(1)
-		d.evCloudRetry("put", name, used, err)
-		time.Sleep(time.Duration(i+1) * 10 * time.Millisecond)
+		d.evTableUploaded(t.meta.Num, t.meta.Tier, int64(t.meta.Size), 1, time.Since(start), false)
+		return nil
 	}
-	if err != nil {
-		return err
-	}
-	if t.meta.Tier == storage.TierCloud {
+	attempts, err := d.cloudPut(name, t.data)
+	if err == nil {
 		if err := d.writeMetaSidecar(t.meta.Num, t.metaOff, t.data[t.metaOff:]); err != nil {
 			return err
 		}
+		d.evTableUploaded(t.meta.Num, t.meta.Tier, int64(t.meta.Size), attempts, time.Since(start), false)
+		return nil
 	}
-	d.evTableUploaded(t.meta.Num, t.meta.Tier, int64(t.meta.Size), used, time.Since(start))
+	if d.opts.DisableDegradedMode {
+		return err
+	}
+	if lerr := storage.WriteObject(d.local, name, t.data); lerr != nil {
+		// Both tiers failing is a real wedge; surface the local error with
+		// the cloud failure that forced the degraded landing.
+		return fmt.Errorf("db: degraded landing after cloud failure (%v): %w", err, lerr)
+	}
+	t.meta.Tier = storage.TierLocal
+	t.meta.PendingCloud = true
+	d.stats.DegradedTables.Add(1)
+	d.evTableUploaded(t.meta.Num, t.meta.Tier, int64(t.meta.Size), attempts, time.Since(start), true)
 	return nil
+}
+
+// cloudPut uploads one whole object to the cloud tier under the retry
+// policy, reporting how many attempts ran.
+func (d *DB) cloudPut(name string, data []byte) (attempts int, err error) {
+	if d.cloudRel != nil {
+		return d.cloudRel.WriteObject(name, data)
+	}
+	return 1, storage.WriteObject(d.cloud, name, data)
 }
 
 // writeMetaSidecar persists a table's metadata tail locally:
@@ -217,7 +229,9 @@ func (d *DB) flushMemtable(imm *memtable.MemTable) error {
 		restoreOnError()
 		return fmt.Errorf("db: flush upload: %w", err)
 	}
-	if tier == storage.TierCloud && d.opts.Policy == PolicyMash {
+	// uploadTable may have landed the table locally (degraded mode); trust
+	// the metadata, not the intended tier, from here on.
+	if t.meta.Tier == storage.TierCloud && d.opts.Policy == PolicyMash {
 		// Fresh L0 data is by definition hot; write it through to the
 		// persistent cache so first reads don't pay a cloud round trip.
 		if err := d.warmPCache(t); err != nil {
@@ -246,6 +260,6 @@ func (d *DB) flushMemtable(imm *memtable.MemTable) error {
 	}
 	dur := time.Since(flushStart)
 	d.lat.flush.Record(dur)
-	d.evFlushEnd(t.meta.Num, int64(t.meta.Size), tier, dur)
+	d.evFlushEnd(t.meta.Num, int64(t.meta.Size), t.meta.Tier, dur)
 	return nil
 }

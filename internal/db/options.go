@@ -4,7 +4,10 @@
 package db
 
 import (
+	"time"
+
 	"rocksmash/internal/event"
+	"rocksmash/internal/retry"
 	"rocksmash/internal/sstable"
 	"rocksmash/internal/storage"
 )
@@ -124,6 +127,26 @@ type Options struct {
 	// concurrently. 1 reproduces stock serial recovery.
 	RecoveryParallelism int
 
+	// CloudRetry bounds how cloud requests are retried (attempts, backoff,
+	// deadline). Zero fields take retry.Default(); a custom Retryable is
+	// composed with the built-in classification (data-absence and
+	// breaker-open errors never retry).
+	CloudRetry retry.Policy
+	// CloudBreaker tunes the circuit breaker guarding the cloud tier: after
+	// FailureThreshold consecutive failed requests the breaker opens, cloud
+	// requests fail fast with ErrCloudUnavailable, and flushes/compactions
+	// land their outputs locally (degraded mode) until a half-open probe
+	// succeeds. Zero fields take the breaker defaults.
+	CloudBreaker retry.BreakerConfig
+	// PendingDrainInterval is how often the background drainer retries
+	// deferred deletes and migrates degraded-mode tables to the cloud.
+	// Default 200ms.
+	PendingDrainInterval time.Duration
+	// DisableDegradedMode makes cloud upload failures surface as flush and
+	// compaction errors (wedging the DB, today's strict behavior) instead of
+	// landing outputs locally as pending-upload tables.
+	DisableDegradedMode bool
+
 	// EventListener receives engine lifecycle events (flush, compaction,
 	// upload, stall, cache transitions). Nil disables event dispatch at zero
 	// cost; see package event for the listener contract.
@@ -226,6 +249,10 @@ func (o Options) sanitize() Options {
 	}
 	if o.RecoveryParallelism <= 0 {
 		o.RecoveryParallelism = 1
+	}
+	o.CloudRetry = o.CloudRetry.Sanitize()
+	if o.PendingDrainInterval <= 0 {
+		o.PendingDrainInterval = 200 * time.Millisecond
 	}
 	return o
 }

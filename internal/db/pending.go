@@ -1,0 +1,305 @@
+package db
+
+import (
+	"time"
+
+	"rocksmash/internal/manifest"
+	"rocksmash/internal/retry"
+	"rocksmash/internal/sstable"
+	"rocksmash/internal/storage"
+)
+
+// This file implements the degraded-mode machinery behind the cloud
+// fault-tolerance layer:
+//
+//   - the pending-upload drainer, which migrates tables landed on local
+//     storage during an outage (FileMetadata.PendingCloud) to the cloud
+//     tier once the circuit breaker closes;
+//   - the deferred-delete queue, which retries object deletions that
+//     failed during compaction retirement (the version no longer
+//     references them, so losing a delete must not fail the compaction);
+//   - the orphan sweep at Open, which removes table objects no version
+//     references (crash between an object write and its manifest edit).
+//
+// Invariants:
+//
+//   - A PendingCloud file is always on TierLocal and readable locally; the
+//     manifest never references a cloud object that is not durable.
+//   - Migration is atomic in the manifest: one edit deletes the local
+//     entry and re-adds it as TierCloud with the flag cleared, applied
+//     only after the cloud object and its metadata sidecar are durable.
+//   - The drainer is the only mutator of a file's tier, and it re-verifies
+//     the file is still live under compactionMu before the edit, so a
+//     concurrent compaction can never resurrect a retired table.
+
+// deferredDelete is an object deletion that failed and awaits retry.
+type deferredDelete struct {
+	tier storage.Tier
+	name string
+}
+
+// deferDelete queues an object deletion for the drainer to retry.
+func (d *DB) deferDelete(tier storage.Tier, name string) {
+	d.deferredMu.Lock()
+	d.deferred = append(d.deferred, deferredDelete{tier: tier, name: name})
+	d.deferredMu.Unlock()
+	d.stats.DeferredDeletes.Add(1)
+}
+
+// onCloudRetry is the Reliable wrapper's retry observer: it keeps the
+// per-direction retry counters and fires the CloudRetry event.
+func (d *DB) onCloudRetry(op, name string, attempt int, err error, delay time.Duration) {
+	if op == "put" {
+		d.stats.UploadRetries.Add(1)
+	} else {
+		d.stats.ReadRetries.Add(1)
+	}
+	d.evCloudRetry(op, name, attempt, err)
+}
+
+// onBreakerChange observes circuit-breaker transitions: it mirrors them
+// into stats and events, and nudges the drainer when the cloud recovers so
+// the pending backlog starts migrating immediately.
+func (d *DB) onBreakerChange(from, to retry.State) {
+	switch to {
+	case retry.StateOpen:
+		d.stats.BreakerTrips.Add(1)
+	case retry.StateHalfOpen:
+		d.stats.BreakerHalfOpens.Add(1)
+	case retry.StateClosed:
+		select {
+		case d.drainWake <- struct{}{}:
+		default:
+		}
+		// Compactions deferred during the outage can run again.
+		d.scheduleWork()
+	}
+	d.evBreakerState(from.String(), to.String())
+}
+
+// drainLoop runs until shutdown, retrying deferred deletes and migrating
+// pending-upload tables. Each round is also the outage probe: the first
+// cloud request either passes (half-open probe admitted) or fails fast
+// with ErrCloudUnavailable, so recovery needs no foreground traffic.
+func (d *DB) drainLoop() {
+	defer close(d.drainDone)
+	ticker := time.NewTicker(d.opts.PendingDrainInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-d.bgQuit:
+			return
+		case <-ticker.C:
+		case <-d.drainWake:
+		}
+		d.drainDeferredDeletes()
+		if d.cloudRel != nil {
+			d.drainPending()
+		}
+	}
+}
+
+// drainDeferredDeletes retries queued deletions, re-queueing failures.
+func (d *DB) drainDeferredDeletes() {
+	d.deferredMu.Lock()
+	q := d.deferred
+	d.deferred = nil
+	d.deferredMu.Unlock()
+	if len(q) == 0 {
+		return
+	}
+	var keep []deferredDelete
+	for _, dd := range q {
+		if err := d.backendFor(dd.tier).Delete(dd.name); err != nil {
+			keep = append(keep, dd)
+		}
+	}
+	if len(keep) > 0 {
+		d.deferredMu.Lock()
+		d.deferred = append(keep, d.deferred...)
+		d.deferredMu.Unlock()
+	}
+}
+
+// pendingFile locates one PendingCloud file in a version snapshot.
+type pendingFile struct {
+	level int
+	meta  manifest.FileMetadata
+}
+
+func (d *DB) nextPending() *pendingFile {
+	var out *pendingFile
+	d.vs.Current().AllFiles(func(level int, f *manifest.FileMetadata) {
+		if out == nil && f.PendingCloud {
+			out = &pendingFile{level: level, meta: *f}
+		}
+	})
+	return out
+}
+
+// drainPending migrates pending tables one at a time until the backlog is
+// empty or the cloud stops cooperating.
+func (d *DB) drainPending() {
+	for {
+		select {
+		case <-d.bgQuit:
+			return
+		default:
+		}
+		p := d.nextPending()
+		if p == nil {
+			return
+		}
+		if !d.drainOne(p.level, p.meta) {
+			return
+		}
+	}
+}
+
+// drainOne uploads one pending table to the cloud and installs the tier
+// change. It returns false when the round should stop (cloud still down,
+// shutdown, manifest failure) and true when the drainer may continue with
+// the next candidate.
+func (d *DB) drainOne(level int, meta manifest.FileMetadata) bool {
+	name := manifest.TableName(meta.Num)
+	start := time.Now()
+	data, err := d.local.ReadAll(name)
+	if err != nil {
+		// The table vanished: a concurrent compaction retired it between the
+		// version snapshot and now. The next round sees the fresh version.
+		return true
+	}
+	attempts, err := d.cloudPut(name, data)
+	if err != nil {
+		// Cloud still unreachable (breaker open fails fast); try next tick.
+		return false
+	}
+	tailOff, tail, err := sstable.MetaTail(bytesReader{data})
+	if err == nil {
+		err = d.writeMetaSidecar(meta.Num, tailOff, tail)
+	}
+	if err != nil {
+		_ = d.cloud.Delete(name)
+		return false
+	}
+
+	// Install the migration, re-verifying liveness under compactionMu so a
+	// concurrent compaction cannot retire the file between our check and
+	// the manifest append (LogAndApply persists before applying, so a
+	// conflicting edit must be impossible, not merely detected).
+	d.compactionMu.Lock()
+	live := false
+	for _, f := range d.vs.Current().Levels[level] {
+		if f.Num == meta.Num && f.PendingCloud {
+			live = true
+			break
+		}
+	}
+	if !live {
+		d.compactionMu.Unlock()
+		// Compacted away mid-drain: the cloud copy and sidecar are orphans.
+		_ = d.cloud.Delete(name)
+		_ = d.local.Delete(metaSidecarName(meta.Num))
+		return true
+	}
+	newMeta := meta
+	newMeta.Tier = storage.TierCloud
+	newMeta.PendingCloud = false
+	err = d.vs.LogAndApply(&manifest.VersionEdit{
+		Deleted: []manifest.DeletedFile{{Level: level, Num: meta.Num}},
+		Added:   []manifest.AddedFile{{Level: level, Meta: newMeta}},
+	})
+	d.compactionMu.Unlock()
+	if err != nil {
+		// Manifest I/O failure is a local-tier problem; wedge like any
+		// other background failure.
+		d.mu.Lock()
+		if d.bgErr == nil {
+			d.bgErr = err
+		}
+		d.immWake.Broadcast()
+		d.mu.Unlock()
+		return false
+	}
+
+	// The handle cached for the local file must be reopened against the
+	// cloud tier (with its sidecar overlay) on next use. Block-cache
+	// entries are content-identical and stay valid.
+	d.tables.evict(meta.Num)
+	if err := d.local.Delete(name); err != nil {
+		d.deferDelete(storage.TierLocal, name)
+	}
+	if d.opts.Policy == PolicyMash {
+		// Keep the just-migrated data warm: it was serving reads locally a
+		// moment ago and must not fall off a latency cliff.
+		_ = d.warmPCache(&builtTable{meta: newMeta, metaOff: tailOff, data: data})
+	}
+	d.stats.DrainedTables.Add(1)
+	d.evTableUploaded(meta.Num, storage.TierCloud, int64(meta.Size), attempts, time.Since(start), false)
+	return true
+}
+
+// cleanOrphans removes table objects and metadata sidecars that no version
+// references: leftovers of a crash between an object write and its
+// manifest edit, or of a degraded-mode drain cut short. It runs during
+// Open, before background work starts. The cloud sweep is skipped wholesale
+// when the cloud is unreachable (the next Open retries it).
+func (d *DB) cleanOrphans() {
+	localRef := map[string]bool{}
+	cloudRef := map[string]bool{}
+	sidecarRef := map[string]bool{}
+	d.vs.Current().AllFiles(func(level int, f *manifest.FileMetadata) {
+		name := manifest.TableName(f.Num)
+		if f.Tier == storage.TierCloud {
+			cloudRef[name] = true
+			sidecarRef[metaSidecarName(f.Num)] = true
+		} else {
+			localRef[name] = true
+		}
+	})
+	if names, err := d.local.List("sst/"); err == nil {
+		for _, n := range names {
+			if !localRef[n] {
+				_ = d.local.Delete(n)
+			}
+		}
+	}
+	if names, err := d.local.List("meta/"); err == nil {
+		for _, n := range names {
+			if !sidecarRef[n] {
+				_ = d.local.Delete(n)
+			}
+		}
+	}
+	if d.cloud == nil {
+		return
+	}
+	if names, err := d.cloud.List("sst/"); err == nil {
+		for _, n := range names {
+			if !cloudRef[n] {
+				_ = d.cloud.Delete(n)
+			}
+		}
+	}
+}
+
+// PendingCloudTables reports the degraded-mode backlog: how many tables
+// (and bytes) are on local storage awaiting upload to the cloud tier.
+func (d *DB) PendingCloudTables() (tables int, bytes int64) {
+	d.vs.Current().AllFiles(func(level int, f *manifest.FileMetadata) {
+		if f.PendingCloud {
+			tables++
+			bytes += int64(f.Size)
+		}
+	})
+	return tables, bytes
+}
+
+// BreakerState returns the cloud circuit breaker's position ("closed",
+// "open", "half-open"), or "" when the DB has no cloud tier.
+func (d *DB) BreakerState() string {
+	if d.breaker == nil {
+		return ""
+	}
+	return d.breaker.State().String()
+}

@@ -141,11 +141,16 @@ func TestPipelineEquivalence(t *testing.T) {
 	}
 }
 
-// TestCompactionUploadFailureCleansOrphans lets the first compaction output
-// upload land and then fails the rest for good. The compaction must report
-// the error and delete the outputs it already uploaded: afterwards every
-// sst object in the cloud is referenced by the manifest.
-func TestCompactionUploadFailureCleansOrphans(t *testing.T) {
+// TestCompactionOutageDegradesAndRecovers lets the first compaction output
+// upload land and then fails every later cloud sst PUT. Depending on when
+// the breaker trips relative to the merge, the compaction either degrades
+// (outputs land locally marked pending-upload) or stops with a typed
+// ErrCloudUnavailable and no manifest change — both are legal. Once the
+// outage clears, the drainer migrates the backlog and retries deferred
+// deletes; afterwards the tree holds no pending files, every cloud object
+// is referenced by the manifest, every referenced object exists, and a full
+// scan sees all the data.
+func TestCompactionOutageDegradesAndRecovers(t *testing.T) {
 	dir := loadPipelineDir(t, 3000)
 	d := reopenPipeline(t, dir, storage.NoLatency(), 0, 2, 0)
 	defer d.Close()
@@ -157,23 +162,43 @@ func TestCompactionUploadFailureCleansOrphans(t *testing.T) {
 		}
 		return nil
 	})
-	before := d.debugLevels()
 	err := d.CompactAll()
+	if err != nil && !errors.Is(err, ErrCloudUnavailable) {
+		t.Fatalf("compaction during outage failed with untyped error: %v", err)
+	}
 	if err == nil {
-		t.Fatal("compaction with failing uploads should error")
-	}
-	if sstPuts.Load() < 2 {
-		t.Skip("compaction produced fewer than two outputs; cannot exercise orphan cleanup")
-	}
-	if got := d.debugLevels(); got != before {
-		t.Errorf("failed compaction changed the tree: %v -> %v", before, got)
+		// The whole compaction ran degraded: it must have left a backlog.
+		if n, _ := d.PendingCloudTables(); n == 0 {
+			t.Fatal("degraded compaction finished with no pending-upload backlog")
+		}
 	}
 
-	// Every surviving sst object must be referenced by the current version.
+	// Outage clears: the drainer migrates pending tables and deferred
+	// deletes remove anything an aborted compaction left behind.
+	d.cloudSim.SetFailureHook(nil)
+	waitForDrain(t, d, 10*time.Second)
+	var cerr error
+	for deadline := time.Now().Add(10 * time.Second); ; time.Sleep(5 * time.Millisecond) {
+		if cerr = d.CompactAll(); cerr == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("compaction after outage cleared: %v", cerr)
+		}
+	}
+	waitForDrain(t, d, 10*time.Second)
+	waitForDeferredEmpty(t, d, 10*time.Second)
+
+	// Every surviving cloud object is referenced by the current version and
+	// every referenced object exists; nothing is still pending.
 	referenced := map[string]bool{}
-	v := d.vs.Current()
-	v.AllFiles(func(level int, f *manifest.FileMetadata) {
-		referenced[manifest.TableName(f.Num)] = true
+	d.vs.Current().AllFiles(func(level int, f *manifest.FileMetadata) {
+		if f.PendingCloud {
+			t.Errorf("file %d still pending-upload after drain", f.Num)
+		}
+		if f.Tier == storage.TierCloud {
+			referenced[manifest.TableName(f.Num)] = true
+		}
 	})
 	names, lerr := d.cloudSim.List("sst/")
 	if lerr != nil {
@@ -184,14 +209,14 @@ func TestCompactionUploadFailureCleansOrphans(t *testing.T) {
 			t.Errorf("orphaned cloud object left behind: %s", n)
 		}
 	}
-
-	// The store recovers once the outage clears.
-	d.cloudSim.SetFailureHook(nil)
-	if err := d.CompactAll(); err != nil {
-		t.Fatalf("compaction after outage cleared: %v", err)
+	for n := range referenced {
+		if _, serr := d.cloudSim.Size(n); serr != nil {
+			t.Errorf("referenced object %s missing from cloud: %v", n, serr)
+		}
 	}
-	mustGet(t, d, "k000000", pipelineValue(0))
-	mustGet(t, d, "k002999", pipelineValue(2999))
+	if scan := scanAll(t, d); len(scan) != 3000 {
+		t.Fatalf("scan after recovery returned %d keys, want 3000", len(scan))
+	}
 }
 
 // TestCompactionPrefetchFailureSurfaces fails every in-flight cloud GET
@@ -224,9 +249,17 @@ func TestCompactionPrefetchFailureSurfaces(t *testing.T) {
 		t.Errorf("failed compaction changed the tree: %v -> %v", before, got)
 	}
 
+	// Recovery: the breaker needs its cooldown to elapse before it admits
+	// the probe that closes it, so retry briefly.
 	d.cloudSim.SetFailureHook(nil)
-	if err := d.CompactAll(); err != nil {
-		t.Fatalf("compaction after outage cleared: %v", err)
+	var cerr error
+	for deadline := time.Now().Add(10 * time.Second); ; time.Sleep(5 * time.Millisecond) {
+		if cerr = d.CompactAll(); cerr == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("compaction after outage cleared: %v", cerr)
+		}
 	}
 	scan := scanAll(t, d)
 	if len(scan) != 3000 {

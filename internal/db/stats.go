@@ -20,11 +20,18 @@ type Stats struct {
 	Flushes    atomic.Int64
 	FlushBytes atomic.Int64
 
-	UploadRetries      atomic.Int64
-	Compactions        atomic.Int64
-	CompactBytesIn     atomic.Int64
-	CompactBytesOut    atomic.Int64
-	CompactDroppedKeys atomic.Int64
+	UploadRetries       atomic.Int64
+	ReadRetries         atomic.Int64
+	BreakerTrips        atomic.Int64
+	BreakerHalfOpens    atomic.Int64
+	DegradedTables      atomic.Int64 // tables landed locally during outages
+	DrainedTables       atomic.Int64 // pending tables migrated to cloud
+	DeferredDeletes     atomic.Int64 // object deletions queued for retry
+	CompactionsDeferred atomic.Int64 // compactions postponed by an open breaker
+	Compactions         atomic.Int64
+	CompactBytesIn      atomic.Int64
+	CompactBytesOut     atomic.Int64
+	CompactDroppedKeys  atomic.Int64
 
 	// I/O pipeline counters: coalesced range GETs issued by the compaction
 	// prefetcher and by iterator readahead, and the blocks they carried.
@@ -109,6 +116,7 @@ type Metrics struct {
 	BytesWritten       int64
 	FlushBytes         int64
 	UploadRetries      int64
+	ReadRetries        int64
 	CompactBytesIn     int64
 	CompactBytesOut    int64
 	CompactDroppedKeys int64
@@ -117,6 +125,19 @@ type Metrics struct {
 	PrefetchBlocks  int64
 	ReadaheadSpans  int64
 	ReadaheadBlocks int64
+
+	// Robustness state: the cloud circuit breaker's position and history,
+	// and the degraded-mode backlog of tables awaiting upload.
+	BreakerState        string
+	BreakerTrips        int64
+	BreakerHalfOpens    int64
+	DegradedDur         time.Duration
+	DegradedTables      int64
+	DrainedTables       int64
+	DeferredDeletes     int64
+	CompactionsDeferred int64
+	PendingTables       int
+	PendingBytes        int64
 
 	// Per-operation latency distributions (engine-side).
 	GetLat     LatencySummary
@@ -152,6 +173,7 @@ func (d *DB) Metrics() Metrics {
 		BytesWritten:       d.stats.BytesWritten.Load(),
 		FlushBytes:         d.stats.FlushBytes.Load(),
 		UploadRetries:      d.stats.UploadRetries.Load(),
+		ReadRetries:        d.stats.ReadRetries.Load(),
 		CompactBytesIn:     d.stats.CompactBytesIn.Load(),
 		CompactBytesOut:    d.stats.CompactBytesOut.Load(),
 		CompactDroppedKeys: d.stats.CompactDroppedKeys.Load(),
@@ -160,6 +182,13 @@ func (d *DB) Metrics() Metrics {
 		PrefetchBlocks:  d.stats.PrefetchBlocks.Load(),
 		ReadaheadSpans:  d.stats.ReadaheadSpans.Load(),
 		ReadaheadBlocks: d.stats.ReadaheadBlocks.Load(),
+
+		BreakerTrips:        d.stats.BreakerTrips.Load(),
+		BreakerHalfOpens:    d.stats.BreakerHalfOpens.Load(),
+		DegradedTables:      d.stats.DegradedTables.Load(),
+		DrainedTables:       d.stats.DrainedTables.Load(),
+		DeferredDeletes:     d.stats.DeferredDeletes.Load(),
+		CompactionsDeferred: d.stats.CompactionsDeferred.Load(),
 
 		GetLat:      summarize(d.lat.get),
 		PutLat:      summarize(d.lat.put),
@@ -180,7 +209,15 @@ func (d *DB) Metrics() Metrics {
 		} else {
 			m.LocalBytes += int64(f.Size)
 		}
+		if f.PendingCloud {
+			m.PendingTables++
+			m.PendingBytes += int64(f.Size)
+		}
 	})
+	if d.breaker != nil {
+		m.BreakerState = d.breaker.State().String()
+		m.DegradedDur = d.breaker.DegradedDur()
+	}
 	if d.cloud != nil {
 		m.CloudIO = d.cloud.Stats().Snapshot()
 	}

@@ -65,7 +65,9 @@ func (u *uploader) uploadOne(t *builtTable) error {
 	if err := u.d.uploadTable(t); err != nil {
 		return fmt.Errorf("db: compaction upload: %w", err)
 	}
-	if u.warm {
+	// A degraded landing leaves the table on local storage; skip warming —
+	// the persistent cache only fronts cloud-tier reads.
+	if u.warm && t.meta.Tier == storage.TierCloud {
 		return u.d.warmPCache(t)
 	}
 	return nil
@@ -102,9 +104,9 @@ func (u *uploader) wait() error {
 
 // abort waits out in-flight uploads and then deletes every output object
 // (and local metadata sidecar) that already landed, so a failed compaction
-// does not leak orphaned tables into the cloud backend. Deletion is best
-// effort: the caller is about to return the original error, and anything
-// left behind is unreferenced garbage, not a correctness problem.
+// does not leak orphaned tables into the cloud backend. A delete that fails
+// (cloud breaker open during an outage) goes on the deferred queue and the
+// drainer retries it once the cloud recovers.
 func (u *uploader) abort() {
 	u.wg.Wait()
 	u.mu.Lock()
@@ -112,9 +114,14 @@ func (u *uploader) abort() {
 	u.uploaded = nil
 	u.mu.Unlock()
 	for _, t := range uploaded {
-		_ = u.d.backendFor(t.meta.Tier).Delete(manifest.TableName(t.meta.Num))
+		name := manifest.TableName(t.meta.Num)
+		if err := u.d.backendFor(t.meta.Tier).Delete(name); err != nil {
+			u.d.deferDelete(t.meta.Tier, name)
+		}
 		if t.meta.Tier == storage.TierCloud {
-			_ = u.d.local.Delete(metaSidecarName(t.meta.Num))
+			if err := u.d.local.Delete(metaSidecarName(t.meta.Num)); err != nil {
+				u.d.deferDelete(storage.TierLocal, metaSidecarName(t.meta.Num))
+			}
 		}
 	}
 }

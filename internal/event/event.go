@@ -35,6 +35,7 @@ const (
 	TPCacheAdmit     Type = "pcache_admit"
 	TPCacheEvict     Type = "pcache_evict"
 	TCloudRetry      Type = "cloud_retry"
+	TBreakerState    Type = "breaker_state"
 )
 
 // FlushBegin fires when a sealed memtable (or recovery memtables) starts
@@ -90,6 +91,11 @@ type TableUploaded struct {
 	Bytes    int64         `json:"bytes"`
 	Attempts int           `json:"attempts"`
 	Duration time.Duration `json:"dur"`
+	// Pending marks a degraded-mode landing: the table belongs on the cloud
+	// tier but was written to local storage because the cloud was
+	// unreachable. A second event (Pending false, tier "cloud") fires when
+	// the drainer migrates it.
+	Pending bool `json:"pending,omitempty"`
 }
 
 // TableDeleted fires when a compaction input object is removed.
@@ -137,6 +143,14 @@ type CloudRetry struct {
 	Err     string `json:"err"`
 }
 
+// BreakerState fires when the cloud circuit breaker transitions (for
+// example "closed" -> "open" when an outage is detected, or
+// "half-open" -> "closed" when a probe succeeds).
+type BreakerState struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
 // Listener receives engine lifecycle events. Embed NopListener to implement
 // only the methods of interest.
 type Listener interface {
@@ -151,6 +165,7 @@ type Listener interface {
 	OnPCacheAdmit(PCacheAdmit)
 	OnPCacheEvict(PCacheEvict)
 	OnCloudRetry(CloudRetry)
+	OnBreakerState(BreakerState)
 }
 
 // NopListener implements Listener with no-ops; embed it in partial
@@ -168,6 +183,7 @@ func (NopListener) OnWriteStallEnd(WriteStallEnd)     {}
 func (NopListener) OnPCacheAdmit(PCacheAdmit)         {}
 func (NopListener) OnPCacheEvict(PCacheEvict)         {}
 func (NopListener) OnCloudRetry(CloudRetry)           {}
+func (NopListener) OnBreakerState(BreakerState)       {}
 
 // multi fans every event out to each listener in order.
 type multi []Listener
@@ -244,5 +260,10 @@ func (m multi) OnPCacheEvict(e PCacheEvict) {
 func (m multi) OnCloudRetry(e CloudRetry) {
 	for _, l := range m {
 		l.OnCloudRetry(e)
+	}
+}
+func (m multi) OnBreakerState(e BreakerState) {
+	for _, l := range m {
+		l.OnBreakerState(e)
 	}
 }

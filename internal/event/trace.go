@@ -51,6 +51,8 @@ func (r Record) Decode() (any, error) {
 		p = &PCacheEvict{}
 	case TCloudRetry:
 		p = &CloudRetry{}
+	case TBreakerState:
+		p = &BreakerState{}
 	default:
 		return nil, fmt.Errorf("event: unknown trace record type %q", r.Type)
 	}
@@ -79,8 +81,10 @@ func (r Record) Decode() (any, error) {
 		return *e, nil
 	case *PCacheEvict:
 		return *e, nil
+	case *CloudRetry:
+		return *e, nil
 	default:
-		return *p.(*CloudRetry), nil
+		return *p.(*BreakerState), nil
 	}
 }
 
@@ -168,6 +172,7 @@ func (t *TraceWriter) OnWriteStallEnd(e WriteStallEnd)     { t.emit(TWriteStallE
 func (t *TraceWriter) OnPCacheAdmit(e PCacheAdmit)         { t.emit(TPCacheAdmit, e) }
 func (t *TraceWriter) OnPCacheEvict(e PCacheEvict)         { t.emit(TPCacheEvict, e) }
 func (t *TraceWriter) OnCloudRetry(e CloudRetry)           { t.emit(TCloudRetry, e) }
+func (t *TraceWriter) OnBreakerState(e BreakerState)       { t.emit(TBreakerState, e) }
 
 // ReadTrace decodes a JSONL trace stream. Blank lines are skipped; a
 // malformed line aborts with its line number.
@@ -266,3 +271,4 @@ func (r *Recorder) OnWriteStallEnd(e WriteStallEnd)     { r.add(TWriteStallEnd, 
 func (r *Recorder) OnPCacheAdmit(e PCacheAdmit)         { r.add(TPCacheAdmit, e) }
 func (r *Recorder) OnPCacheEvict(e PCacheEvict)         { r.add(TPCacheEvict, e) }
 func (r *Recorder) OnCloudRetry(e CloudRetry)           { r.add(TCloudRetry, e) }
+func (r *Recorder) OnBreakerState(e BreakerState)       { r.add(TBreakerState, e) }

@@ -42,6 +42,10 @@ const (
 	tagFlushedSeq  = 3
 	tagAddedFile   = 4
 	tagDeletedFile = 5
+	// tagAddedPending is an AddedFile whose table is awaiting upload to the
+	// cloud tier (degraded-mode landing). Same field layout as tagAddedFile;
+	// the tag itself carries the pending bit so old manifests stay readable.
+	tagAddedPending = 6
 )
 
 // ErrCorrupt reports a malformed manifest record.
@@ -63,7 +67,11 @@ func (e *VersionEdit) Encode() []byte {
 		b = binary.AppendUvarint(b, e.FlushedSeq)
 	}
 	for _, a := range e.Added {
-		b = binary.AppendUvarint(b, tagAddedFile)
+		if a.Meta.PendingCloud {
+			b = binary.AppendUvarint(b, tagAddedPending)
+		} else {
+			b = binary.AppendUvarint(b, tagAddedFile)
+		}
 		b = binary.AppendUvarint(b, uint64(a.Level))
 		b = binary.AppendUvarint(b, a.Meta.Num)
 		b = binary.AppendUvarint(b, a.Meta.Size)
@@ -137,7 +145,7 @@ func DecodeEdit(p []byte) (*VersionEdit, error) {
 				return nil, err
 			}
 			e.HasFlushedSeq = true
-		case tagAddedFile:
+		case tagAddedFile, tagAddedPending:
 			var a AddedFile
 			lvl, err := d.uvarint()
 			if err != nil {
@@ -164,6 +172,7 @@ func DecodeEdit(p []byte) (*VersionEdit, error) {
 			if a.Meta.Largest, err = d.bytes(); err != nil {
 				return nil, err
 			}
+			a.Meta.PendingCloud = tag == tagAddedPending
 			e.Added = append(e.Added, a)
 		case tagDeletedFile:
 			var del DeletedFile

@@ -25,6 +25,12 @@ type FileMetadata struct {
 	MinSeq   uint64
 	MaxSeq   uint64
 	Tier     storage.Tier // which backend holds the file body
+
+	// PendingCloud marks a table that belongs on the cloud tier but was
+	// landed on local storage because the cloud was unreachable (degraded
+	// mode). Tier is TierLocal while the flag is set; the background drainer
+	// uploads the file and clears the flag via a manifest edit.
+	PendingCloud bool
 }
 
 // String implements fmt.Stringer for debugging and mashctl dumps.

@@ -42,6 +42,27 @@ func TestEditEncodeDecode(t *testing.T) {
 	}
 }
 
+func TestEditEncodeDecodePending(t *testing.T) {
+	pending := fm(11, "a", "k", 1, 30, storage.TierLocal)
+	pending.PendingCloud = true
+	e := &VersionEdit{
+		Added: []AddedFile{
+			{Level: 0, Meta: pending},
+			{Level: 0, Meta: fm(12, "l", "z", 31, 60, storage.TierCloud)},
+		},
+	}
+	dec, err := DecodeEdit(e.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(e, dec) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", e, dec)
+	}
+	if !dec.Added[0].Meta.PendingCloud || dec.Added[1].Meta.PendingCloud {
+		t.Fatal("pending flag not preserved per file")
+	}
+}
+
 func TestEditDecodeCorrupt(t *testing.T) {
 	if _, err := DecodeEdit([]byte{200}); err == nil {
 		t.Fatal("bad tag should fail")

@@ -1,0 +1,139 @@
+// Package retry implements the engine's cloud fault-tolerance primitives:
+// a retry policy (bounded attempts, exponential backoff with full jitter,
+// per-operation deadline, retryable-error classification) and a circuit
+// breaker that trips after consecutive failures and half-opens on a probe.
+// Object stores return transient 5xx-style errors routinely; the policy
+// absorbs those, while the breaker turns a sustained outage into fast,
+// typed failures instead of a pile-up of blocked retry loops.
+package retry
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// ErrAborted is returned by Do when the cancel channel closes during a
+// backoff wait (for example, the DB shutting down mid-outage). It is joined
+// with the last attempt's error so callers can inspect both.
+var ErrAborted = errors.New("retry: aborted")
+
+// Policy bounds how an operation is retried.
+type Policy struct {
+	// MaxAttempts is the total number of tries, including the first.
+	// Values below 1 are treated as 1 (no retries).
+	MaxAttempts int
+	// BaseBackoff is the cap of the first retry's jittered wait; each
+	// further retry doubles the cap up to MaxBackoff.
+	BaseBackoff time.Duration
+	// MaxBackoff caps a single backoff wait.
+	MaxBackoff time.Duration
+	// Deadline bounds the whole operation: once elapsed time plus the next
+	// wait would exceed it, Do stops retrying and returns the last error.
+	// Zero means no deadline.
+	Deadline time.Duration
+	// Retryable classifies errors; returning false stops retrying
+	// immediately. Nil retries every error.
+	Retryable func(error) bool
+}
+
+// Default returns the policy used for cloud requests: four attempts spread
+// over roughly a second, bounded at thirty seconds end to end.
+func Default() Policy {
+	return Policy{
+		MaxAttempts: 4,
+		BaseBackoff: 10 * time.Millisecond,
+		MaxBackoff:  2 * time.Second,
+		Deadline:    30 * time.Second,
+	}
+}
+
+// Sanitize fills zero fields with defaults so a partially specified policy
+// behaves sensibly.
+func (p Policy) Sanitize() Policy {
+	d := Default()
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = d.MaxAttempts
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = d.BaseBackoff
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = d.MaxBackoff
+	}
+	if p.Deadline < 0 {
+		p.Deadline = 0
+	}
+	return p
+}
+
+// Backoff returns the jittered wait before retry number attempt (1-based:
+// attempt 1 is the wait after the first failure). Full jitter — uniform in
+// [0, cap) where cap doubles per attempt — decorrelates retry storms from
+// concurrent uploads hitting the same outage.
+func (p Policy) Backoff(attempt int) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	cap := p.BaseBackoff
+	for i := 1; i < attempt && cap < p.MaxBackoff; i++ {
+		cap *= 2
+	}
+	if cap > p.MaxBackoff {
+		cap = p.MaxBackoff
+	}
+	if cap <= 0 {
+		return 0
+	}
+	return time.Duration(rand.Int63n(int64(cap)))
+}
+
+// retryable applies the classification with the nil default.
+func (p Policy) retryable(err error) bool {
+	if p.Retryable == nil {
+		return true
+	}
+	return p.Retryable(err)
+}
+
+// Do runs op under the policy. onRetry, when non-nil, fires before each
+// backoff wait with the 1-based attempt number that just failed, its error,
+// and the chosen wait. A close of cancel during a wait aborts promptly,
+// returning ErrAborted joined with the last attempt's error; attempts
+// themselves are never interrupted.
+func Do(p Policy, cancel <-chan struct{}, onRetry func(attempt int, err error, delay time.Duration), op func() error) error {
+	p = p.Sanitize()
+	start := time.Now()
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = op()
+		if err == nil || !p.retryable(err) || attempt >= p.MaxAttempts {
+			return err
+		}
+		delay := p.Backoff(attempt)
+		if p.Deadline > 0 && time.Since(start)+delay > p.Deadline {
+			return err
+		}
+		if onRetry != nil {
+			onRetry(attempt, err, delay)
+		}
+		if cancel != nil {
+			select {
+			case <-cancel:
+				return errors.Join(ErrAborted, err)
+			default:
+			}
+		}
+		timer := time.NewTimer(delay)
+		if cancel != nil {
+			select {
+			case <-cancel:
+				timer.Stop()
+				return errors.Join(ErrAborted, err)
+			case <-timer.C:
+			}
+		} else {
+			<-timer.C
+		}
+	}
+}

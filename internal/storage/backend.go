@@ -36,6 +36,12 @@ func (t Tier) String() string {
 // ErrNotFound is returned when an object does not exist.
 var ErrNotFound = errors.New("storage: object not found")
 
+// ErrCloudUnavailable is returned by the Reliable wrapper when its circuit
+// breaker is open: the cloud tier is considered down and requests fail fast
+// instead of piling up in retry loops. Callers can test for it with
+// errors.Is to distinguish an outage from data-level errors.
+var ErrCloudUnavailable = errors.New("storage: cloud unavailable")
+
 // Writer is a handle for creating an object. Cloud semantics: the object
 // becomes visible atomically at Close; Sync is a no-op there. Local
 // semantics: Sync flushes to stable media.

@@ -1,0 +1,337 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected marks failures produced by the Faulty wrapper. Injected
+// errors wrap it, so tests and tools can tell chaos from genuine faults
+// with errors.Is.
+var ErrInjected = fmt.Errorf("storage: injected fault")
+
+// FaultConfig tunes a Faulty wrapper. All rates are probabilities in
+// [0, 1]; zero disables that fault class.
+type FaultConfig struct {
+	// Seed fixes the fault RNG for reproducible chaos runs. Zero seeds
+	// from the current time.
+	Seed int64
+	// GetErrorRate fails read requests (Open, ReadAt, ReadAll).
+	GetErrorRate float64
+	// PutErrorRate fails object creations (Create and the commit at Close).
+	PutErrorRate float64
+	// DeleteErrorRate fails Delete requests.
+	DeleteErrorRate float64
+	// MetaErrorRate fails List / Size / Rename requests.
+	MetaErrorRate float64
+	// TornWriteRate makes a committing writer persist only a random prefix
+	// of its unsynced bytes — a local-media power-loss model. The commit
+	// still reports failure so the caller knows the object is suspect.
+	TornWriteRate float64
+	// ExtraLatency is added to every request that passes the fault checks.
+	ExtraLatency time.Duration
+}
+
+// Faulty is a composable chaos decorator: it wraps any Backend (local or
+// cloud tier alike) and injects request failures, outage windows, torn
+// writes and added latency in front of it. The degraded-mode and crash
+// tests drive the engine through it; the CLI fault knobs expose it to
+// benchmarks.
+type Faulty struct {
+	b   Backend
+	cfg FaultConfig
+
+	mu            sync.Mutex
+	rng           *rand.Rand
+	outage        bool
+	outageUntil   time.Time // zero = until EndOutage
+	hook          func(op, name string) error
+	injectedFault atomic.Int64
+}
+
+// NewFaulty wraps b with the given fault configuration.
+func NewFaulty(b Backend, cfg FaultConfig) *Faulty {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &Faulty{b: b, cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Unwrap returns the wrapped backend (BaseBackend compatibility).
+func (f *Faulty) Unwrap() Backend { return f.b }
+
+// StartOutage begins an outage window: every request fails until it ends.
+// A non-positive duration keeps the outage up until EndOutage.
+func (f *Faulty) StartOutage(d time.Duration) {
+	f.mu.Lock()
+	f.outage = true
+	if d > 0 {
+		f.outageUntil = time.Now().Add(d)
+	} else {
+		f.outageUntil = time.Time{}
+	}
+	f.mu.Unlock()
+}
+
+// EndOutage clears an outage window.
+func (f *Faulty) EndOutage() {
+	f.mu.Lock()
+	f.outage = false
+	f.mu.Unlock()
+}
+
+// OutageActive reports whether an outage window is in effect.
+func (f *Faulty) OutageActive() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.outageLocked()
+}
+
+func (f *Faulty) outageLocked() bool {
+	if !f.outage {
+		return false
+	}
+	if !f.outageUntil.IsZero() && time.Now().After(f.outageUntil) {
+		f.outage = false
+		return false
+	}
+	return true
+}
+
+// SetHook installs fn to be consulted before every request (including the
+// per-write sub-operations of an open writer), mirroring the cloud sim's
+// failure hook but on any backend. A non-nil return fails the request with
+// that error. Crash-point tests use it to kill all I/O at a chosen moment.
+func (f *Faulty) SetHook(fn func(op, name string) error) {
+	f.mu.Lock()
+	f.hook = fn
+	f.mu.Unlock()
+}
+
+// InjectedFaults returns how many requests this wrapper has failed.
+func (f *Faulty) InjectedFaults() int64 { return f.injectedFault.Load() }
+
+// hookErr consults only the hook (used by writer sub-operations, where
+// rate-based faults would compound per Write call).
+func (f *Faulty) hookErr(op, name string) error {
+	f.mu.Lock()
+	hook := f.hook
+	f.mu.Unlock()
+	if hook == nil {
+		return nil
+	}
+	if err := hook(op, name); err != nil {
+		f.injectedFault.Add(1)
+		return err
+	}
+	return nil
+}
+
+// check applies the full fault pipeline for one request: hook, outage
+// window, rate roll, then the added latency.
+func (f *Faulty) check(op, name string, rate float64) error {
+	if err := f.hookErr(op, name); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	out := f.outageLocked()
+	hit := rate > 0 && f.rng.Float64() < rate
+	f.mu.Unlock()
+	if out {
+		f.injectedFault.Add(1)
+		return fmt.Errorf("%w: outage (%s %s)", ErrInjected, op, name)
+	}
+	if hit {
+		f.injectedFault.Add(1)
+		return fmt.Errorf("%w: %s %s", ErrInjected, op, name)
+	}
+	if f.cfg.ExtraLatency > 0 {
+		time.Sleep(f.cfg.ExtraLatency)
+	}
+	return nil
+}
+
+func (f *Faulty) roll(rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	f.mu.Lock()
+	hit := f.rng.Float64() < rate
+	f.mu.Unlock()
+	return hit
+}
+
+func (f *Faulty) intn(n int) int {
+	f.mu.Lock()
+	v := f.rng.Intn(n)
+	f.mu.Unlock()
+	return v
+}
+
+// faultyWriter buffers bytes written since the last Sync so a torn commit
+// can drop (or truncate) exactly the unsynced suffix — synced bytes are
+// durable, everything else is at the mercy of the fault roll, matching
+// local-media crash semantics.
+type faultyWriter struct {
+	f      *Faulty
+	w      Writer
+	name   string
+	buf    []byte
+	failed bool
+}
+
+func (w *faultyWriter) Write(p []byte) (int, error) {
+	if err := w.f.hookErr("PUT", w.name); err != nil {
+		w.failed = true
+		return 0, err
+	}
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}
+
+func (w *faultyWriter) Sync() error {
+	if err := w.f.hookErr("PUT", w.name); err != nil {
+		w.failed = true
+		return err
+	}
+	if err := w.flush(); err != nil {
+		w.failed = true
+		return err
+	}
+	return w.w.Sync()
+}
+
+func (w *faultyWriter) flush() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	_, err := w.w.Write(w.buf)
+	w.buf = w.buf[:0]
+	return err
+}
+
+// abandon discards the commit after an injected failure. A local-tier
+// inner writer is closed so its descriptor is released (the partial file
+// stays behind, like a crash would leave it); a cloud-tier inner writer is
+// NOT closed — closing is what commits a cloud object, and a failed PUT
+// must leave no object.
+func (w *faultyWriter) abandon() {
+	if w.f.b.Tier() == TierLocal {
+		_ = w.w.Close()
+	}
+}
+
+func (w *faultyWriter) Close() error {
+	if w.failed {
+		w.abandon()
+		return fmt.Errorf("%w: close after failed write (%s)", ErrInjected, w.name)
+	}
+	if err := w.f.check("PUT", w.name, w.f.cfg.PutErrorRate); err != nil {
+		w.abandon()
+		return err
+	}
+	if w.f.roll(w.f.cfg.TornWriteRate) {
+		w.f.injectedFault.Add(1)
+		if len(w.buf) > 0 {
+			_, _ = w.w.Write(w.buf[:w.f.intn(len(w.buf))])
+		}
+		w.abandon()
+		return fmt.Errorf("%w: torn write (%s)", ErrInjected, w.name)
+	}
+	if err := w.flush(); err != nil {
+		return err
+	}
+	return w.w.Close()
+}
+
+// Create implements Backend.
+func (f *Faulty) Create(name string) (Writer, error) {
+	if err := f.check("PUT", name, f.cfg.PutErrorRate); err != nil {
+		return nil, err
+	}
+	w, err := f.b.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyWriter{f: f, w: w, name: name}, nil
+}
+
+type faultyReader struct {
+	f    *Faulty
+	r    Reader
+	name string
+}
+
+func (r *faultyReader) ReadAt(p []byte, off int64) (int, error) {
+	if err := r.f.check("GET", r.name, r.f.cfg.GetErrorRate); err != nil {
+		return 0, err
+	}
+	return r.r.ReadAt(p, off)
+}
+
+func (r *faultyReader) Size() int64  { return r.r.Size() }
+func (r *faultyReader) Close() error { return r.r.Close() }
+
+// Open implements Backend; every ReadAt through the returned reader passes
+// the fault checks again, so a long-lived handle does not shield reads
+// from a mid-stream outage.
+func (f *Faulty) Open(name string) (Reader, error) {
+	if err := f.check("GET", name, f.cfg.GetErrorRate); err != nil {
+		return nil, err
+	}
+	r, err := f.b.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyReader{f: f, r: r, name: name}, nil
+}
+
+// ReadAll implements Backend.
+func (f *Faulty) ReadAll(name string) ([]byte, error) {
+	if err := f.check("GET", name, f.cfg.GetErrorRate); err != nil {
+		return nil, err
+	}
+	return f.b.ReadAll(name)
+}
+
+// Delete implements Backend.
+func (f *Faulty) Delete(name string) error {
+	if err := f.check("DELETE", name, f.cfg.DeleteErrorRate); err != nil {
+		return err
+	}
+	return f.b.Delete(name)
+}
+
+// List implements Backend.
+func (f *Faulty) List(prefix string) ([]string, error) {
+	if err := f.check("LIST", prefix, f.cfg.MetaErrorRate); err != nil {
+		return nil, err
+	}
+	return f.b.List(prefix)
+}
+
+// Size implements Backend.
+func (f *Faulty) Size(name string) (int64, error) {
+	if err := f.check("HEAD", name, f.cfg.MetaErrorRate); err != nil {
+		return 0, err
+	}
+	return f.b.Size(name)
+}
+
+// Rename implements Backend.
+func (f *Faulty) Rename(oldname, newname string) error {
+	if err := f.check("PUT", newname, f.cfg.MetaErrorRate); err != nil {
+		return err
+	}
+	return f.b.Rename(oldname, newname)
+}
+
+// Tier implements Backend.
+func (f *Faulty) Tier() Tier { return f.b.Tier() }
+
+// Stats implements Backend.
+func (f *Faulty) Stats() *Stats { return f.b.Stats() }

@@ -1,0 +1,229 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestFaultyPassThrough(t *testing.T) {
+	f := NewFaulty(newTestLocal(t), FaultConfig{Seed: 1})
+	data := []byte("hello fault-free world")
+	if err := WriteObject(f, "obj", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.ReadAll("obj")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("ReadAll = %q, %v", got, err)
+	}
+	names, err := f.List("")
+	if err != nil || len(names) != 1 || names[0] != "obj" {
+		t.Fatalf("List = %v, %v", names, err)
+	}
+	if f.InjectedFaults() != 0 {
+		t.Fatalf("InjectedFaults = %d, want 0", f.InjectedFaults())
+	}
+	if f.Tier() != TierLocal {
+		t.Fatal("Tier not delegated")
+	}
+	if BaseBackend(f) != f.Unwrap() {
+		t.Fatal("BaseBackend should unwrap Faulty")
+	}
+}
+
+func TestFaultyErrorRates(t *testing.T) {
+	f := NewFaulty(newTestLocal(t), FaultConfig{Seed: 42, GetErrorRate: 0.5})
+	if err := WriteObject(f, "obj", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	var failed, ok int
+	for i := 0; i < 200; i++ {
+		if _, err := f.ReadAll("obj"); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			failed++
+		} else {
+			ok++
+		}
+	}
+	if failed == 0 || ok == 0 {
+		t.Fatalf("rate 0.5 over 200 reads: failed=%d ok=%d, want both nonzero", failed, ok)
+	}
+	if f.InjectedFaults() != int64(failed) {
+		t.Fatalf("InjectedFaults = %d, want %d", f.InjectedFaults(), failed)
+	}
+}
+
+func TestFaultyDeterministicSeed(t *testing.T) {
+	run := func() []bool {
+		f := NewFaulty(newTestLocal(t), FaultConfig{Seed: 7, GetErrorRate: 0.3})
+		if err := WriteObject(f, "obj", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		var outcomes []bool
+		for i := 0; i < 50; i++ {
+			_, err := f.ReadAll("obj")
+			outcomes = append(outcomes, err == nil)
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d", i)
+		}
+	}
+}
+
+func TestFaultyOutageWindow(t *testing.T) {
+	f := NewFaulty(newTestCloud(t), FaultConfig{Seed: 1})
+	if err := WriteObject(f, "obj", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	f.StartOutage(0) // until EndOutage
+	if !f.OutageActive() {
+		t.Fatal("outage not active")
+	}
+	if _, err := f.ReadAll("obj"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read during outage: %v, want injected error", err)
+	}
+	if err := WriteObject(f, "obj2", []byte("y")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write during outage: %v, want injected error", err)
+	}
+	f.EndOutage()
+	if f.OutageActive() {
+		t.Fatal("outage still active after EndOutage")
+	}
+	if _, err := f.ReadAll("obj"); err != nil {
+		t.Fatalf("read after outage: %v", err)
+	}
+
+	// Timed window expires on its own.
+	f.StartOutage(5 * time.Millisecond)
+	time.Sleep(20 * time.Millisecond)
+	if f.OutageActive() {
+		t.Fatal("timed outage did not expire")
+	}
+	if _, err := f.ReadAll("obj"); err != nil {
+		t.Fatalf("read after timed outage: %v", err)
+	}
+}
+
+func TestFaultyOutageFailsOpenWriterCommit(t *testing.T) {
+	f := NewFaulty(newTestCloud(t), FaultConfig{Seed: 1})
+	w, err := f.Create("obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	f.StartOutage(0)
+	if err := w.Close(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Close during outage: %v, want injected error", err)
+	}
+	f.EndOutage()
+	// Failed cloud PUT must leave no object behind.
+	if _, err := f.ReadAll("obj"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("object after failed PUT: %v, want ErrNotFound", err)
+	}
+}
+
+func TestFaultyTornWrite(t *testing.T) {
+	local := newTestLocal(t)
+	f := NewFaulty(local, FaultConfig{Seed: 3, TornWriteRate: 1})
+	data := bytes.Repeat([]byte("0123456789"), 100)
+	err := WriteObject(f, "obj", data)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write reported %v, want injected error", err)
+	}
+	// WriteObject syncs before Close, so the synced prefix survives intact
+	// and only the (empty) unsynced suffix is at risk: full data on disk.
+	got, rerr := local.ReadAll("obj")
+	if rerr != nil || !bytes.Equal(got, data) {
+		t.Fatalf("synced bytes lost: len=%d err=%v", len(got), rerr)
+	}
+
+	// Without the Sync, a torn commit persists only a prefix.
+	w, err := f.Create("torn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Close = %v, want injected error", err)
+	}
+	got, rerr = local.ReadAll("torn")
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if len(got) >= len(data) {
+		t.Fatalf("torn write persisted %d bytes, want < %d", len(got), len(data))
+	}
+	if !bytes.Equal(got, data[:len(got)]) {
+		t.Fatal("torn write is not a prefix of the original data")
+	}
+}
+
+func TestFaultyHookSeesEveryOp(t *testing.T) {
+	f := NewFaulty(newTestCloud(t), FaultConfig{Seed: 1})
+	var ops []string
+	f.SetHook(func(op, name string) error {
+		ops = append(ops, op)
+		return nil
+	})
+	if err := WriteObject(f, "obj", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ReadAll("obj"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Size("obj"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.List(""); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Delete("obj"); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"PUT": true, "GET": true, "HEAD": true, "LIST": true, "DELETE": true}
+	seen := map[string]bool{}
+	for _, op := range ops {
+		seen[op] = true
+	}
+	for op := range want {
+		if !seen[op] {
+			t.Fatalf("hook never saw %s (ops: %v)", op, ops)
+		}
+	}
+
+	// A hook error fails the request and counts as injected.
+	boom := fmt.Errorf("boom")
+	f.SetHook(func(op, name string) error { return boom })
+	if _, err := f.ReadAll("obj"); !errors.Is(err, boom) {
+		t.Fatalf("hook error not propagated: %v", err)
+	}
+	if f.InjectedFaults() == 0 {
+		t.Fatal("hook failure not counted")
+	}
+}
+
+func TestFaultyExtraLatency(t *testing.T) {
+	f := NewFaulty(newTestLocal(t), FaultConfig{Seed: 1, ExtraLatency: 10 * time.Millisecond})
+	if err := WriteObject(f, "obj", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := f.ReadAll("obj"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("ReadAll took %s, want >= 10ms of injected latency", d)
+	}
+}
