@@ -17,6 +17,7 @@ import (
 	"math/rand"
 	"os"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -79,6 +80,8 @@ func main() {
 		benchmarks = flag.String("benchmarks", "fillrandom,readrandom", "comma-separated benchmark list")
 		num        = flag.Int("num", 50000, "number of keys")
 		reads      = flag.Int("reads", 20000, "number of reads for read benchmarks")
+		threads    = flag.Int("threads", 1, "concurrent worker goroutines per benchmark (readseq and compact stay single-threaded)")
+		walSync    = flag.Bool("wal-sync", false, "fsync the WAL on every commit (group commit amortizes the fsync across threads)")
 		valueSize  = flag.Int("valuesize", 400, "value size in bytes")
 		exp        = flag.String("exp", "", "run a paper experiment (fig1..fig12, tab2..tab4, all) instead of benchmarks")
 		quick      = flag.Bool("quick", false, "shrink experiment datasets ~10x")
@@ -128,6 +131,7 @@ func main() {
 		opts.Compression = sstable.CompressionFlate
 	}
 	opts.TracePath = *tracePath
+	opts.WALSync = *walSync
 	var d *db.DB
 	var faulty *storage.Faulty
 	if *faultGet > 0 || *faultPut > 0 || *outage != "" {
@@ -151,13 +155,13 @@ func main() {
 		obs.Serve(*metrics, d)
 	}
 
-	fmt.Printf("mashbench: policy=%s num=%d valuesize=%d dir=%s\n", p, *num, *valueSize, dir)
+	fmt.Printf("mashbench: policy=%s num=%d valuesize=%d threads=%d dir=%s\n", p, *num, *valueSize, *threads, dir)
 	for _, b := range strings.Split(*benchmarks, ",") {
 		b = strings.TrimSpace(b)
 		if b == "" {
 			continue
 		}
-		if err := runBench(d, b, *num, *reads, *valueSize, *seed); err != nil {
+		if err := runBench(d, b, *num, *reads, *valueSize, *threads, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "mashbench: %s: %v\n", b, err)
 			os.Exit(1)
 		}
@@ -193,47 +197,93 @@ func parsePolicy(s string) (db.Policy, error) {
 	return 0, fmt.Errorf("unknown policy %q", s)
 }
 
-func runBench(d *db.DB, name string, num, reads, valueSize int, seed int64) error {
-	rng := rand.New(rand.NewSource(seed))
+// runParallel splits total ops across threads goroutines. worker(tid) builds
+// the per-thread op closure (own RNG/generator state); latencies land in the
+// shared concurrency-safe histogram, and merged throughput is total wall
+// time over all ops, matching db_bench's merged-stats reporting.
+func runParallel(threads, total int, h *histogram.H, worker func(tid int) func(i int) error) (int, error) {
+	if threads <= 1 {
+		op := worker(0)
+		for i := 0; i < total; i++ {
+			s := time.Now()
+			if err := op(i); err != nil {
+				return i, err
+			}
+			h.Record(time.Since(s))
+		}
+		return total, nil
+	}
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+		done     atomic.Int64
+	)
+	per := total / threads
+	for t := 0; t < threads; t++ {
+		lo, hi := t*per, (t+1)*per
+		if t == threads-1 {
+			hi = total
+		}
+		op := worker(t)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				s := time.Now()
+				if err := op(i); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+				h.Record(time.Since(s))
+				done.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return int(done.Load()), firstErr
+	}
+	return total, nil
+}
+
+func runBench(d *db.DB, name string, num, reads, valueSize, threads int, seed int64) error {
 	val := make([]byte, valueSize)
 	h := histogram.New()
 	start := time.Now()
 	ops := 0
+	var err error
 
 	switch name {
 	case "fillseq":
-		for i := 0; i < num; i++ {
-			s := time.Now()
-			if err := d.Put([]byte(fmt.Sprintf("key%012d", i)), val); err != nil {
-				return err
+		ops, err = runParallel(threads, num, h, func(tid int) func(i int) error {
+			return func(i int) error {
+				return d.Put([]byte(fmt.Sprintf("key%012d", i)), val)
 			}
-			h.Record(time.Since(s))
-			ops++
-		}
+		})
 	case "fillrandom":
-		for i := 0; i < num; i++ {
-			s := time.Now()
-			if err := d.Put(ycsb.Key(uint64(rng.Intn(num))), val); err != nil {
-				return err
+		ops, err = runParallel(threads, num, h, func(tid int) func(i int) error {
+			rng := rand.New(rand.NewSource(seed + int64(tid)))
+			return func(i int) error {
+				return d.Put(ycsb.Key(uint64(rng.Intn(num))), val)
 			}
-			h.Record(time.Since(s))
-			ops++
-		}
+		})
 	case "readrandom":
-		gen := ycsb.NewGenerator(ycsb.WorkloadC, uint64(num), valueSize, seed)
-		for i := 0; i < reads; i++ {
-			op := gen.Next()
-			s := time.Now()
-			if _, err := d.Get(op.Key); readErr(err) != nil {
-				return err
+		ops, err = runParallel(threads, reads, h, func(tid int) func(i int) error {
+			gen := ycsb.NewGenerator(ycsb.WorkloadC, uint64(num), valueSize, seed+int64(tid))
+			return func(i int) error {
+				_, err := d.Get(gen.Next().Key)
+				return readErr(err)
 			}
-			h.Record(time.Since(s))
-			ops++
-		}
+		})
 	case "readseq":
-		it, err := d.NewIterator()
-		if err != nil {
-			return err
+		it, ierr := d.NewIterator()
+		if ierr != nil {
+			return ierr
 		}
 		for it.First(); it.Valid() && ops < reads; it.Next() {
 			ops++
@@ -242,59 +292,46 @@ func runBench(d *db.DB, name string, num, reads, valueSize int, seed int64) erro
 			return err
 		}
 	case "readwhilewriting":
-		gen := ycsb.NewGenerator(ycsb.WorkloadA, uint64(num), valueSize, seed)
-		for i := 0; i < reads; i++ {
-			op := gen.Next()
-			s := time.Now()
-			switch op.Kind {
-			case ycsb.OpRead:
-				if _, err := d.Get(op.Key); readErr(err) != nil {
-					return err
+		ops, err = runParallel(threads, reads, h, func(tid int) func(i int) error {
+			gen := ycsb.NewGenerator(ycsb.WorkloadA, uint64(num), valueSize, seed+int64(tid))
+			return func(i int) error {
+				op := gen.Next()
+				if op.Kind == ycsb.OpRead {
+					_, err := d.Get(op.Key)
+					return readErr(err)
 				}
-			default:
-				if err := d.Put(op.Key, val); err != nil {
-					return err
-				}
+				return d.Put(op.Key, val)
 			}
-			h.Record(time.Since(s))
-			ops++
-		}
+		})
 	case "overwrite":
 		// Rewrite existing keys repeatedly, stressing compaction debt.
-		for i := 0; i < num; i++ {
-			s := time.Now()
-			if err := d.Put(ycsb.Key(uint64(i%max(num/4, 1))), val); err != nil {
-				return err
+		ops, err = runParallel(threads, num, h, func(tid int) func(i int) error {
+			return func(i int) error {
+				return d.Put(ycsb.Key(uint64(i%max(num/4, 1))), val)
 			}
-			h.Record(time.Since(s))
-			ops++
-		}
+		})
 	case "deleterandom":
-		for i := 0; i < num; i++ {
-			s := time.Now()
-			if err := d.Delete(ycsb.Key(uint64(rng.Intn(num)))); err != nil {
-				return err
+		ops, err = runParallel(threads, num, h, func(tid int) func(i int) error {
+			rng := rand.New(rand.NewSource(seed + int64(tid)))
+			return func(i int) error {
+				return d.Delete(ycsb.Key(uint64(rng.Intn(num))))
 			}
-			h.Record(time.Since(s))
-			ops++
-		}
+		})
 	case "seekrandom":
-		for i := 0; i < reads; i++ {
-			s := time.Now()
-			it, err := d.NewIterator()
-			if err != nil {
-				return err
+		ops, err = runParallel(threads, reads, h, func(tid int) func(i int) error {
+			rng := rand.New(rand.NewSource(seed + int64(tid)))
+			return func(i int) error {
+				it, err := d.NewIterator()
+				if err != nil {
+					return err
+				}
+				it.Seek(ycsb.Key(uint64(rng.Intn(num))))
+				for j := 0; j < 10 && it.Valid(); j++ {
+					it.Next()
+				}
+				return it.Close()
 			}
-			it.Seek(ycsb.Key(uint64(rng.Intn(num))))
-			for j := 0; j < 10 && it.Valid(); j++ {
-				it.Next()
-			}
-			if err := it.Close(); err != nil {
-				return err
-			}
-			h.Record(time.Since(s))
-			ops++
-		}
+		})
 	case "compact":
 		if err := d.CompactAll(); err != nil {
 			return err
@@ -303,9 +340,12 @@ func runBench(d *db.DB, name string, num, reads, valueSize int, seed int64) erro
 	default:
 		return fmt.Errorf("unknown benchmark (have fillseq fillrandom overwrite deleterandom readrandom readseq seekrandom readwhilewriting compact)")
 	}
+	if err != nil {
+		return err
+	}
 	dur := time.Since(start)
 	rate := float64(ops) / dur.Seconds()
-	fmt.Printf("%-18s : %10.0f ops/s  (%d ops in %s)  %s\n",
-		name, rate, ops, dur.Round(time.Millisecond), h)
+	fmt.Printf("%-18s : %10.0f ops/s  (%d ops in %s, %d threads)  %s\n",
+		name, rate, ops, dur.Round(time.Millisecond), max(threads, 1), h)
 	return nil
 }

@@ -36,15 +36,17 @@ func TestRunBenchAllBenchmarks(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer d.Close()
-	for _, b := range []string{
-		"fillseq", "fillrandom", "overwrite", "deleterandom",
-		"readrandom", "readseq", "seekrandom", "readwhilewriting", "compact",
-	} {
-		if err := runBench(d, b, 200, 100, 64, 1); err != nil {
-			t.Fatalf("%s: %v", b, err)
+	for _, threads := range []int{1, 4} {
+		for _, b := range []string{
+			"fillseq", "fillrandom", "overwrite", "deleterandom",
+			"readrandom", "readseq", "seekrandom", "readwhilewriting", "compact",
+		} {
+			if err := runBench(d, b, 200, 100, 64, threads, 1); err != nil {
+				t.Fatalf("%s (threads=%d): %v", b, threads, err)
+			}
 		}
 	}
-	if err := runBench(d, "nope", 10, 10, 10, 1); err == nil {
+	if err := runBench(d, "nope", 10, 10, 10, 1, 1); err == nil {
 		t.Fatal("unknown benchmark should error")
 	}
 }

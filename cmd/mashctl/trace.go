@@ -53,6 +53,13 @@ func cmdTrace(path string, top int) {
 		admitBytes  int64
 		evictBlocks = map[string]int{}
 		evictBytes  = map[string]int64{}
+		groups      int
+		groupBatch  int64
+		groupOps    int64
+		groupBytes  int64
+		groupSynced int
+		groupAmort  int64
+		groupDur    time.Duration
 		retries     int
 		retryByOp   = map[string]int{}
 		pendingUps  int
@@ -101,6 +108,16 @@ func cmdTrace(path string, top int) {
 			}
 			slow = append(slow, slowEvent{rec,
 				fmt.Sprintf("upload #%d to %s (%s)", e.Table, e.Tier, sizeStr(e.Bytes)), e.Duration})
+		case event.CommitGroup:
+			groups++
+			groupBatch += int64(e.Batches)
+			groupOps += e.Ops
+			groupBytes += e.Bytes
+			if e.Synced {
+				groupSynced++
+				groupAmort += int64(e.Batches - 1)
+			}
+			groupDur += e.Duration
 		case event.WriteStallEnd:
 			stallDur[e.Reason] += e.Duration
 			stallCount[e.Reason]++
@@ -152,6 +169,15 @@ func cmdTrace(path string, top int) {
 			fmt.Printf("  L%-5d %5d %10s %10s %9d %9s %9s %9s %9s %9s\n",
 				l, a.count, sizeStr(a.inBytes), sizeStr(a.outBytes), a.dropped,
 				durStr(a.read), durStr(a.merge), durStr(a.upload), durStr(a.install), durStr(a.total))
+		}
+	}
+	if groups > 0 {
+		fmt.Printf("\ncommit groups: %d (%.2f batches/group, %d ops, %s), wal time %s (%s mean)\n",
+			groups, float64(groupBatch)/float64(groups), groupOps, sizeStr(groupBytes),
+			groupDur.Round(time.Millisecond), (groupDur / time.Duration(groups)).Round(time.Microsecond))
+		if groupSynced > 0 {
+			fmt.Printf("  synced groups: %d (%d fsyncs amortized by grouping)\n",
+				groupSynced, groupAmort)
 		}
 	}
 	if uploads > 0 {

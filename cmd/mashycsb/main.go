@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -72,6 +73,7 @@ func main() {
 		workload  = flag.String("workload", "B", "YCSB core workload A-F")
 		records   = flag.Int("records", 50000, "records to load")
 		ops       = flag.Int("ops", 20000, "operations to run")
+		threads   = flag.Int("threads", 1, "concurrent client goroutines for the load and run phases")
 		valueSize = flag.Int("valuesize", 400, "value size in bytes")
 		seed      = flag.Int64("seed", 42, "workload RNG seed")
 		metrics   = flag.String("metrics-addr", "", "serve live metrics over HTTP on this address (/debug/vars, /stats)")
@@ -133,13 +135,23 @@ func main() {
 	}
 
 	// Load phase.
-	fmt.Printf("loading %d records (%dB values) under policy %s...\n", *records, *valueSize, p)
+	nthreads := *threads
+	if nthreads < 1 {
+		nthreads = 1
+	}
+	fmt.Printf("loading %d records (%dB values) under policy %s, %d threads...\n",
+		*records, *valueSize, p, nthreads)
 	val := make([]byte, *valueSize)
 	loadStart := time.Now()
-	for i := 0; i < *records; i++ {
-		if err := d.Put(ycsb.Key(uint64(i)), val); err != nil {
-			fatal(err)
+	if err := eachRange(nthreads, *records, func(tid, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			if err := d.Put(ycsb.Key(uint64(i)), val); err != nil {
+				return err
+			}
 		}
+		return nil
+	}); err != nil {
+		fatal(err)
 	}
 	if err := d.CompactAll(); err != nil {
 		if !errors.Is(err, db.ErrCloudUnavailable) {
@@ -155,50 +167,57 @@ func main() {
 			fatal(err)
 		}
 	}
-	gen := ycsb.NewGenerator(wl, uint64(*records), *valueSize, *seed)
+	// Each client thread drives its own generator (seed+tid) and records
+	// into the shared concurrency-safe histograms; the report merges them.
 	readH, writeH := histogram.New(), histogram.New()
 	runStart := time.Now()
-	for i := 0; i < *ops; i++ {
-		op := gen.Next()
-		s := time.Now()
-		switch op.Kind {
-		case ycsb.OpRead:
-			if _, err := d.Get(op.Key); readErr(err) != nil {
-				fatal(err)
+	if err := eachRange(nthreads, *ops, func(tid, lo, hi int) error {
+		gen := ycsb.NewGenerator(wl, uint64(*records), *valueSize, *seed+int64(tid))
+		for i := lo; i < hi; i++ {
+			op := gen.Next()
+			s := time.Now()
+			switch op.Kind {
+			case ycsb.OpRead:
+				if _, err := d.Get(op.Key); readErr(err) != nil {
+					return err
+				}
+				readH.Record(time.Since(s))
+			case ycsb.OpUpdate, ycsb.OpInsert:
+				if err := d.Put(op.Key, op.Value); err != nil {
+					return err
+				}
+				writeH.Record(time.Since(s))
+			case ycsb.OpScan:
+				it, err := d.NewIterator()
+				if err != nil {
+					return err
+				}
+				it.Seek(op.Key)
+				for j := 0; j < op.ScanLen && it.Valid(); j++ {
+					it.Next()
+				}
+				if err := it.Close(); readErr(err) != nil {
+					return err
+				}
+				readH.Record(time.Since(s))
+			case ycsb.OpReadModifyWrite:
+				if _, err := d.Get(op.Key); readErr(err) != nil {
+					return err
+				}
+				if err := d.Put(op.Key, op.Value); err != nil {
+					return err
+				}
+				writeH.Record(time.Since(s))
 			}
-			readH.Record(time.Since(s))
-		case ycsb.OpUpdate, ycsb.OpInsert:
-			if err := d.Put(op.Key, op.Value); err != nil {
-				fatal(err)
-			}
-			writeH.Record(time.Since(s))
-		case ycsb.OpScan:
-			it, err := d.NewIterator()
-			if err != nil {
-				fatal(err)
-			}
-			it.Seek(op.Key)
-			for j := 0; j < op.ScanLen && it.Valid(); j++ {
-				it.Next()
-			}
-			if err := it.Close(); readErr(err) != nil {
-				fatal(err)
-			}
-			readH.Record(time.Since(s))
-		case ycsb.OpReadModifyWrite:
-			if _, err := d.Get(op.Key); readErr(err) != nil {
-				fatal(err)
-			}
-			if err := d.Put(op.Key, op.Value); err != nil {
-				fatal(err)
-			}
-			writeH.Record(time.Since(s))
 		}
+		return nil
+	}); err != nil {
+		fatal(err)
 	}
 	dur := time.Since(runStart)
 
-	fmt.Printf("\nYCSB-%s on %s: %.0f ops/s (%d ops in %s)\n",
-		wl.Name, p, float64(*ops)/dur.Seconds(), *ops, dur.Round(time.Millisecond))
+	fmt.Printf("\nYCSB-%s on %s: %.0f ops/s (%d ops in %s, %d threads)\n",
+		wl.Name, p, float64(*ops)/dur.Seconds(), *ops, dur.Round(time.Millisecond), nthreads)
 	if readH.Count() > 0 {
 		fmt.Println("  reads :", readH)
 	}
@@ -220,6 +239,39 @@ func main() {
 		fmt.Println()
 		fmt.Print(d.DumpStats())
 	}
+}
+
+// eachRange splits [0, total) into threads contiguous chunks and runs fn
+// for each on its own goroutine, returning the first error.
+func eachRange(threads, total int, fn func(tid, lo, hi int) error) error {
+	if threads <= 1 {
+		return fn(0, 0, total)
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	per := total / threads
+	for t := 0; t < threads; t++ {
+		lo, hi := t*per, (t+1)*per
+		if t == threads-1 {
+			hi = total
+		}
+		wg.Add(1)
+		go func(tid, lo, hi int) {
+			defer wg.Done()
+			if err := fn(tid, lo, hi); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(t, lo, hi)
+	}
+	wg.Wait()
+	return firstErr
 }
 
 func fatal(err error) {

@@ -1,24 +1,40 @@
 // Package arena provides a chunked append-only allocator. The memtable
 // skiplist allocates all node and key/value storage from an arena so that an
 // entire memtable can be released in one step and so allocation on the write
-// path stays cheap and contention-free under a single writer.
+// path stays cheap. Alloc is safe for concurrent use: the commit pipeline
+// applies group members' batches to the memtable in parallel, so several
+// writers bump-allocate from the same arena at once.
 package arena
 
-import "sync/atomic"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 const (
 	// chunkSize is the default size of each allocation chunk.
 	chunkSize = 1 << 20 // 1 MiB
 )
 
-// Arena is a chunked bump allocator. Alloc is safe for a single writer
-// running concurrently with readers of previously returned buffers; the
-// Size method may be called from any goroutine.
+// chunk is one allocation block. off reserves space with a single atomic
+// add; a reservation past len(buf) loses the race for the chunk's tail and
+// the allocator moves on to a fresh chunk.
+type chunk struct {
+	buf []byte
+	off atomic.Int64
+}
+
+// Arena is a chunked bump allocator. Alloc and Append are safe for
+// concurrent use by any number of writers running alongside readers of
+// previously returned buffers; the common path is a single atomic add.
 type Arena struct {
+	cur  atomic.Pointer[chunk]
+	size atomic.Int64
+
+	// growMu serializes chunk rollover (the rare path). chunks retains every
+	// block handed out so buffers stay reachable for the arena's lifetime.
+	growMu sync.Mutex
 	chunks [][]byte
-	cur    []byte
-	off    int
-	size   atomic.Int64
 }
 
 // New returns an empty arena.
@@ -28,19 +44,35 @@ func New() *Arena {
 
 // Alloc returns a zeroed byte slice of length n carved from the arena.
 func (a *Arena) Alloc(n int) []byte {
-	if a.off+n > len(a.cur) {
-		c := chunkSize
-		if n > c {
-			c = n
+	for {
+		c := a.cur.Load()
+		if c != nil {
+			if end := c.off.Add(int64(n)); end <= int64(len(c.buf)) {
+				a.size.Add(int64(n))
+				return c.buf[end-int64(n) : end : end]
+			}
+			// Lost the tail race: the chunk is (over)committed. The slack a
+			// failed reservation strands is bounded by one allocation.
 		}
-		a.cur = make([]byte, c)
-		a.off = 0
-		a.chunks = append(a.chunks, a.cur)
+		a.grow(c, n)
 	}
-	b := a.cur[a.off : a.off+n : a.off+n]
-	a.off += n
-	a.size.Add(int64(n))
-	return b
+}
+
+// grow installs a fresh chunk big enough for n, unless another allocator
+// already replaced the one the caller saw full.
+func (a *Arena) grow(old *chunk, n int) {
+	a.growMu.Lock()
+	defer a.growMu.Unlock()
+	if a.cur.Load() != old {
+		return // raced: retry against the new chunk
+	}
+	sz := chunkSize
+	if n > sz {
+		sz = n
+	}
+	c := &chunk{buf: make([]byte, sz)}
+	a.chunks = append(a.chunks, c.buf)
+	a.cur.Store(c)
 }
 
 // Append copies src into the arena and returns the stable copy.

@@ -1,0 +1,78 @@
+package arena
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentAllocDistinct has many goroutines allocate and fill buffers
+// simultaneously; no two allocations may overlap (each must retain its own
+// fill byte), and accounting must add up.
+func TestConcurrentAllocDistinct(t *testing.T) {
+	const (
+		workers = 8
+		allocs  = 4000
+		size    = 48
+	)
+	a := New()
+	bufs := make([][][]byte, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mine := make([][]byte, 0, allocs)
+			for i := 0; i < allocs; i++ {
+				b := a.Alloc(size)
+				for j := range b {
+					b[j] = byte(w)
+				}
+				mine = append(mine, b)
+			}
+			bufs[w] = mine
+		}(w)
+	}
+	wg.Wait()
+
+	if got, want := a.Size(), int64(workers*allocs*size); got != want {
+		t.Fatalf("Size = %d, want %d", got, want)
+	}
+	for w, mine := range bufs {
+		for i, b := range mine {
+			for j := range b {
+				if b[j] != byte(w) {
+					t.Fatalf("worker %d alloc %d byte %d overwritten: got %d", w, i, j, b[j])
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentAppendRetains checks Append under contention: every
+// returned copy must equal its source after all goroutines finish.
+func TestConcurrentAppendRetains(t *testing.T) {
+	const workers = 8
+	a := New()
+	out := make([][][]byte, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := []byte{byte(w), byte(w + 1), byte(w + 2)}
+			mine := make([][]byte, 0, 2000)
+			for i := 0; i < 2000; i++ {
+				mine = append(mine, a.Append(src))
+			}
+			out[w] = mine
+		}(w)
+	}
+	wg.Wait()
+	for w, mine := range out {
+		for i, b := range mine {
+			if len(b) != 3 || b[0] != byte(w) || b[1] != byte(w+1) || b[2] != byte(w+2) {
+				t.Fatalf("worker %d append %d corrupted: %v", w, i, b)
+			}
+		}
+	}
+}

@@ -149,3 +149,10 @@ func (b *Batch) MaxSeq() uint64 {
 	}
 	return b.Seq() + uint64(b.Count()) - 1
 }
+
+// SeqRange returns the inclusive sequence span the batch covers. Only
+// meaningful after SetSeq; the commit pipeline uses it to tag the batch's
+// WAL entry.
+func (b *Batch) SeqRange() (minSeq, maxSeq uint64) {
+	return b.Seq(), b.MaxSeq()
+}

@@ -50,8 +50,12 @@ type DB struct {
 	pcache     pcache.BlockCache
 	tables     *tableCache
 
-	// commitMu serializes the write path (WAL append + memtable apply).
+	// commitMu serializes the legacy write path (WAL append + memtable
+	// apply) when the commit pipeline is disabled.
 	commitMu sync.Mutex
+	// pipeline is the parallel group-commit path (see commit.go); nil when
+	// Options.DisableCommitPipeline reverts to the serial commitMu path.
+	pipeline *commitPipeline
 	// compactionMu serializes compaction pick+execute units.
 	compactionMu sync.Mutex
 
@@ -64,7 +68,11 @@ type DB struct {
 	// per replayed segment, enabling parallel replay). They contain only
 	// sequence numbers older than mem/imm and drain into L0 at the next
 	// flush.
-	recovered  []*memtable.MemTable
+	recovered []*memtable.MemTable
+	// rs caches the read-visible memtable set (mem/imm/recovered) behind an
+	// atomic pointer so point reads and iterator construction never contend
+	// on d.mu; every mutation site republishes via updateReadStateLocked.
+	rs         atomic.Pointer[readState]
 	lastSeq    atomic.Uint64
 	bgErr      error
 	snaps      map[uint64]int // active snapshot seq -> refcount
@@ -167,6 +175,7 @@ func Open(opts Options, local storage.Backend, cloud storage.Backend) (*DB, erro
 		d.cloud = d.cloudRel
 	}
 	d.immWake = sync.NewCond(&d.mu)
+	d.rs.Store(&readState{mem: d.mem})
 	d.tables = newTableCache(d, opts.MaxOpenTables)
 
 	var err error
@@ -195,6 +204,9 @@ func Open(opts Options, local storage.Backend, cloud storage.Backend) (*DB, erro
 	}
 	if err := d.recover(); err != nil {
 		return nil, err
+	}
+	if !opts.DisableCommitPipeline {
+		d.pipeline = newCommitPipeline(d, d.lastSeq.Load()+1)
 	}
 	// A crash between an object write and its manifest edit (or during a
 	// degraded-mode drain) can strand table objects no version references.
@@ -328,6 +340,9 @@ func (d *DB) write(b *batch.Batch) error {
 	if err := d.makeRoomForWrite(int64(b.Size())); err != nil {
 		return err
 	}
+	if p := d.pipeline; p != nil {
+		return p.commit(b)
+	}
 
 	d.commitMu.Lock()
 	defer d.commitMu.Unlock()
@@ -356,6 +371,20 @@ func (d *DB) currentMem() *memtable.MemTable {
 	m := d.mem
 	d.mu.Unlock()
 	return m
+}
+
+// readState is the immutable snapshot of the read-visible memtable set.
+// Readers load it with one atomic pointer read instead of taking d.mu.
+type readState struct {
+	mem       *memtable.MemTable
+	imm       *memtable.MemTable
+	recovered []*memtable.MemTable
+}
+
+// updateReadStateLocked republishes the read snapshot; the caller holds
+// d.mu and has just mutated mem, imm, or recovered.
+func (d *DB) updateReadStateLocked() {
+	d.rs.Store(&readState{mem: d.mem, imm: d.imm, recovered: d.recovered})
 }
 
 // makeRoomForWrite seals the memtable when full and applies backpressure
@@ -420,6 +449,7 @@ func (d *DB) makeRoomForWrite(incoming int64) (err error) {
 			// tail aligns with a segment boundary (eWAL design).
 			d.imm = d.mem
 			d.mem = memtable.New()
+			d.updateReadStateLocked()
 			if err := d.wal.Roll(); err != nil {
 				d.bgErr = err
 				return err
@@ -455,10 +485,11 @@ func (d *DB) GetAt(key []byte, seq uint64) ([]byte, error) {
 }
 
 func (d *DB) getAt(key []byte, seq uint64) ([]byte, error) {
-	d.mu.Lock()
-	mem, imm := d.mem, d.imm
-	recovered := d.recovered
-	d.mu.Unlock()
+	// One atomic load instead of d.mu: reads stay off the rotation lock so
+	// a write-heavy workload cannot starve point lookups (and vice versa).
+	rs := d.rs.Load()
+	mem, imm := rs.mem, rs.imm
+	recovered := rs.recovered
 
 	if v, found, live := mem.Get(key, seq); found {
 		if !live {
@@ -599,6 +630,7 @@ func (d *DB) Flush() error {
 	}
 	d.imm = d.mem
 	d.mem = memtable.New()
+	d.updateReadStateLocked()
 	if err := d.wal.Roll(); err != nil {
 		d.mu.Unlock()
 		return err
@@ -651,6 +683,7 @@ func (d *DB) backgroundLoop() {
 				d.bgErr = err
 			} else {
 				d.imm = nil
+				d.updateReadStateLocked()
 			}
 			d.immWake.Broadcast()
 			d.mu.Unlock()
@@ -718,6 +751,7 @@ func (d *DB) Close() error {
 		} else {
 			d.mu.Lock()
 			d.imm = nil
+			d.updateReadStateLocked()
 			d.mu.Unlock()
 		}
 	}

@@ -89,6 +89,11 @@ func (d *DB) DumpStats() string {
 	fmt.Fprintf(&b, "Interval writes:   %d ops, %s user data, stalls: %d\n",
 		m.Writes-prev.writes, humanBytes(m.BytesWritten-prev.bytesWritten), m.WriteStalls-prev.stalls)
 	fmt.Fprintf(&b, "Interval reads:    %d ops\n", m.Reads-prev.reads)
+	if m.CommitGroups > 0 {
+		fmt.Fprintf(&b, "Commit groups: %d, %.2f batches/group, %d WAL syncs amortized\n",
+			m.CommitGroups, float64(m.CommitGroupBatches)/float64(m.CommitGroups),
+			m.WALSyncsAmortized)
+	}
 
 	b.WriteString("\n** Level Shape **\n")
 	fmt.Fprintf(&b, "%-6s %8s %12s %8s\n", "level", "files", "bytes", "tier")

@@ -81,6 +81,12 @@ func (d *DB) evTableDeleted(table uint64, tier storage.Tier) {
 	}
 }
 
+func (d *DB) evCommitGroup(e event.CommitGroup) {
+	if l := d.listener; l != nil {
+		l.OnCommitGroup(e)
+	}
+}
+
 func (d *DB) evCloudRetry(op, object string, attempt int, err error) {
 	if l := d.listener; l != nil {
 		l.OnCloudRetry(event.CloudRetry{Op: op, Object: object, Attempt: attempt, Err: err.Error()})

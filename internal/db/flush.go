@@ -158,7 +158,15 @@ func (d *DB) warmPCache(t *builtTable) error {
 func (d *DB) flushMemtable(imm *memtable.MemTable) error {
 	d.mu.Lock()
 	rec := d.takeRecoveredLocked()
+	d.updateReadStateLocked()
 	d.mu.Unlock()
+
+	// The memtable was sealed under d.mu, after which no commit group can
+	// register new appliers against it; wait out the ones already in
+	// flight so the flush iterator sees every acked write.
+	if imm != nil {
+		imm.WaitWriters()
+	}
 
 	var children []internalIterator
 	if imm != nil && !imm.Empty() {
@@ -184,6 +192,7 @@ func (d *DB) flushMemtable(imm *memtable.MemTable) error {
 		}
 		d.mu.Lock()
 		d.recovered = append(rec, d.recovered...)
+		d.updateReadStateLocked()
 		d.mu.Unlock()
 	}
 

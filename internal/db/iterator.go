@@ -384,10 +384,9 @@ func (d *DB) NewIteratorAt(seq uint64) (*Iterator, error) {
 	if d.closed.Load() {
 		return nil, ErrClosed
 	}
-	d.mu.Lock()
-	mem, imm := d.mem, d.imm
-	recovered := d.recovered
-	d.mu.Unlock()
+	rs := d.rs.Load()
+	mem, imm := rs.mem, rs.imm
+	recovered := rs.recovered
 	v := d.vs.Current()
 
 	var children []internalIterator

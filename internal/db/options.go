@@ -147,6 +147,16 @@ type Options struct {
 	// landing outputs locally as pending-upload tables.
 	DisableDegradedMode bool
 
+	// DisableCommitPipeline reverts the write path to the serial
+	// commit-mutex design: one writer at a time appends to the WAL and
+	// applies to the memtable. The default (pipelined) path group-commits
+	// concurrent writers — a leader batches the queue into one vectored WAL
+	// append with a single amortized fsync while members apply to the
+	// memtable in parallel. Disable only for bisection or as a comparison
+	// baseline; results are identical either way, including post-crash
+	// recovered state.
+	DisableCommitPipeline bool
+
 	// EventListener receives engine lifecycle events (flush, compaction,
 	// upload, stall, cache transitions). Nil disables event dispatch at zero
 	// cost; see package event for the listener contract.

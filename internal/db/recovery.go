@@ -76,6 +76,7 @@ func (d *DB) recover() error {
 	})
 	d.mu.Lock()
 	d.recovered = rec
+	d.updateReadStateLocked()
 	d.mu.Unlock()
 
 	d.lastSeq.Store(maxSeq)

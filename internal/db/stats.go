@@ -17,6 +17,13 @@ type Stats struct {
 	BytesWritten atomic.Int64
 	WriteStalls  atomic.Int64
 
+	// Commit-pipeline counters: groups led, batches carried by those groups
+	// (batches/groups = mean group size), and fsyncs amortized away by group
+	// commit (group size minus one per synced group; 0 unless WALSync).
+	CommitGroups       atomic.Int64
+	CommitGroupBatches atomic.Int64
+	WALSyncsAmortized  atomic.Int64
+
 	Flushes    atomic.Int64
 	FlushBytes atomic.Int64
 
@@ -114,6 +121,9 @@ type Metrics struct {
 	Reads              int64
 	Writes             int64
 	BytesWritten       int64
+	CommitGroups       int64
+	CommitGroupBatches int64
+	WALSyncsAmortized  int64
 	FlushBytes         int64
 	UploadRetries      int64
 	ReadRetries        int64
@@ -171,6 +181,9 @@ func (d *DB) Metrics() Metrics {
 		Reads:              d.stats.Reads.Load(),
 		Writes:             d.stats.Writes.Load(),
 		BytesWritten:       d.stats.BytesWritten.Load(),
+		CommitGroups:       d.stats.CommitGroups.Load(),
+		CommitGroupBatches: d.stats.CommitGroupBatches.Load(),
+		WALSyncsAmortized:  d.stats.WALSyncsAmortized.Load(),
 		FlushBytes:         d.stats.FlushBytes.Load(),
 		UploadRetries:      d.stats.UploadRetries.Load(),
 		ReadRetries:        d.stats.ReadRetries.Load(),

@@ -32,6 +32,7 @@ const (
 	TTableDeleted    Type = "table_deleted"
 	TWriteStallBegin Type = "write_stall_begin"
 	TWriteStallEnd   Type = "write_stall_end"
+	TCommitGroup     Type = "commit_group"
 	TPCacheAdmit     Type = "pcache_admit"
 	TPCacheEvict     Type = "pcache_evict"
 	TCloudRetry      Type = "cloud_retry"
@@ -117,6 +118,20 @@ type WriteStallEnd struct {
 	Duration time.Duration `json:"dur"`
 }
 
+// CommitGroup fires when a commit-pipeline leader finishes the WAL write
+// for one coalesced group of write batches. Batches is the group size (1
+// under a single writer), Ops and Bytes sum the member batches, Synced
+// reports whether the group paid a durability barrier (one fsync for the
+// whole group — Batches-1 syncs amortized away), and Duration is the
+// vectored WAL append including that barrier.
+type CommitGroup struct {
+	Batches  int           `json:"batches"`
+	Ops      int64         `json:"ops"`
+	Bytes    int64         `json:"bytes"`
+	Synced   bool          `json:"synced,omitempty"`
+	Duration time.Duration `json:"dur"`
+}
+
 // PCacheAdmit fires when the persistent cache admits blocks of a file. Bulk
 // admissions (readahead, compaction warming) report one event per batch.
 type PCacheAdmit struct {
@@ -162,6 +177,7 @@ type Listener interface {
 	OnTableDeleted(TableDeleted)
 	OnWriteStallBegin(WriteStallBegin)
 	OnWriteStallEnd(WriteStallEnd)
+	OnCommitGroup(CommitGroup)
 	OnPCacheAdmit(PCacheAdmit)
 	OnPCacheEvict(PCacheEvict)
 	OnCloudRetry(CloudRetry)
@@ -180,6 +196,7 @@ func (NopListener) OnTableUploaded(TableUploaded)     {}
 func (NopListener) OnTableDeleted(TableDeleted)       {}
 func (NopListener) OnWriteStallBegin(WriteStallBegin) {}
 func (NopListener) OnWriteStallEnd(WriteStallEnd)     {}
+func (NopListener) OnCommitGroup(CommitGroup)         {}
 func (NopListener) OnPCacheAdmit(PCacheAdmit)         {}
 func (NopListener) OnPCacheEvict(PCacheEvict)         {}
 func (NopListener) OnCloudRetry(CloudRetry)           {}
@@ -245,6 +262,11 @@ func (m multi) OnWriteStallBegin(e WriteStallBegin) {
 func (m multi) OnWriteStallEnd(e WriteStallEnd) {
 	for _, l := range m {
 		l.OnWriteStallEnd(e)
+	}
+}
+func (m multi) OnCommitGroup(e CommitGroup) {
+	for _, l := range m {
+		l.OnCommitGroup(e)
 	}
 }
 func (m multi) OnPCacheAdmit(e PCacheAdmit) {

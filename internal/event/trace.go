@@ -45,6 +45,8 @@ func (r Record) Decode() (any, error) {
 		p = &WriteStallBegin{}
 	case TWriteStallEnd:
 		p = &WriteStallEnd{}
+	case TCommitGroup:
+		p = &CommitGroup{}
 	case TPCacheAdmit:
 		p = &PCacheAdmit{}
 	case TPCacheEvict:
@@ -76,6 +78,8 @@ func (r Record) Decode() (any, error) {
 	case *WriteStallBegin:
 		return *e, nil
 	case *WriteStallEnd:
+		return *e, nil
+	case *CommitGroup:
 		return *e, nil
 	case *PCacheAdmit:
 		return *e, nil
@@ -169,6 +173,7 @@ func (t *TraceWriter) OnTableUploaded(e TableUploaded)     { t.emit(TTableUpload
 func (t *TraceWriter) OnTableDeleted(e TableDeleted)       { t.emit(TTableDeleted, e) }
 func (t *TraceWriter) OnWriteStallBegin(e WriteStallBegin) { t.emit(TWriteStallBegin, e) }
 func (t *TraceWriter) OnWriteStallEnd(e WriteStallEnd)     { t.emit(TWriteStallEnd, e) }
+func (t *TraceWriter) OnCommitGroup(e CommitGroup)         { t.emit(TCommitGroup, e) }
 func (t *TraceWriter) OnPCacheAdmit(e PCacheAdmit)         { t.emit(TPCacheAdmit, e) }
 func (t *TraceWriter) OnPCacheEvict(e PCacheEvict)         { t.emit(TPCacheEvict, e) }
 func (t *TraceWriter) OnCloudRetry(e CloudRetry)           { t.emit(TCloudRetry, e) }
@@ -268,6 +273,7 @@ func (r *Recorder) OnTableUploaded(e TableUploaded)     { r.add(TTableUploaded, 
 func (r *Recorder) OnTableDeleted(e TableDeleted)       { r.add(TTableDeleted, e) }
 func (r *Recorder) OnWriteStallBegin(e WriteStallBegin) { r.add(TWriteStallBegin, e) }
 func (r *Recorder) OnWriteStallEnd(e WriteStallEnd)     { r.add(TWriteStallEnd, e) }
+func (r *Recorder) OnCommitGroup(e CommitGroup)         { r.add(TCommitGroup, e) }
 func (r *Recorder) OnPCacheAdmit(e PCacheAdmit)         { r.add(TPCacheAdmit, e) }
 func (r *Recorder) OnPCacheEvict(e PCacheEvict)         { r.add(TPCacheEvict, e) }
 func (r *Recorder) OnCloudRetry(e CloudRetry)           { r.add(TCloudRetry, e) }

@@ -4,16 +4,25 @@
 package memtable
 
 import (
+	"sync"
+
 	"rocksmash/internal/arena"
 	"rocksmash/internal/keys"
 	"rocksmash/internal/skiplist"
 )
 
-// MemTable buffers recent writes. Add must be externally serialized (the DB
-// commit path does this); Get and iterators are safe concurrently.
+// MemTable buffers recent writes. Add is safe for concurrent use (the
+// commit pipeline applies group members' batches in parallel), as are Get
+// and iterators.
 type MemTable struct {
 	arena *arena.Arena
 	list  *skiplist.List
+
+	// writers counts in-flight commit-pipeline appliers. The DB registers
+	// writers under its rotation lock while the memtable is current, so by
+	// the time a sealed memtable's flush calls WaitWriters no new
+	// registrations can arrive and the wait is race-free.
+	writers sync.WaitGroup
 }
 
 // New returns an empty memtable.
@@ -30,6 +39,19 @@ func (m *MemTable) Add(seq uint64, kind keys.Kind, ukey, value []byte) {
 	}
 	m.list.Insert(ikey, value)
 }
+
+// RegisterWriters records n appliers about to Add concurrently. Must only
+// be called while the memtable is the DB's current one, under the lock that
+// also guards sealing.
+func (m *MemTable) RegisterWriters(n int) { m.writers.Add(n) }
+
+// WriterDone marks one registered applier finished.
+func (m *MemTable) WriterDone() { m.writers.Done() }
+
+// WaitWriters blocks until every registered applier has finished. Flush
+// calls this after the memtable is sealed (no new registrations possible)
+// so it never snapshots a memtable mid-apply.
+func (m *MemTable) WaitWriters() { m.writers.Wait() }
 
 // Get looks up ukey at snapshot seq. Returns:
 //

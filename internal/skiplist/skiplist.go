@@ -1,12 +1,12 @@
 // Package skiplist implements the ordered in-memory index backing the
-// memtable. Writers are serialized by the caller (the DB's write path holds
-// a commit lock); readers run lock-free against atomically published nodes,
-// mirroring the memtable concurrency model of LevelDB/RocksDB.
+// memtable. Inserts publish nodes with a CAS loop on the atomic next
+// pointers, so any number of writers may insert concurrently (the commit
+// pipeline applies group members' batches in parallel); readers stay
+// lock-free against atomically published nodes, mirroring the memtable
+// concurrency model of RocksDB's concurrent-memtable-writes mode.
 package skiplist
 
 import (
-	"math/rand"
-	"sync"
 	"sync/atomic"
 
 	"rocksmash/internal/arena"
@@ -26,34 +26,42 @@ type node struct {
 	next []atomic.Pointer[node]
 }
 
-// List is a skiplist ordered by keys.Compare. Insert must not be called
-// concurrently; all other methods are safe for concurrent use with a single
-// inserter.
+// List is a skiplist ordered by keys.Compare. All methods, including
+// Insert, are safe for concurrent use.
 type List struct {
 	head   *node
 	arena  *arena.Arena
 	height atomic.Int32
 	count  atomic.Int64
 
-	rngMu sync.Mutex
-	rng   *rand.Rand
+	// rngState drives randomHeight: an atomic splitmix64 counter, so height
+	// draws stay lock-free under concurrent inserters.
+	rngState atomic.Uint64
 }
 
 // New returns an empty skiplist allocating from a.
 func New(a *arena.Arena) *List {
 	h := &node{next: make([]atomic.Pointer[node], maxHeight)}
-	l := &List{head: h, arena: a, rng: rand.New(rand.NewSource(0xdecafbad))}
+	l := &List{head: h, arena: a}
+	l.rngState.Store(0xdecafbad)
 	l.height.Store(1)
 	return l
 }
 
 func (l *List) randomHeight() int {
-	l.rngMu.Lock()
+	// splitmix64 over an atomic counter: each Add claims a unique state and
+	// the finalizer scrambles it into an independent uniform draw.
+	x := l.rngState.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
 	h := 1
-	for h < maxHeight && l.rng.Intn(branching) == 0 {
+	for h < maxHeight && x&(branching-1) == 0 {
 		h++
+		x >>= 2
 	}
-	l.rngMu.Unlock()
 	return h
 }
 
@@ -115,17 +123,25 @@ func (l *List) findLast() *node {
 // Insert adds an entry. The internal key must not already be present (the
 // memtable guarantees uniqueness by including the sequence number in the
 // key). key and value are copied into the arena.
+//
+// Insert is safe for concurrent use: each level links the node with a CAS
+// publication loop, re-walking from the last known predecessor when another
+// inserter wins the race. Level 0 is linked first, so a node is reachable
+// by readers the moment its bottom-level CAS lands; upper levels are
+// search shortcuts and may lag briefly.
 func (l *List) Insert(key, value []byte) {
+	h := l.randomHeight()
+	// Raise the list height first so the splice search below sees at least
+	// h levels. A concurrent raise by another inserter is fine either way.
+	for {
+		cur := l.height.Load()
+		if int(cur) >= h || l.height.CompareAndSwap(cur, int32(h)) {
+			break
+		}
+	}
+
 	var prev [maxHeight]*node
 	l.findGreaterOrEqual(key, &prev)
-
-	h := l.randomHeight()
-	if cur := int(l.height.Load()); h > cur {
-		for i := cur; i < h; i++ {
-			prev[i] = l.head
-		}
-		l.height.Store(int32(h))
-	}
 
 	n := &node{
 		key:   l.arena.Append(key),
@@ -133,8 +149,26 @@ func (l *List) Insert(key, value []byte) {
 		next:  make([]atomic.Pointer[node], h),
 	}
 	for i := 0; i < h; i++ {
-		n.next[i].Store(prev[i].next[i].Load())
-		prev[i].next[i].Store(n) // publish
+		p := prev[i]
+		if p == nil {
+			// The height raise or a concurrent raise left this level's
+			// splice unset; the head is always a valid predecessor.
+			p = l.head
+		}
+		for {
+			next := p.next[i].Load()
+			// Advance past nodes a concurrent inserter linked before us.
+			// Keys are unique, so strict less-than converges.
+			for next != nil && keys.Compare(next.key, key) < 0 {
+				p = next
+				next = p.next[i].Load()
+			}
+			n.next[i].Store(next)
+			if p.next[i].CompareAndSwap(next, n) { // publish
+				break
+			}
+			// CAS lost: p gained a new successor; re-advance from p.
+		}
 	}
 	l.count.Add(1)
 }
@@ -145,9 +179,9 @@ func (l *List) Len() int { return int(l.count.Load()) }
 // Empty reports whether the list holds no entries.
 func (l *List) Empty() bool { return l.count.Load() == 0 }
 
-// Iterator walks the list. It is valid for use concurrently with Insert by
-// one other goroutine; entries inserted after iterator creation may or may
-// not be observed.
+// Iterator walks the list. It is valid for use concurrently with any number
+// of inserters; entries inserted after iterator creation may or may not be
+// observed.
 type Iterator struct {
 	list *List
 	n    *node
