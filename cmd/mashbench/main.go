@@ -25,6 +25,7 @@ import (
 	"rocksmash/internal/harness"
 	"rocksmash/internal/histogram"
 	"rocksmash/internal/obs"
+	"rocksmash/internal/readprof"
 	"rocksmash/internal/sstable"
 	"rocksmash/internal/storage"
 	"rocksmash/internal/ycsb"
@@ -87,7 +88,8 @@ func main() {
 		quick      = flag.Bool("quick", false, "shrink experiment datasets ~10x")
 		seed       = flag.Int64("seed", 42, "workload RNG seed")
 		compress   = flag.Bool("compress", false, "flate-compress SSTable data blocks")
-		metrics    = flag.String("metrics-addr", "", "serve live metrics over HTTP on this address (/debug/vars, /stats)")
+		metrics    = flag.String("metrics-addr", "", "serve live metrics over HTTP on this address (/metrics, /debug/vars, /stats, /debug/pprof)")
+		profSample = flag.Int("profile-sample", 0, "time 1-in-N reads for the read-path profiler (0 = engine default, 1 = every read, -1 = off)")
 		tracePath  = flag.String("trace", "", "append engine events as JSON lines to this file (see `mashctl trace`)")
 		dumpStats  = flag.Bool("stats", false, "print the DumpStats report after the benchmarks")
 		faultGet   = flag.Float64("fault-get-rate", 0, "inject cloud GET failures with this probability [0,1]")
@@ -132,6 +134,7 @@ func main() {
 	}
 	opts.TracePath = *tracePath
 	opts.WALSync = *walSync
+	opts.ReadProfileSampleRate = *profSample
 	var d *db.DB
 	var faulty *storage.Faulty
 	if *faultGet > 0 || *faultPut > 0 || *outage != "" {
@@ -152,7 +155,11 @@ func main() {
 	}
 	defer d.Close()
 	if *metrics != "" {
-		obs.Serve(*metrics, d)
+		if srv, err := obs.Serve(*metrics, d); err != nil {
+			fmt.Fprintln(os.Stderr, "mashbench: metrics:", err)
+		} else {
+			fmt.Printf("mashbench: metrics on http://%s/metrics\n", srv.Addr)
+		}
 	}
 
 	fmt.Printf("mashbench: policy=%s num=%d valuesize=%d threads=%d dir=%s\n", p, *num, *valueSize, *threads, dir)
@@ -172,6 +179,7 @@ func main() {
 	if rep, ok := d.CloudCost(); ok {
 		fmt.Println("cloud bill:", rep)
 	}
+	printReadAmp(m.ReadAmp)
 	if faulty != nil {
 		fmt.Printf("chaos: injected=%d unavailable-reads=%d breaker=%s trips=%d degraded=%s pending=%d drained=%d\n",
 			faulty.InjectedFaults(), unavailableReads.Load(), m.BreakerState, m.BreakerTrips,
@@ -180,6 +188,25 @@ func main() {
 	if *dumpStats {
 		fmt.Println()
 		fmt.Print(d.DumpStats())
+	}
+}
+
+// printReadAmp renders the read-path profiler's per-tier attribution table
+// when any reads were profiled (see `mashctl profile` for the live view).
+func printReadAmp(ra db.ReadAmp) {
+	if ra.ProfiledGets == 0 {
+		return
+	}
+	fmt.Printf("\nread profile: %d gets (%d timed), %.2f tables/get, %.2f blocks/get, bloom TN %.3f\n",
+		ra.ProfiledGets, ra.TimedGets, ra.TablesPerGet(), ra.BlocksPerGet(), ra.BloomTrueNegativeRate())
+	fmt.Printf("  %-12s %10s %12s %12s\n", "tier", "blocks", "KB", "time")
+	for t := readprof.Tier(0); t < readprof.NumTiers; t++ {
+		if ra.Blocks[t] == 0 {
+			continue
+		}
+		fmt.Printf("  %-12s %10d %12.1f %12s\n",
+			t, ra.Blocks[t], float64(ra.Bytes[t])/1024,
+			time.Duration(ra.FetchNanos[t]).Round(time.Microsecond))
 	}
 }
 

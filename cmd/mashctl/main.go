@@ -12,6 +12,8 @@
 //	mashctl cost     -db /path/to/db
 //	mashctl verify   -db /path/to/db   # checksum-audit every table block
 //	mashctl trace    -f trace.jsonl    # summarize an engine event trace
+//	mashctl profile  -addr host:port   # read-path attribution from a live /metrics
+//	mashctl profile  -f trace.jsonl    # slow-read records captured in a trace
 package main
 
 import (
@@ -37,9 +39,19 @@ func main() {
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	dbDir := fs.String("db", "", "database directory (as passed to Open)")
 	num := fs.Uint64("num", 0, "table file number (sst command)")
-	traceFile := fs.String("f", "", "trace file to summarize (trace command; default <db>/trace.jsonl)")
-	top := fs.Int("top", 10, "number of slowest events to list (trace command)")
+	traceFile := fs.String("f", "", "trace file to summarize (trace/profile commands; default <db>/trace.jsonl)")
+	top := fs.Int("top", 10, "number of slowest events to list (trace/profile commands)")
+	addr := fs.String("addr", "", "live metrics endpoint to scrape (profile command, e.g. 127.0.0.1:8080)")
 	fs.Parse(os.Args[2:])
+
+	if cmd == "profile" {
+		path := *traceFile
+		if path == "" && *addr == "" && *dbDir != "" {
+			path = filepath.Join(*dbDir, "trace.jsonl")
+		}
+		cmdProfile(*addr, path, *top)
+		return
+	}
 
 	if cmd == "trace" {
 		// The trace file is self-contained; -db is only a default location.
@@ -81,7 +93,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mashctl {manifest|sst|wal|pcache|cost|verify|trace} -db DIR [-num N] [-f TRACE] [-top N]")
+	fmt.Fprintln(os.Stderr, "usage: mashctl {manifest|sst|wal|pcache|cost|verify|trace|profile} -db DIR [-num N] [-f TRACE] [-top N] [-addr HOST:PORT]")
 	os.Exit(2)
 }
 

@@ -61,6 +61,8 @@ func cmdTrace(path string, top int) {
 		groupAmort  int64
 		groupDur    time.Duration
 		retries     int
+		slowReads   int
+		slowReadDur time.Duration
 		retryByOp   = map[string]int{}
 		pendingUps  int
 		transitions = map[string]int{}
@@ -133,6 +135,11 @@ func cmdTrace(path string, top int) {
 			retryByOp[e.Op]++
 		case event.BreakerState:
 			transitions[e.From+"->"+e.To]++
+		case event.SlowRead:
+			slowReads++
+			slowReadDur += e.Duration
+			slow = append(slow, slowEvent{rec,
+				fmt.Sprintf("slow read %q via %s (%d tables)", e.Key, e.Path, e.Tables), e.Duration})
 		}
 	}
 
@@ -209,6 +216,10 @@ func cmdTrace(path string, top int) {
 				fmt.Printf("  breaker %-20s %d\n", tr, transitions[tr])
 			}
 		}
+	}
+	if slowReads > 0 {
+		fmt.Printf("\nslow reads: %d sampled, %s total (see `mashctl profile -f`)\n",
+			slowReads, slowReadDur.Round(time.Microsecond))
 	}
 	if len(stallCount) > 0 {
 		fmt.Println("\nwrite stalls:")

@@ -19,6 +19,7 @@ import (
 	"rocksmash/internal/db"
 	"rocksmash/internal/histogram"
 	"rocksmash/internal/obs"
+	"rocksmash/internal/readprof"
 	"rocksmash/internal/storage"
 	"rocksmash/internal/ycsb"
 )
@@ -68,20 +69,21 @@ func scheduleOutage(f *storage.Faulty, spec string) error {
 
 func main() {
 	var (
-		dbDir     = flag.String("db", "", "database directory (default: temp)")
-		policy    = flag.String("policy", "mash", "placement policy: mash|local-only|cloud-only|cloud-lru")
-		workload  = flag.String("workload", "B", "YCSB core workload A-F")
-		records   = flag.Int("records", 50000, "records to load")
-		ops       = flag.Int("ops", 20000, "operations to run")
-		threads   = flag.Int("threads", 1, "concurrent client goroutines for the load and run phases")
-		valueSize = flag.Int("valuesize", 400, "value size in bytes")
-		seed      = flag.Int64("seed", 42, "workload RNG seed")
-		metrics   = flag.String("metrics-addr", "", "serve live metrics over HTTP on this address (/debug/vars, /stats)")
-		tracePath = flag.String("trace", "", "append engine events as JSON lines to this file (see `mashctl trace`)")
-		dumpStats = flag.Bool("stats", false, "print the DumpStats report after the run")
-		faultGet  = flag.Float64("fault-get-rate", 0, "inject cloud GET failures with this probability [0,1]")
-		faultPut  = flag.Float64("fault-put-rate", 0, "inject cloud PUT failures with this probability [0,1]")
-		outage    = flag.String("outage", "", "script a full cloud outage as start,duration (e.g. 10s,30s); the clock starts at the run phase")
+		dbDir      = flag.String("db", "", "database directory (default: temp)")
+		policy     = flag.String("policy", "mash", "placement policy: mash|local-only|cloud-only|cloud-lru")
+		workload   = flag.String("workload", "B", "YCSB core workload A-F")
+		records    = flag.Int("records", 50000, "records to load")
+		ops        = flag.Int("ops", 20000, "operations to run")
+		threads    = flag.Int("threads", 1, "concurrent client goroutines for the load and run phases")
+		valueSize  = flag.Int("valuesize", 400, "value size in bytes")
+		seed       = flag.Int64("seed", 42, "workload RNG seed")
+		metrics    = flag.String("metrics-addr", "", "serve live metrics over HTTP on this address (/metrics, /debug/vars, /stats, /debug/pprof)")
+		profSample = flag.Int("profile-sample", 0, "time 1-in-N reads for the read-path profiler (0 = engine default, 1 = every read, -1 = off)")
+		tracePath  = flag.String("trace", "", "append engine events as JSON lines to this file (see `mashctl trace`)")
+		dumpStats  = flag.Bool("stats", false, "print the DumpStats report after the run")
+		faultGet   = flag.Float64("fault-get-rate", 0, "inject cloud GET failures with this probability [0,1]")
+		faultPut   = flag.Float64("fault-put-rate", 0, "inject cloud PUT failures with this probability [0,1]")
+		outage     = flag.String("outage", "", "script a full cloud outage as start,duration (e.g. 10s,30s); the clock starts at the run phase")
 	)
 	flag.Parse()
 
@@ -113,6 +115,7 @@ func main() {
 	opts := db.DefaultOptions()
 	opts.Policy = p
 	opts.TracePath = *tracePath
+	opts.ReadProfileSampleRate = *profSample
 	var d *db.DB
 	var faulty *storage.Faulty
 	if *faultGet > 0 || *faultPut > 0 || *outage != "" {
@@ -131,7 +134,11 @@ func main() {
 	}
 	defer d.Close()
 	if *metrics != "" {
-		obs.Serve(*metrics, d)
+		if srv, err := obs.Serve(*metrics, d); err != nil {
+			fmt.Fprintln(os.Stderr, "mashycsb: metrics:", err)
+		} else {
+			fmt.Printf("metrics on http://%s/metrics\n", srv.Addr)
+		}
 	}
 
 	// Load phase.
@@ -229,6 +236,18 @@ func main() {
 		float64(m.LocalBytes)/(1<<20), float64(m.CloudBytes)/(1<<20), m.PCacheHit, m.BlockHit, m.WriteStalls)
 	if rep, ok := d.CloudCost(); ok {
 		fmt.Println("  cloud bill:", rep)
+	}
+	if ra := m.ReadAmp; ra.ProfiledGets > 0 {
+		fmt.Printf("  read profile: %d gets (%d timed), %.2f tables/get, %.2f blocks/get, bloom TN %.3f\n",
+			ra.ProfiledGets, ra.TimedGets, ra.TablesPerGet(), ra.BlocksPerGet(), ra.BloomTrueNegativeRate())
+		for t := readprof.Tier(0); t < readprof.NumTiers; t++ {
+			if ra.Blocks[t] == 0 {
+				continue
+			}
+			fmt.Printf("    %-12s %10d blocks %10.1f KB %12s\n",
+				t, ra.Blocks[t], float64(ra.Bytes[t])/1024,
+				time.Duration(ra.FetchNanos[t]).Round(time.Microsecond))
+		}
 	}
 	if faulty != nil {
 		fmt.Printf("  chaos: injected=%d unavailable-reads=%d breaker=%s trips=%d degraded=%s pending=%d drained=%d\n",

@@ -334,6 +334,9 @@ func (d *DB) doCompaction(c *compaction) error {
 	if err := d.vs.LogAndApply(edit); err != nil {
 		return err
 	}
+	for _, t := range outputs {
+		d.pcache.SetLevel(t.meta.Num, c.output)
+	}
 	if c.level > 0 && len(c.inputs) > 0 {
 		if d.compactPtr == nil {
 			d.compactPtr = map[int][]byte{}

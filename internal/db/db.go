@@ -14,6 +14,7 @@ import (
 	"rocksmash/internal/manifest"
 	"rocksmash/internal/memtable"
 	"rocksmash/internal/pcache"
+	"rocksmash/internal/readprof"
 	"rocksmash/internal/retry"
 	"rocksmash/internal/storage"
 	"rocksmash/internal/wal"
@@ -95,6 +96,12 @@ type DB struct {
 	stats Stats
 	// lat holds the always-on per-operation latency histograms.
 	lat *latencies
+	// profTick drives 1-in-N selection of Timed (clock-reading) read
+	// profiles; readAgg accumulates every sampled profile; slow tracks the
+	// worst timed Gets per interval for slow-read trace emission.
+	profTick atomic.Uint64
+	readAgg  readAgg
+	slow     slowTracker
 	// listener receives lifecycle events; nil when observability is off
 	// (the fast path — every fire site is nil-guarded and allocation-free).
 	listener event.Listener
@@ -205,6 +212,11 @@ func Open(opts Options, local storage.Backend, cloud storage.Backend) (*DB, erro
 	if err := d.recover(); err != nil {
 		return nil, err
 	}
+	// Register every live file's level with the persistent cache so its
+	// hit/miss counters attribute correctly from the first read.
+	d.vs.Current().AllFiles(func(level int, f *manifest.FileMetadata) {
+		d.pcache.SetLevel(f.Num, level)
+	})
 	if !opts.DisableCommitPipeline {
 		d.pipeline = newCommitPipeline(d, d.lastSeq.Load()+1)
 	}
@@ -478,13 +490,45 @@ func (d *DB) GetAt(key []byte, seq uint64) ([]byte, error) {
 		return nil, ErrClosed
 	}
 	d.stats.Reads.Add(1)
+	// Read profiling: every Get carries a pooled profile (cheap counter
+	// core) unless disabled; 1-in-ReadProfileSampleRate of them are Timed
+	// and additionally pay per-stage clock reads.
+	var prof *readprof.Profile
+	if rate := d.opts.ReadProfileSampleRate; rate > 0 {
+		prof = getProfile()
+		prof.Timed = rate == 1 || d.profTick.Add(1)%uint64(rate) == 0
+	}
 	start := time.Now()
-	v, err := d.getAt(key, seq)
-	d.lat.get.Record(time.Since(start))
+	v, err := d.getAt(key, seq, prof)
+	elapsed := time.Since(start)
+	d.lat.get.Record(elapsed)
+	if prof != nil {
+		d.finishProfile(key, prof, elapsed)
+	}
 	return v, err
 }
 
-func (d *DB) getAt(key []byte, seq uint64) ([]byte, error) {
+// GetProfiled is Get with full attribution: the returned Profile reports
+// where the read was served from and what it cost, regardless of the
+// sampling rate. The read still feeds the aggregate counters.
+func (d *DB) GetProfiled(key []byte) ([]byte, readprof.Profile, error) {
+	if d.closed.Load() {
+		return nil, readprof.Profile{}, ErrClosed
+	}
+	d.stats.Reads.Add(1)
+	prof := getProfile()
+	prof.Timed = true
+	start := time.Now()
+	v, err := d.getAt(key, d.lastSeq.Load(), prof)
+	elapsed := time.Since(start)
+	d.lat.get.Record(elapsed)
+	prof.TotalNanos = elapsed.Nanoseconds()
+	out := *prof
+	d.finishProfile(key, prof, elapsed)
+	return v, out, err
+}
+
+func (d *DB) getAt(key []byte, seq uint64, prof *readprof.Profile) ([]byte, error) {
 	// One atomic load instead of d.mu: reads stay off the rotation lock so
 	// a write-heavy workload cannot starve point lookups (and vice versa).
 	rs := d.rs.Load()
@@ -492,6 +536,9 @@ func (d *DB) getAt(key []byte, seq uint64) ([]byte, error) {
 	recovered := rs.recovered
 
 	if v, found, live := mem.Get(key, seq); found {
+		if prof != nil {
+			prof.LevelServed = readprof.LevelMemtable
+		}
 		if !live {
 			return nil, ErrNotFound
 		}
@@ -499,6 +546,9 @@ func (d *DB) getAt(key []byte, seq uint64) ([]byte, error) {
 	}
 	if imm != nil {
 		if v, found, live := imm.Get(key, seq); found {
+			if prof != nil {
+				prof.LevelServed = readprof.LevelMemtable
+			}
 			if !live {
 				return nil, ErrNotFound
 			}
@@ -509,6 +559,9 @@ func (d *DB) getAt(key []byte, seq uint64) ([]byte, error) {
 		// Recovered memtables are unordered relative to each other; pick
 		// the newest visible entry across all of them.
 		if v, live, ok := getFromRecovered(recovered, key, seq); ok {
+			if prof != nil {
+				prof.LevelServed = readprof.LevelMemtable
+			}
 			if !live {
 				return nil, ErrNotFound
 			}
@@ -522,6 +575,9 @@ func (d *DB) getAt(key []byte, seq uint64) ([]byte, error) {
 		state int // 0 = not found, 1 = live, 2 = tombstone
 	)
 	err := v.FilesFor(key, func(level int, f *manifest.FileMetadata) (bool, error) {
+		if prof != nil {
+			prof.ProbeLevel(level)
+		}
 		if seq < f.MinSeq && level > 0 {
 			// Nothing in this file is visible at the snapshot.
 			return false, nil
@@ -531,12 +587,18 @@ func (d *DB) getAt(key []byte, seq uint64) ([]byte, error) {
 			return false, err
 		}
 		defer h.release()
-		val, found, live, err := h.reader.Get(key, seq)
+		if prof != nil {
+			prof.Tables++
+		}
+		val, found, live, err := h.reader.GetProf(key, seq, prof)
 		if err != nil {
 			return false, err
 		}
 		if !found {
 			return false, nil
+		}
+		if prof != nil {
+			prof.LevelServed = int8(level)
 		}
 		if live {
 			value, state = val, 1
@@ -765,7 +827,10 @@ func (d *DB) Close() error {
 	if err := d.vs.Close(); err != nil && firstErr == nil {
 		firstErr = err
 	}
-	// Last: the flushes above may still fire events into the trace.
+	// Drain any slow reads buffered in the current tracking window so their
+	// trace records are not lost; then close the trace last — the flushes
+	// above may still fire events into it.
+	d.flushSlowReads()
 	if d.trace != nil {
 		if err := d.trace.Close(); err != nil && firstErr == nil {
 			firstErr = err

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"rocksmash/internal/readprof"
 	"rocksmash/internal/storage"
 )
 
@@ -158,6 +159,49 @@ func (d *DB) DumpStats() string {
 	fmt.Fprintf(&b, "Block cache: hit %.3f\n", m.BlockHit)
 	fmt.Fprintf(&b, "PCache:      hit %.3f, used %s, metadata %s\n",
 		m.PCacheHit, humanBytes(m.PCacheUsed), humanBytes(m.PCacheMeta))
+
+	if ra := m.ReadAmp; ra.ProfiledGets > 0 {
+		b.WriteString("\n** Read Path **\n")
+		fmt.Fprintf(&b, "Profiled gets: %d (%d timed), served mem %d, not found %d\n",
+			ra.ProfiledGets, ra.TimedGets, ra.MemServes, ra.NotFound)
+		fmt.Fprintf(&b, "Read amp: %.2f tables/get, %.2f blocks/get, %s/get\n",
+			ra.TablesPerGet(), ra.BlocksPerGet(), humanBytes(int64(ra.BytesPerGet())))
+		if ra.BloomChecked > 0 {
+			fmt.Fprintf(&b, "Bloom: %d checked, %d negative (%.3f true-negative rate)\n",
+				ra.BloomChecked, ra.BloomNegative, ra.BloomTrueNegativeRate())
+		}
+		fmt.Fprintf(&b, "%-6s %10s %10s %14s %14s\n", "level", "serves", "probes", "pcache-hit", "pcache-miss")
+		for l := 0; l < len(ra.LevelServes); l++ {
+			if ra.LevelServes[l] == 0 && ra.LevelProbes[l] == 0 &&
+				ra.PCacheLevelHits[l] == 0 && ra.PCacheLevelMisses[l] == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "L%-5d %10d %10d %14d %14d\n",
+				l, ra.LevelServes[l], ra.LevelProbes[l], ra.PCacheLevelHits[l], ra.PCacheLevelMisses[l])
+		}
+		if uh, um := ra.PCacheLevelHits[len(ra.PCacheLevelHits)-1],
+			ra.PCacheLevelMisses[len(ra.PCacheLevelMisses)-1]; uh+um > 0 {
+			fmt.Fprintf(&b, "%-6s %10s %10s %14d %14d\n", "L?", "-", "-", uh, um)
+		}
+		fmt.Fprintf(&b, "%-12s %10s %12s %12s\n", "tier", "blocks", "bytes", "time")
+		for t := readprof.Tier(0); t < readprof.NumTiers; t++ {
+			if ra.Blocks[t] == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "%-12s %10d %12s %12s\n",
+				t, ra.Blocks[t], humanBytes(ra.Bytes[t]),
+				time.Duration(ra.FetchNanos[t]).Round(time.Microsecond))
+		}
+		if ra.IterSeeks > 0 {
+			fmt.Fprintf(&b, "Iterators: %d seeks", ra.IterSeeks)
+			for t := readprof.Tier(0); t < readprof.NumTiers; t++ {
+				if ra.IterBlocks[t] > 0 {
+					fmt.Fprintf(&b, ", %s %d blocks (%s)", t, ra.IterBlocks[t], humanBytes(ra.IterBytes[t]))
+				}
+			}
+			b.WriteString("\n")
+		}
+	}
 
 	b.WriteString("\n** Storage I/O **\n")
 	li := m.LocalIO.Sub(prev.localIO)

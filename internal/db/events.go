@@ -6,6 +6,7 @@ import (
 
 	"rocksmash/internal/event"
 	"rocksmash/internal/histogram"
+	"rocksmash/internal/readprof"
 	"rocksmash/internal/sstable"
 	"rocksmash/internal/storage"
 )
@@ -104,9 +105,9 @@ func (d *DB) evBreakerState(from, to string) {
 // CPU in CompactionEnd stage timings; it is only installed when a listener
 // is attached.
 func timedFetch(f sstable.FetchFunc, ns *atomic.Int64) sstable.FetchFunc {
-	return func(fileNum uint64, hd sstable.Handle) ([]byte, error) {
+	return func(fileNum uint64, hd sstable.Handle, prof *readprof.Profile) ([]byte, error) {
 		start := time.Now()
-		body, err := f(fileNum, hd)
+		body, err := f(fileNum, hd, prof)
 		ns.Add(time.Since(start).Nanoseconds())
 		return body, err
 	}

@@ -260,6 +260,7 @@ func (d *DB) flushMemtable(imm *memtable.MemTable) error {
 		restoreOnError()
 		return err
 	}
+	d.pcache.SetLevel(t.meta.Num, 0)
 	d.stats.Flushes.Add(1)
 	d.stats.FlushBytes.Add(int64(t.meta.Size))
 	// Sequence numbers up to FlushedSeq are durable in tables: the WAL

@@ -6,6 +6,7 @@ import (
 
 	"rocksmash/internal/keys"
 	"rocksmash/internal/manifest"
+	"rocksmash/internal/readprof"
 	"rocksmash/internal/skiplist"
 	"rocksmash/internal/sstable"
 )
@@ -83,6 +84,7 @@ type levelIter struct {
 	files []*manifest.FileMetadata
 	idx   int
 	cur   *tableIter
+	prof  *readprof.Profile // attached to each lazily opened table iter
 	err   error
 }
 
@@ -106,6 +108,7 @@ func (l *levelIter) openFile(i int) bool {
 		return false
 	}
 	l.cur = newTableIter(h)
+	l.cur.it.SetProfile(l.prof)
 	l.idx = i
 	return true
 }
@@ -367,6 +370,13 @@ type Iterator struct {
 	merged internalIterator
 	seq    uint64
 
+	// prof accumulates the iterator's data-block reads by source tier over
+	// its whole lifetime (nil when profiling is disabled); seeks counts
+	// positioning operations. Both fold into the DB's scan-side aggregates
+	// at Close, kept separate from per-Get read-amp accounting.
+	prof  *readprof.Profile
+	seeks int64
+
 	key    []byte
 	value  []byte
 	valid  bool
@@ -389,6 +399,12 @@ func (d *DB) NewIteratorAt(seq uint64) (*Iterator, error) {
 	recovered := rs.recovered
 	v := d.vs.Current()
 
+	var prof *readprof.Profile
+	if rate := d.opts.ReadProfileSampleRate; rate > 0 {
+		prof = getProfile()
+		prof.Timed = rate == 1 || d.profTick.Add(1)%uint64(rate) == 0
+	}
+
 	var children []internalIterator
 	children = append(children, &memIter{mem.NewIterator()})
 	if imm != nil {
@@ -403,16 +419,23 @@ func (d *DB) NewIteratorAt(seq uint64) (*Iterator, error) {
 			for _, c := range children {
 				c.Close()
 			}
+			if prof != nil {
+				profilePool.Put(prof)
+			}
 			return nil, err
 		}
-		children = append(children, newTableIter(h))
+		ti := newTableIter(h)
+		ti.it.SetProfile(prof)
+		children = append(children, ti)
 	}
 	for lvl := 1; lvl < manifest.NumLevels; lvl++ {
 		if len(v.Levels[lvl]) > 0 {
-			children = append(children, newLevelIter(d, v.Levels[lvl]))
+			li := newLevelIter(d, v.Levels[lvl])
+			li.prof = prof
+			children = append(children, li)
 		}
 	}
-	return &Iterator{db: d, merged: newMergingIter(children...), seq: seq}, nil
+	return &Iterator{db: d, merged: newMergingIter(children...), seq: seq, prof: prof}, nil
 }
 
 // NewIteratorSnapshot returns an iterator bound to a snapshot.
@@ -420,12 +443,14 @@ func (s *Snapshot) NewIterator() (*Iterator, error) { return s.db.NewIteratorAt(
 
 // First positions at the smallest live key.
 func (it *Iterator) First() {
+	it.seeks++
 	it.merged.First()
 	it.settle(nil)
 }
 
 // Seek positions at the first live key >= ukey.
 func (it *Iterator) Seek(ukey []byte) {
+	it.seeks++
 	it.merged.SeekGE(keys.MakeSeekKey(nil, ukey, it.seq))
 	it.settle(nil)
 }
@@ -448,12 +473,14 @@ func (it *Iterator) Next() {
 
 // Last positions at the largest live key.
 func (it *Iterator) Last() {
+	it.seeks++
 	it.merged.Last()
 	it.settleReverse(nil)
 }
 
 // SeekForPrev positions at the last live key <= ukey.
 func (it *Iterator) SeekForPrev(ukey []byte) {
+	it.seeks++
 	// ukey++"\x00" is the immediate successor user key: every entry of
 	// ukey itself sorts before it.
 	succ := append(append([]byte(nil), ukey...), 0)
@@ -599,6 +626,11 @@ func (it *Iterator) Close() error {
 	it.valid = false
 	if err := it.merged.Close(); err != nil && it.err == nil {
 		it.err = err
+	}
+	if it.prof != nil {
+		it.db.readAgg.mergeIter(it.prof, it.seeks)
+		profilePool.Put(it.prof)
+		it.prof = nil
 	}
 	return it.err
 }

@@ -157,6 +157,14 @@ type Options struct {
 	// recovered state.
 	DisableCommitPipeline bool
 
+	// ReadProfileSampleRate selects 1-in-N Gets for full (timed) read-path
+	// profiling; the cheap counter core (levels probed, tables touched,
+	// bloom outcomes, blocks by tier) is recorded for every Get regardless.
+	// 0 means the default (64), 1 times every Get, and a negative value
+	// disables profiling entirely — Gets then take the nil-profile fast
+	// path and record nothing.
+	ReadProfileSampleRate int
+
 	// EventListener receives engine lifecycle events (flush, compaction,
 	// upload, stall, cache transitions). Nil disables event dispatch at zero
 	// cost; see package event for the listener contract.
@@ -198,6 +206,7 @@ func DefaultOptions() Options {
 		WALSegmentBytes:       4 << 20,
 		ExtendedWAL:           true,
 		RecoveryParallelism:   4,
+		ReadProfileSampleRate: 64,
 		CloudLatency:          storage.DefaultLatency(),
 		CloudCost:             storage.DefaultCost(),
 	}
@@ -259,6 +268,12 @@ func (o Options) sanitize() Options {
 	}
 	if o.RecoveryParallelism <= 0 {
 		o.RecoveryParallelism = 1
+	}
+	switch {
+	case o.ReadProfileSampleRate == 0:
+		o.ReadProfileSampleRate = d.ReadProfileSampleRate
+	case o.ReadProfileSampleRate < 0:
+		o.ReadProfileSampleRate = -1 // disabled (idempotent sentinel)
 	}
 	o.CloudRetry = o.CloudRetry.Sanitize()
 	if o.PendingDrainInterval <= 0 {

@@ -3,6 +3,7 @@ package db
 import (
 	"sync"
 
+	"rocksmash/internal/readprof"
 	"rocksmash/internal/sstable"
 	"rocksmash/internal/storage"
 )
@@ -209,11 +210,11 @@ func (p *tablePrefetcher) locate(off uint64) (int, int) {
 // outside the prefetch plan.
 func (tc *tableCache) prefetchFetchFor(h *tableHandle, pf *tablePrefetcher) sstable.FetchFunc {
 	fallback := tc.compactionFetchFor(h)
-	return func(fileNum uint64, hd sstable.Handle) ([]byte, error) {
+	return func(fileNum uint64, hd sstable.Handle, prof *readprof.Profile) ([]byte, error) {
 		if body, err, ok := pf.get(hd); ok {
 			return body, err
 		}
-		return fallback(fileNum, hd)
+		return fallback(fileNum, hd, prof)
 	}
 }
 

@@ -7,6 +7,8 @@ import (
 
 	"rocksmash/internal/histogram"
 	"rocksmash/internal/manifest"
+	"rocksmash/internal/pcache"
+	"rocksmash/internal/readprof"
 	"rocksmash/internal/storage"
 )
 
@@ -97,6 +99,92 @@ func (s LatencySummary) String() string {
 		s.Count, s.Mean, s.P50, s.P90, s.P99, s.Max)
 }
 
+// ReadAmp summarizes read-path attribution across every profiled request
+// (see internal/readprof): where Gets were served, how many tables and
+// blocks each one touched, which tier produced the blocks, and how
+// effective the bloom filters were. Per-tier arrays are indexed in
+// readprof.Tier order (block cache, pcache, local, cloud); iterator reads
+// aggregate separately so scans don't skew per-Get amplification.
+type ReadAmp struct {
+	ProfiledGets int64 // Gets that carried a profile
+	TimedGets    int64 // subset with per-stage timings
+
+	MemServes   int64 // resolved by a memtable
+	NotFound    int64 // resolved nowhere
+	LevelProbes [manifest.NumLevels]int64
+	LevelServes [manifest.NumLevels]int64
+
+	Tables        int64
+	BloomChecked  int64
+	BloomNegative int64
+
+	Blocks     [readprof.NumTiers]int64
+	Bytes      [readprof.NumTiers]int64
+	FetchNanos [readprof.NumTiers]int64
+	TotalNanos int64
+
+	IterSeeks  int64
+	IterBlocks [readprof.NumTiers]int64
+	IterBytes  [readprof.NumTiers]int64
+	IterNanos  [readprof.NumTiers]int64
+
+	// Persistent-cache outcomes by LSM level (see pcache.LevelBucket; the
+	// last bucket holds files with no registered level).
+	PCacheLevelHits   [pcache.LevelBuckets]int64
+	PCacheLevelMisses [pcache.LevelBuckets]int64
+}
+
+// TablesPerGet is mean table readers consulted per profiled Get.
+func (r ReadAmp) TablesPerGet() float64 {
+	if r.ProfiledGets == 0 {
+		return 0
+	}
+	return float64(r.Tables) / float64(r.ProfiledGets)
+}
+
+// BlocksPerGet is mean data blocks read per profiled Get.
+func (r ReadAmp) BlocksPerGet() float64 {
+	if r.ProfiledGets == 0 {
+		return 0
+	}
+	return float64(r.BlocksTotal()) / float64(r.ProfiledGets)
+}
+
+// BytesPerGet is mean data-block bytes read per profiled Get.
+func (r ReadAmp) BytesPerGet() float64 {
+	if r.ProfiledGets == 0 {
+		return 0
+	}
+	return float64(r.BytesTotal()) / float64(r.ProfiledGets)
+}
+
+// BloomTrueNegativeRate is the fraction of bloom consultations that
+// rejected the probe (saving a block read).
+func (r ReadAmp) BloomTrueNegativeRate() float64 {
+	if r.BloomChecked == 0 {
+		return 0
+	}
+	return float64(r.BloomNegative) / float64(r.BloomChecked)
+}
+
+// BlocksTotal sums Get block reads across tiers.
+func (r ReadAmp) BlocksTotal() int64 {
+	var n int64
+	for _, b := range r.Blocks {
+		n += b
+	}
+	return n
+}
+
+// BytesTotal sums Get block bytes across tiers.
+func (r ReadAmp) BytesTotal() int64 {
+	var n int64
+	for _, b := range r.Bytes {
+		n += b
+	}
+	return n
+}
+
 // Metrics is a point-in-time summary for reporting.
 type Metrics struct {
 	Policy      string
@@ -148,6 +236,10 @@ type Metrics struct {
 	CompactionsDeferred int64
 	PendingTables       int
 	PendingBytes        int64
+
+	// Read-path attribution (per-level serves, per-tier blocks, bloom
+	// effectiveness); zero-valued when ReadProfileSampleRate is negative.
+	ReadAmp ReadAmp
 
 	// Per-operation latency distributions (engine-side).
 	GetLat     LatencySummary
@@ -236,6 +328,12 @@ func (d *DB) Metrics() Metrics {
 	}
 	if d.cloudSim != nil {
 		m.CloudCost = d.cloudSim.CostReport()
+	}
+	m.ReadAmp = d.readAgg.snapshot()
+	pcs := d.pcache.Stats()
+	for b := 0; b < pcache.LevelBuckets; b++ {
+		m.ReadAmp.PCacheLevelHits[b] = pcs.LevelHits[b].Load()
+		m.ReadAmp.PCacheLevelMisses[b] = pcs.LevelMisses[b].Load()
 	}
 	return m
 }

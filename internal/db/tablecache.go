@@ -4,9 +4,11 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+	"time"
 
 	"rocksmash/internal/cache"
 	"rocksmash/internal/manifest"
+	"rocksmash/internal/readprof"
 	"rocksmash/internal/sstable"
 	"rocksmash/internal/storage"
 )
@@ -159,20 +161,45 @@ func (tc *tableCache) get(meta *manifest.FileMetadata) (*tableHandle, error) {
 // fetchFor builds the data-block fetch path for one table:
 //
 //	block cache → [cloud only: persistent cache →] backend read
+//
+// Each block served is attributed to its source tier on prof; per-stage
+// clock reads happen only for Timed (sampled) profiles.
 func (tc *tableCache) fetchFor(h *tableHandle) sstable.FetchFunc {
 	db := tc.db
-	return func(fileNum uint64, hd sstable.Handle) ([]byte, error) {
+	return func(fileNum uint64, hd sstable.Handle, prof *readprof.Profile) ([]byte, error) {
 		ck := cache.Key{FileNum: fileNum, Offset: hd.Offset}
 		if body, ok := db.blockCache.Get(ck); ok {
+			if prof != nil {
+				prof.Block(readprof.TierBlockCache, len(body), 0)
+			}
 			return body, nil
+		}
+		timed := prof != nil && prof.Timed
+		var start time.Time
+		if timed {
+			start = time.Now()
 		}
 		if h.tier == storage.TierCloud {
 			if body, ok := db.pcache.Get(fileNum, hd.Offset); ok {
 				db.blockCache.Put(ck, body)
+				if prof != nil {
+					var ns int64
+					if timed {
+						ns = time.Since(start).Nanoseconds()
+					}
+					prof.Block(readprof.TierPCache, len(body), ns)
+				}
 				return body, nil
 			}
 			if n := db.opts.IteratorReadaheadBlocks; n > 1 {
 				if body, ok := h.tryReadahead(db, fileNum, hd, n); ok {
+					if prof != nil {
+						var ns int64
+						if timed {
+							ns = time.Since(start).Nanoseconds()
+						}
+						prof.Block(readprof.TierCloud, len(body), ns)
+					}
 					return body, nil
 				}
 			}
@@ -185,6 +212,17 @@ func (tc *tableCache) fetchFor(h *tableHandle) sstable.FetchFunc {
 			db.pcache.Put(fileNum, hd.Offset, body)
 		}
 		db.blockCache.Put(ck, body)
+		if prof != nil {
+			t := readprof.TierLocal
+			if h.tier == storage.TierCloud {
+				t = readprof.TierCloud
+			}
+			var ns int64
+			if timed {
+				ns = time.Since(start).Nanoseconds()
+			}
+			prof.Block(t, len(body), ns)
+		}
 		return body, nil
 	}
 }
@@ -195,7 +233,7 @@ func (tc *tableCache) fetchFor(h *tableHandle) sstable.FetchFunc {
 // merge must not evict the workload's hot set.
 func (tc *tableCache) compactionFetchFor(h *tableHandle) sstable.FetchFunc {
 	db := tc.db
-	return func(fileNum uint64, hd sstable.Handle) ([]byte, error) {
+	return func(fileNum uint64, hd sstable.Handle, _ *readprof.Profile) ([]byte, error) {
 		ck := cache.Key{FileNum: fileNum, Offset: hd.Offset}
 		if body, ok := db.blockCache.Get(ck); ok {
 			return body, nil

@@ -37,6 +37,7 @@ const (
 	TPCacheEvict     Type = "pcache_evict"
 	TCloudRetry      Type = "cloud_retry"
 	TBreakerState    Type = "breaker_state"
+	TSlowRead        Type = "slow_read"
 )
 
 // FlushBegin fires when a sealed memtable (or recovery memtables) starts
@@ -166,6 +167,29 @@ type BreakerState struct {
 	To   string `json:"to"`
 }
 
+// SlowRead reports one of the worst timed Gets of a tracking interval,
+// with its full read-path attribution (see internal/readprof). The
+// per-tier arrays are indexed in readprof.Tier order: block cache,
+// persistent cache, local disk, cloud.
+type SlowRead struct {
+	// Key is the user key (truncated to a prefix when long).
+	Key      string        `json:"key"`
+	Duration time.Duration `json:"dur"`
+	// LevelsProbed counts distinct levels consulted including the memtable;
+	// LevelServed is the LSM level that resolved the key, -1 for a memtable
+	// hit, -2 for not found.
+	LevelsProbed  int              `json:"levels_probed"`
+	LevelServed   int              `json:"level_served"`
+	Tables        int              `json:"tables"`
+	BloomChecked  int              `json:"bloom_checked,omitempty"`
+	BloomNegative int              `json:"bloom_negative,omitempty"`
+	Blocks        [4]int           `json:"blocks"`
+	Bytes         [4]int64         `json:"bytes"`
+	FetchDur      [4]time.Duration `json:"fetch_dur"`
+	// Path renders the serve path, e.g. "mem", "L3:pcache+cloud".
+	Path string `json:"path"`
+}
+
 // Listener receives engine lifecycle events. Embed NopListener to implement
 // only the methods of interest.
 type Listener interface {
@@ -182,6 +206,7 @@ type Listener interface {
 	OnPCacheEvict(PCacheEvict)
 	OnCloudRetry(CloudRetry)
 	OnBreakerState(BreakerState)
+	OnSlowRead(SlowRead)
 }
 
 // NopListener implements Listener with no-ops; embed it in partial
@@ -201,6 +226,7 @@ func (NopListener) OnPCacheAdmit(PCacheAdmit)         {}
 func (NopListener) OnPCacheEvict(PCacheEvict)         {}
 func (NopListener) OnCloudRetry(CloudRetry)           {}
 func (NopListener) OnBreakerState(BreakerState)       {}
+func (NopListener) OnSlowRead(SlowRead)               {}
 
 // multi fans every event out to each listener in order.
 type multi []Listener
@@ -287,5 +313,10 @@ func (m multi) OnCloudRetry(e CloudRetry) {
 func (m multi) OnBreakerState(e BreakerState) {
 	for _, l := range m {
 		l.OnBreakerState(e)
+	}
+}
+func (m multi) OnSlowRead(e SlowRead) {
+	for _, l := range m {
+		l.OnSlowRead(e)
 	}
 }

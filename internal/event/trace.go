@@ -55,6 +55,8 @@ func (r Record) Decode() (any, error) {
 		p = &CloudRetry{}
 	case TBreakerState:
 		p = &BreakerState{}
+	case TSlowRead:
+		p = &SlowRead{}
 	default:
 		return nil, fmt.Errorf("event: unknown trace record type %q", r.Type)
 	}
@@ -87,8 +89,10 @@ func (r Record) Decode() (any, error) {
 		return *e, nil
 	case *CloudRetry:
 		return *e, nil
+	case *BreakerState:
+		return *e, nil
 	default:
-		return *p.(*BreakerState), nil
+		return *p.(*SlowRead), nil
 	}
 }
 
@@ -178,6 +182,7 @@ func (t *TraceWriter) OnPCacheAdmit(e PCacheAdmit)         { t.emit(TPCacheAdmit
 func (t *TraceWriter) OnPCacheEvict(e PCacheEvict)         { t.emit(TPCacheEvict, e) }
 func (t *TraceWriter) OnCloudRetry(e CloudRetry)           { t.emit(TCloudRetry, e) }
 func (t *TraceWriter) OnBreakerState(e BreakerState)       { t.emit(TBreakerState, e) }
+func (t *TraceWriter) OnSlowRead(e SlowRead)               { t.emit(TSlowRead, e) }
 
 // ReadTrace decodes a JSONL trace stream. Blank lines are skipped; a
 // malformed line aborts with its line number.
@@ -278,3 +283,4 @@ func (r *Recorder) OnPCacheAdmit(e PCacheAdmit)         { r.add(TPCacheAdmit, e)
 func (r *Recorder) OnPCacheEvict(e PCacheEvict)         { r.add(TPCacheEvict, e) }
 func (r *Recorder) OnCloudRetry(e CloudRetry)           { r.add(TCloudRetry, e) }
 func (r *Recorder) OnBreakerState(e BreakerState)       { r.add(TBreakerState, e) }
+func (r *Recorder) OnSlowRead(e SlowRead)               { r.add(TSlowRead, e) }

@@ -1,41 +1,219 @@
 // Package obs exposes a running DB's metrics over HTTP for the command-line
-// tools: Metrics() as JSON under expvar's /debug/vars, and the DumpStats()
-// text report under /stats.
+// tools: Metrics() as JSON under /debug/vars (expvar wire format), the
+// DumpStats() text report under /stats, Prometheus text exposition under
+// /metrics, and net/http/pprof profiling under /debug/pprof/.
+//
+// Every handler is scoped to the DB passed to Serve/NewMux — two DBs in one
+// process (tests, multi-DB tools) each serve their own numbers, and Serve
+// returns the *http.Server so callers can shut the listener down.
 package obs
 
 import (
-	"expvar"
+	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
-	"os"
-	"sync"
+	"net/http/pprof"
+	"time"
 
 	"rocksmash/internal/db"
+	"rocksmash/internal/pcache"
+	"rocksmash/internal/readprof"
 )
 
-var publishOnce sync.Once
+// Serve starts an HTTP listener on addr (e.g. ":8080"; ":0" picks a free
+// port) serving the DB's observability endpoints:
+//
+//	/debug/vars   expvar-format JSON with a "rocksmash" Metrics() snapshot
+//	/stats        the DumpStats() multi-line text report
+//	/metrics      Prometheus text exposition
+//	/debug/pprof  runtime profiling (net/http/pprof)
+//
+// The returned server's Addr field holds the bound address (useful with
+// ":0"); shut it down with srv.Close or srv.Shutdown. A listen failure is
+// returned rather than killing the process: metrics are an observer, never
+// a reason to fail a run.
+func Serve(addr string, d *db.DB) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: NewMux(d)}
+	go func() {
+		// Serve returns ErrServerClosed on Shutdown/Close; nothing to report.
+		_ = srv.Serve(ln)
+	}()
+	return srv, nil
+}
 
-// Serve starts a background HTTP listener on addr (e.g. ":8080").
-//
-//	/debug/vars  expvar JSON, including a "rocksmash" Metrics() snapshot
-//	/stats       the DumpStats() multi-line text report
-//
-// Listen errors are reported to stderr; the caller keeps running either way
-// (metrics are an observer, never a reason to fail a run).
-func Serve(addr string, d *db.DB) {
-	publishOnce.Do(func() {
-		expvar.Publish("rocksmash", expvar.Func(func() any { return d.Metrics() }))
-	})
+// NewMux returns the observability handler tree for one DB, so tools and
+// tests can mount it on their own listeners.
+func NewMux(d *db.DB) *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		// expvar's wire format, but scoped to this DB instead of the
+		// process-global registry (which can only ever hold one "rocksmash"
+		// var — the bug this replaces).
+		enc, err := json.Marshal(d.Metrics())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintf(w, "{\n\"rocksmash\": %s\n}\n", enc)
+	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, d.DumpStats())
 	})
-	go func() {
-		if err := http.ListenAndServe(addr, mux); err != nil {
-			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
-		}
-	}()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteProm(w, d.Metrics())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// promWriter emits Prometheus text exposition: one HELP/TYPE header per
+// family, then samples.
+type promWriter struct {
+	w io.Writer
+}
+
+func (p promWriter) family(name, typ, help string) {
+	fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func (p promWriter) sample(name, labels string, v float64) {
+	if labels != "" {
+		name = name + "{" + labels + "}"
+	}
+	// %g keeps integers integral and avoids exponent noise for counters.
+	fmt.Fprintf(p.w, "%s %g\n", name, v)
+}
+
+// WriteProm renders a Metrics snapshot as Prometheus text exposition.
+func WriteProm(w io.Writer, m db.Metrics) {
+	p := promWriter{w: w}
+
+	p.family("rocksmash_reads_total", "counter", "Point lookups served.")
+	p.sample("rocksmash_reads_total", "", float64(m.Reads))
+	p.family("rocksmash_writes_total", "counter", "Write operations committed.")
+	p.sample("rocksmash_writes_total", "", float64(m.Writes))
+	p.family("rocksmash_write_stalls_total", "counter", "Writes stalled on background work.")
+	p.sample("rocksmash_write_stalls_total", "", float64(m.WriteStalls))
+	p.family("rocksmash_flushes_total", "counter", "Memtable flushes completed.")
+	p.sample("rocksmash_flushes_total", "", float64(m.Flushes))
+	p.family("rocksmash_compactions_total", "counter", "Compactions completed.")
+	p.sample("rocksmash_compactions_total", "", float64(m.Compactions))
+
+	ra := m.ReadAmp
+	p.family("rocksmash_read_profiled_total", "counter", "Gets that carried a read profile.")
+	p.sample("rocksmash_read_profiled_total", "", float64(ra.ProfiledGets))
+	p.family("rocksmash_read_timed_total", "counter", "Profiled Gets with per-stage timings.")
+	p.sample("rocksmash_read_timed_total", "", float64(ra.TimedGets))
+
+	p.family("rocksmash_read_level_serves_total", "counter",
+		"Profiled Gets resolved at each level (mem = memtable, none = not found).")
+	p.sample("rocksmash_read_level_serves_total", `level="mem"`, float64(ra.MemServes))
+	for l, n := range ra.LevelServes {
+		p.sample("rocksmash_read_level_serves_total", fmt.Sprintf("level=%q", fmt.Sprint(l)), float64(n))
+	}
+	p.sample("rocksmash_read_level_serves_total", `level="none"`, float64(ra.NotFound))
+	p.family("rocksmash_read_level_probes_total", "counter",
+		"Profiled Gets that consulted tables at each level.")
+	for l, n := range ra.LevelProbes {
+		p.sample("rocksmash_read_level_probes_total", fmt.Sprintf("level=%q", fmt.Sprint(l)), float64(n))
+	}
+
+	p.family("rocksmash_read_tables_total", "counter", "Table readers consulted by profiled Gets.")
+	p.sample("rocksmash_read_tables_total", "", float64(ra.Tables))
+	p.family("rocksmash_read_bloom_checked_total", "counter", "Bloom filters consulted by profiled Gets.")
+	p.sample("rocksmash_read_bloom_checked_total", "", float64(ra.BloomChecked))
+	p.family("rocksmash_read_bloom_negative_total", "counter", "Bloom filters that rejected the probe.")
+	p.sample("rocksmash_read_bloom_negative_total", "", float64(ra.BloomNegative))
+
+	p.family("rocksmash_read_blocks_total", "counter", "Data blocks read by profiled Gets, by source tier.")
+	for t := readprof.Tier(0); t < readprof.NumTiers; t++ {
+		p.sample("rocksmash_read_blocks_total", fmt.Sprintf("tier=%q", t), float64(ra.Blocks[t]))
+	}
+	p.family("rocksmash_read_bytes_total", "counter", "Data-block bytes read by profiled Gets, by source tier.")
+	for t := readprof.Tier(0); t < readprof.NumTiers; t++ {
+		p.sample("rocksmash_read_bytes_total", fmt.Sprintf("tier=%q", t), float64(ra.Bytes[t]))
+	}
+	p.family("rocksmash_read_fetch_seconds_total", "counter",
+		"Block-fetch time of timed Gets, by source tier.")
+	for t := readprof.Tier(0); t < readprof.NumTiers; t++ {
+		p.sample("rocksmash_read_fetch_seconds_total", fmt.Sprintf("tier=%q", t),
+			time.Duration(ra.FetchNanos[t]).Seconds())
+	}
+
+	p.family("rocksmash_iter_seeks_total", "counter", "Iterator positioning operations profiled.")
+	p.sample("rocksmash_iter_seeks_total", "", float64(ra.IterSeeks))
+	p.family("rocksmash_iter_blocks_total", "counter", "Data blocks read by profiled iterators, by source tier.")
+	for t := readprof.Tier(0); t < readprof.NumTiers; t++ {
+		p.sample("rocksmash_iter_blocks_total", fmt.Sprintf("tier=%q", t), float64(ra.IterBlocks[t]))
+	}
+	p.family("rocksmash_iter_bytes_total", "counter", "Data-block bytes read by profiled iterators, by source tier.")
+	for t := readprof.Tier(0); t < readprof.NumTiers; t++ {
+		p.sample("rocksmash_iter_bytes_total", fmt.Sprintf("tier=%q", t), float64(ra.IterBytes[t]))
+	}
+
+	p.family("rocksmash_pcache_level_hits_total", "counter",
+		"Persistent-cache hits by LSM level (unknown = level not registered).")
+	for b := 0; b < pcache.LevelBuckets; b++ {
+		p.sample("rocksmash_pcache_level_hits_total", promLevelBucket(b), float64(ra.PCacheLevelHits[b]))
+	}
+	p.family("rocksmash_pcache_level_misses_total", "counter",
+		"Persistent-cache misses by LSM level (unknown = level not registered).")
+	for b := 0; b < pcache.LevelBuckets; b++ {
+		p.sample("rocksmash_pcache_level_misses_total", promLevelBucket(b), float64(ra.PCacheLevelMisses[b]))
+	}
+
+	p.family("rocksmash_block_cache_hit_ratio", "gauge", "In-memory block cache hit ratio.")
+	p.sample("rocksmash_block_cache_hit_ratio", "", m.BlockHit)
+	p.family("rocksmash_pcache_hit_ratio", "gauge", "Persistent cache hit ratio.")
+	p.sample("rocksmash_pcache_hit_ratio", "", m.PCacheHit)
+	p.family("rocksmash_pcache_used_bytes", "gauge", "Persistent cache data bytes.")
+	p.sample("rocksmash_pcache_used_bytes", "", float64(m.PCacheUsed))
+
+	p.family("rocksmash_level_files", "gauge", "Live files per LSM level.")
+	for l, n := range m.LevelFiles {
+		p.sample("rocksmash_level_files", fmt.Sprintf("level=%q", fmt.Sprint(l)), float64(n))
+	}
+	p.family("rocksmash_level_bytes", "gauge", "Live bytes per LSM level.")
+	for l, n := range m.LevelBytes {
+		p.sample("rocksmash_level_bytes", fmt.Sprintf("level=%q", fmt.Sprint(l)), float64(n))
+	}
+	p.family("rocksmash_local_bytes", "gauge", "Table bytes on the local tier.")
+	p.sample("rocksmash_local_bytes", "", float64(m.LocalBytes))
+	p.family("rocksmash_cloud_bytes", "gauge", "Table bytes on the cloud tier.")
+	p.sample("rocksmash_cloud_bytes", "", float64(m.CloudBytes))
+
+	p.family("rocksmash_get_latency_seconds", "summary", "Point-lookup latency quantiles.")
+	writePromSummary(p, "rocksmash_get_latency_seconds", m.GetLat)
+	p.family("rocksmash_put_latency_seconds", "summary", "Commit latency quantiles (includes stall time).")
+	writePromSummary(p, "rocksmash_put_latency_seconds", m.PutLat)
+	p.family("rocksmash_cloud_get_latency_seconds", "summary", "Cloud GET latency quantiles.")
+	writePromSummary(p, "rocksmash_cloud_get_latency_seconds", m.CloudGetLat)
+}
+
+func writePromSummary(p promWriter, name string, s db.LatencySummary) {
+	p.sample(name, `quantile="0.5"`, s.P50.Seconds())
+	p.sample(name, `quantile="0.9"`, s.P90.Seconds())
+	p.sample(name, `quantile="0.99"`, s.P99.Seconds())
+	p.sample(name+"_count", "", float64(s.Count))
+	p.sample(name+"_sum", "", s.Mean.Seconds()*float64(s.Count))
+}
+
+func promLevelBucket(b int) string {
+	if b == pcache.LevelUnknown {
+		return `level="unknown"`
+	}
+	return fmt.Sprintf("level=%q", fmt.Sprint(b))
 }

@@ -22,6 +22,7 @@ type GenericLRU struct {
 	capacity int64
 	stats    Stats
 	heat     *heatMap
+	levels   *levelMap
 	ev       event.Listener // set once before concurrent use; nil disables events
 
 	mu    sync.Mutex
@@ -85,6 +86,7 @@ func NewGenericLRU(dir string, capacity int64) (*GenericLRU, error) {
 		dir:      dir,
 		capacity: capacity,
 		heat:     newHeatMap(),
+		levels:   newLevelMap(),
 		items:    map[blockKey]*genericEntry{},
 		order:    list.New(),
 	}, nil
@@ -98,13 +100,17 @@ func (g *GenericLRU) blockPath(k blockKey) string {
 func (g *GenericLRU) Get(fileNum, blockOff uint64) ([]byte, bool) {
 	g.heat.add(fileNum, 1)
 	data, ok := g.get(fileNum, blockOff)
+	b := g.levels.bucket(fileNum)
 	if ok {
-		g.stats.Hits.Add(1)
+		g.stats.hit(b)
 	} else {
-		g.stats.Misses.Add(1)
+		g.stats.miss(b)
 	}
 	return data, ok
 }
+
+// SetLevel implements BlockCache.
+func (g *GenericLRU) SetLevel(fileNum uint64, level int) { g.levels.set(fileNum, level) }
 
 // Probe implements BlockCache: Get without heat or statistics.
 func (g *GenericLRU) Probe(fileNum, blockOff uint64) ([]byte, bool) {
@@ -217,6 +223,7 @@ func (g *GenericLRU) DropFile(fileNum uint64) {
 	evs := g.takePendLocked()
 	g.mu.Unlock()
 	g.heat.drop(fileNum)
+	g.levels.drop(fileNum)
 	g.stats.FilesDropped.Add(1)
 	g.fireEvicts(evs)
 }

@@ -52,11 +52,12 @@ type region struct {
 
 // PCache is the paper's persistent cache. See the package comment.
 type PCache struct {
-	opts  Options
-	f     *os.File
-	stats Stats
-	heat  *heatMap
-	ev    event.Listener // set once before concurrent use; nil disables events
+	opts   Options
+	f      *os.File
+	stats  Stats
+	heat   *heatMap
+	levels *levelMap
+	ev     event.Listener // set once before concurrent use; nil disables events
 
 	mu       sync.Mutex
 	regions  []region
@@ -118,6 +119,7 @@ func New(opts Options) (*PCache, error) {
 		opts:    opts,
 		f:       f,
 		heat:    newHeatMap(),
+		levels:  newLevelMap(),
 		regions: make([]region, n),
 		byFile:  map[uint64][]int32{},
 		openReg: map[uint64]int32{},
@@ -150,13 +152,17 @@ func (c *PCache) Get(fileNum, blockOff uint64) ([]byte, bool) {
 	// cold for them.
 	c.heat.add(fileNum, 1)
 	buf, ok := c.get(fileNum, blockOff)
+	b := c.levels.bucket(fileNum)
 	if ok {
-		c.stats.Hits.Add(1)
+		c.stats.hit(b)
 	} else {
-		c.stats.Misses.Add(1)
+		c.stats.miss(b)
 	}
 	return buf, ok
 }
+
+// SetLevel implements BlockCache.
+func (c *PCache) SetLevel(fileNum uint64, level int) { c.levels.set(fileNum, level) }
 
 // Probe implements BlockCache: Get without heat or statistics.
 func (c *PCache) Probe(fileNum, blockOff uint64) ([]byte, bool) {
@@ -371,6 +377,7 @@ func (c *PCache) DropFile(fileNum uint64) {
 	evs := c.takePendLocked()
 	c.mu.Unlock()
 	c.heat.drop(fileNum)
+	c.levels.drop(fileNum)
 	c.stats.FilesDropped.Add(1)
 	c.fireEvicts(evs)
 }

@@ -27,6 +27,22 @@ import (
 	"sync/atomic"
 )
 
+// LevelBuckets sizes the per-LSM-level hit/miss counters. Buckets 0..6
+// map to levels L0..L6; the last bucket collects requests against files
+// whose level the cache was never told (SetLevel not called).
+const LevelBuckets = 8
+
+// LevelUnknown is the bucket for files with no registered level.
+const LevelUnknown = LevelBuckets - 1
+
+// LevelBucket maps an LSM level to its counter bucket.
+func LevelBucket(level int) int {
+	if level < 0 || level >= LevelUnknown {
+		return LevelUnknown
+	}
+	return level
+}
+
 // Stats counts cache activity.
 type Stats struct {
 	Hits           atomic.Int64
@@ -35,6 +51,10 @@ type Stats struct {
 	BytesInserted  atomic.Int64
 	RegionsEvicted atomic.Int64
 	FilesDropped   atomic.Int64
+	// LevelHits/LevelMisses break Get outcomes down by the requested
+	// file's LSM level (see LevelBucket); they sum to Hits/Misses.
+	LevelHits   [LevelBuckets]atomic.Int64
+	LevelMisses [LevelBuckets]atomic.Int64
 }
 
 // HitRatio returns hits/(hits+misses).
@@ -44,6 +64,17 @@ func (s *Stats) HitRatio() float64 {
 		return 0
 	}
 	return float64(h) / float64(h+m)
+}
+
+// hit/miss record one Get outcome against the level bucket b.
+func (s *Stats) hit(b int) {
+	s.Hits.Add(1)
+	s.LevelHits[b].Add(1)
+}
+
+func (s *Stats) miss(b int) {
+	s.Misses.Add(1)
+	s.LevelMisses[b].Add(1)
 }
 
 // BlockCache is the interface the DB read path uses for persistent
@@ -68,6 +99,10 @@ type BlockCache interface {
 	// DropFile evicts every block of fileNum (the file was deleted by
 	// compaction).
 	DropFile(fileNum uint64)
+	// SetLevel registers fileNum's LSM level so Get outcomes can be
+	// attributed per level. The DB calls it when a table is installed
+	// (flush, compaction, open); unknown files land in the last bucket.
+	SetLevel(fileNum uint64, level int)
 	// FileHeat returns the number of reads issued against fileNum since
 	// it was first seen; compaction uses it for admission inheritance.
 	FileHeat(fileNum uint64) int64
@@ -94,7 +129,10 @@ type Null struct{ stats Stats }
 func NewNull() *Null { return &Null{} }
 
 // Get always misses.
-func (n *Null) Get(uint64, uint64) ([]byte, bool) { n.stats.Misses.Add(1); return nil, false }
+func (n *Null) Get(uint64, uint64) ([]byte, bool) {
+	n.stats.miss(LevelUnknown)
+	return nil, false
+}
 
 // Probe always misses.
 func (n *Null) Probe(uint64, uint64) ([]byte, bool) { return nil, false }
@@ -107,6 +145,9 @@ func (n *Null) PutBulk(uint64, []Block) {}
 
 // DropFile is a no-op.
 func (n *Null) DropFile(uint64) {}
+
+// SetLevel is a no-op.
+func (n *Null) SetLevel(uint64, int) {}
 
 // FileHeat is always zero.
 func (n *Null) FileHeat(uint64) int64 { return 0 }
@@ -147,4 +188,36 @@ func (h *heatMap) drop(fileNum uint64) {
 	h.mu.Lock()
 	delete(h.m, fileNum)
 	h.mu.Unlock()
+}
+
+// levelMap tracks each file's registered LSM level, shared by both
+// implementations. Unregistered files map to LevelUnknown.
+type levelMap struct {
+	mu sync.Mutex
+	m  map[uint64]int8
+}
+
+func newLevelMap() *levelMap { return &levelMap{m: map[uint64]int8{}} }
+
+func (l *levelMap) set(fileNum uint64, level int) {
+	b := int8(LevelBucket(level))
+	l.mu.Lock()
+	l.m[fileNum] = b
+	l.mu.Unlock()
+}
+
+func (l *levelMap) bucket(fileNum uint64) int {
+	l.mu.Lock()
+	b, ok := l.m[fileNum]
+	l.mu.Unlock()
+	if !ok {
+		return LevelUnknown
+	}
+	return int(b)
+}
+
+func (l *levelMap) drop(fileNum uint64) {
+	l.mu.Lock()
+	delete(l.m, fileNum)
+	l.mu.Unlock()
 }

@@ -8,14 +8,16 @@ import (
 	"rocksmash/internal/block"
 	"rocksmash/internal/bloom"
 	"rocksmash/internal/keys"
+	"rocksmash/internal/readprof"
 	"rocksmash/internal/storage"
 )
 
 // FetchFunc retrieves and verifies the body of the data block at h in file
 // fileNum. The DB layers its caches (in-memory block cache, persistent
 // cache) behind this hook; the default implementation reads the table file
-// directly.
-type FetchFunc func(fileNum uint64, h Handle) ([]byte, error)
+// directly. prof, when non-nil, is the request-scoped read profile the
+// implementation attributes the block read to (source tier, bytes, nanos).
+type FetchFunc func(fileNum uint64, h Handle, prof *readprof.Profile) ([]byte, error)
 
 // Reader provides lookups and scans over one table. Per the paper's design
 // all table *metadata* — footer, index block, bloom filter, properties — is
@@ -120,7 +122,7 @@ func Open(f storage.Reader, fileNum uint64) (*Reader, error) {
 	return r, nil
 }
 
-func (r *Reader) readDirect(_ uint64, h Handle) ([]byte, error) {
+func (r *Reader) readDirect(_ uint64, h Handle, _ *readprof.Profile) ([]byte, error) {
 	return ReadRawBlock(r.f, h)
 }
 
@@ -182,8 +184,24 @@ func (r *Reader) MayContain(ukey []byte) bool {
 // Get finds the newest entry for ukey visible at snapshot seq.
 // Return contract matches memtable.Get: (value, found, live).
 func (r *Reader) Get(ukey []byte, seq uint64) (value []byte, found, live bool, err error) {
-	if !r.MayContain(ukey) {
-		return nil, false, false, nil
+	return r.GetProf(ukey, seq, nil)
+}
+
+// GetProf is Get with read-path attribution: when prof is non-nil it
+// records the bloom-filter consultation (and a true-negative rejection)
+// and threads prof to the data-block fetch so the block's source tier is
+// attributed to this request.
+func (r *Reader) GetProf(ukey []byte, seq uint64, prof *readprof.Profile) (value []byte, found, live bool, err error) {
+	if r.filter != nil {
+		if prof != nil {
+			prof.BloomChecked++
+		}
+		if !r.filter.MayContainKey(ukey) {
+			if prof != nil {
+				prof.BloomNegative++
+			}
+			return nil, false, false, nil
+		}
 	}
 	seek := keys.MakeSeekKey(nil, ukey, seq)
 	idx := r.index.NewIter()
@@ -195,7 +213,7 @@ func (r *Reader) Get(ukey []byte, seq uint64) (value []byte, found, live bool, e
 	if err != nil {
 		return nil, false, false, err
 	}
-	body, err := r.fetch(r.fileNum, h)
+	body, err := r.fetch(r.fileNum, h, prof)
 	if err != nil {
 		return nil, false, false, err
 	}
@@ -234,8 +252,13 @@ type Iter struct {
 	idx   *block.Iter
 	data  *block.Iter
 	fetch FetchFunc
+	prof  *readprof.Profile
 	err   error
 }
+
+// SetProfile attributes the iterator's data-block reads to prof (nil
+// detaches). The profile must outlive the iterator's use.
+func (it *Iter) SetProfile(p *readprof.Profile) { it.prof = p }
 
 // NewIter returns an unpositioned iterator.
 func (r *Reader) NewIter() *Iter {
@@ -260,7 +283,7 @@ func (it *Iter) loadData() bool {
 		it.data = nil
 		return false
 	}
-	body, err := it.fetch(it.r.fileNum, h)
+	body, err := it.fetch(it.r.fileNum, h, it.prof)
 	if err != nil {
 		it.err = err
 		it.data = nil

@@ -9,6 +9,7 @@ import (
 	"testing/quick"
 
 	"rocksmash/internal/keys"
+	"rocksmash/internal/readprof"
 	"rocksmash/internal/storage"
 )
 
@@ -218,9 +219,9 @@ func TestFetchHookInterposition(t *testing.T) {
 	es := seqEntries(200, 32)
 	r, _ := buildTable(t, be, "t.sst", BuilderOptions{BlockBytes: 512}, es)
 	calls := 0
-	r.SetFetch(func(fileNum uint64, h Handle) ([]byte, error) {
+	r.SetFetch(func(fileNum uint64, h Handle, prof *readprof.Profile) ([]byte, error) {
 		calls++
-		return r.readDirect(fileNum, h)
+		return r.readDirect(fileNum, h, prof)
 	})
 	if _, found, _, err := r.Get([]byte("key000050"), keys.MaxSequence); err != nil || !found {
 		t.Fatalf("get via hook failed: %v %v", found, err)
