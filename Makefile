@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench check
+.PHONY: all build test race vet bench shardcheck check
 
 all: build
 
@@ -22,4 +22,9 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-check: build vet test race
+# Keyspace-sharding matrix: the sharded facade's merge/fan-out paths are
+# concurrent, so run the shard suite under the race detector explicitly.
+shardcheck:
+	$(GO) test -race -count=1 -run 'Shard' ./internal/db ./internal/cache ./internal/pcache
+
+check: build vet test race shardcheck

@@ -82,6 +82,7 @@ func main() {
 		num        = flag.Int("num", 50000, "number of keys")
 		reads      = flag.Int("reads", 20000, "number of reads for read benchmarks")
 		threads    = flag.Int("threads", 1, "concurrent worker goroutines per benchmark (readseq and compact stay single-threaded)")
+		shards     = flag.Int("shards", 1, "hash-partition the keyspace into this many independent sub-LSMs")
 		walSync    = flag.Bool("wal-sync", false, "fsync the WAL on every commit (group commit amortizes the fsync across threads)")
 		valueSize  = flag.Int("valuesize", 400, "value size in bytes")
 		exp        = flag.String("exp", "", "run a paper experiment (fig1..fig12, tab2..tab4, all) instead of benchmarks")
@@ -135,6 +136,7 @@ func main() {
 	opts.TracePath = *tracePath
 	opts.WALSync = *walSync
 	opts.ReadProfileSampleRate = *profSample
+	opts.Shards = *shards
 	var d *db.DB
 	var faulty *storage.Faulty
 	if *faultGet > 0 || *faultPut > 0 || *outage != "" {

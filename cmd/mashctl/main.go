@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 
 	"rocksmash/internal/keys"
 	"rocksmash/internal/manifest"
@@ -74,21 +76,74 @@ func main() {
 		fatal(err)
 	}
 
+	// A store opened with Options.Shards > 1 keeps each sub-LSM's
+	// manifest, WAL, and tables under a shard-NNN/ prefix; route the
+	// per-shard commands through the same prefixes Open uses.
+	shards := shardCount(local)
+
 	switch cmd {
 	case "manifest":
-		cmdManifest(local)
+		eachShard(local, shards, func(sh storage.Backend, _ string) {
+			cmdManifest(sh)
+		})
 	case "sst":
-		cmdSST(*dbDir, local, *num)
+		prefix := ""
+		if shards > 1 && *num > 0 {
+			// File numbers are striped across shards: shard = num mod N.
+			prefix = shardPrefix(int(*num % uint64(shards)))
+		}
+		cmdSST(*dbDir, storage.NewPrefix(local, prefix), *num, prefix)
 	case "wal":
-		cmdWAL(local)
+		eachShard(local, shards, func(sh storage.Backend, _ string) {
+			cmdWAL(sh)
+		})
 	case "pcache":
 		cmdPCache(*dbDir)
 	case "cost":
 		cmdCost(*dbDir)
 	case "verify":
-		cmdVerify(*dbDir, local)
+		var files, blocks, bad int
+		eachShard(local, shards, func(sh storage.Backend, prefix string) {
+			f, bl, b := verifyStore(*dbDir, sh, prefix)
+			files += f
+			blocks += bl
+			bad += b
+		})
+		fmt.Printf("verified %d files, %d blocks: %d problems\n", files, blocks, bad)
+		if bad > 0 {
+			os.Exit(1)
+		}
 	default:
 		usage()
+	}
+}
+
+// shardCount reads the root SHARDS marker; 1 means an unsharded store.
+func shardCount(local storage.Backend) int {
+	data, err := local.ReadAll("SHARDS")
+	if err != nil {
+		return 1
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(string(data)))
+	if err != nil || n < 1 {
+		return 1
+	}
+	return n
+}
+
+func shardPrefix(i int) string { return fmt.Sprintf("shard-%03d/", i) }
+
+// eachShard runs fn once per sub-LSM (with a per-shard header when the
+// store is sharded), or once with the root backend when it is not.
+func eachShard(local storage.Backend, shards int, fn func(sh storage.Backend, prefix string)) {
+	if shards <= 1 {
+		fn(local, "")
+		return
+	}
+	for i := 0; i < shards; i++ {
+		p := shardPrefix(i)
+		fmt.Printf("== shard %d/%d ==\n", i, shards)
+		fn(storage.NewPrefix(local, p), p)
 	}
 }
 
@@ -120,7 +175,7 @@ func cmdManifest(local storage.Backend) {
 	}
 }
 
-func cmdSST(dbDir string, local storage.Backend, num uint64) {
+func cmdSST(dbDir string, local storage.Backend, num uint64, prefix string) {
 	if num == 0 {
 		fatal(errors.New("sst: -num is required"))
 	}
@@ -131,7 +186,7 @@ func cmdSST(dbDir string, local storage.Backend, num uint64) {
 		if cerr != nil {
 			fatal(cerr)
 		}
-		f, err = cloud.Open(name)
+		f, err = storage.NewPrefix(cloud, prefix).Open(name)
 	}
 	if err != nil {
 		fatal(err)
@@ -188,18 +243,19 @@ func cmdCost(dbDir string) {
 	fmt.Println(cloud.CostReport())
 }
 
-// cmdVerify walks every live table on both tiers and verifies every block
-// checksum — a full-store scrub.
-func cmdVerify(dbDir string, local storage.Backend) {
+// verifyStore walks every live table of one (sub-)store on both tiers and
+// verifies every block checksum — a full scrub. prefix selects the same
+// shard subtree on the cloud tier that local already points at.
+func verifyStore(dbDir string, local storage.Backend, prefix string) (files, blocks, bad int) {
 	v, _, _, _, err := manifest.Peek(local)
 	if err != nil {
 		fatal(err)
 	}
-	cloud, err := storage.NewCloud(filepath.Join(dbDir, "cloud"), storage.NoLatency(), storage.DefaultCost())
+	rawCloud, err := storage.NewCloud(filepath.Join(dbDir, "cloud"), storage.NoLatency(), storage.DefaultCost())
 	if err != nil {
 		fatal(err)
 	}
-	var files, blocks, bad int
+	cloud := storage.NewPrefix(rawCloud, prefix)
 	v.AllFiles(func(level int, fm *manifest.FileMetadata) {
 		var be storage.Backend = local
 		if fm.Tier == storage.TierCloud {
@@ -235,8 +291,5 @@ func cmdVerify(dbDir string, local storage.Backend) {
 		r.Close()
 		files++
 	})
-	fmt.Printf("verified %d files, %d blocks: %d problems\n", files, blocks, bad)
-	if bad > 0 {
-		os.Exit(1)
-	}
+	return files, blocks, bad
 }

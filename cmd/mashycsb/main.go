@@ -75,6 +75,7 @@ func main() {
 		records    = flag.Int("records", 50000, "records to load")
 		ops        = flag.Int("ops", 20000, "operations to run")
 		threads    = flag.Int("threads", 1, "concurrent client goroutines for the load and run phases")
+		shards     = flag.Int("shards", 1, "hash-partition the keyspace into this many independent sub-LSMs")
 		valueSize  = flag.Int("valuesize", 400, "value size in bytes")
 		seed       = flag.Int64("seed", 42, "workload RNG seed")
 		metrics    = flag.String("metrics-addr", "", "serve live metrics over HTTP on this address (/metrics, /debug/vars, /stats, /debug/pprof)")
@@ -116,6 +117,7 @@ func main() {
 	opts.Policy = p
 	opts.TracePath = *tracePath
 	opts.ReadProfileSampleRate = *profSample
+	opts.Shards = *shards
 	var d *db.DB
 	var faulty *storage.Faulty
 	if *faultGet > 0 || *faultPut > 0 || *outage != "" {

@@ -44,7 +44,12 @@ type Cache struct {
 // caching (all lookups miss, inserts are dropped).
 func New(capacity int64) *Cache {
 	c := &Cache{}
-	per := capacity / numShards
+	// Round the per-shard budget up: flooring would zero it for any
+	// capacity below numShards bytes, silently disabling every shard.
+	per := (capacity + numShards - 1) / numShards
+	if capacity <= 0 {
+		per = 0
+	}
 	for i := range c.shards {
 		c.shards[i] = shard{capacity: per, items: map[Key]*entry{}, order: list.New()}
 	}

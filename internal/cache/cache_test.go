@@ -131,3 +131,26 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Fatal("accounting went negative")
 	}
 }
+
+func TestSmallCapacityRoundsUp(t *testing.T) {
+	// A capacity below numShards bytes used to floor the per-shard budget
+	// to zero, silently disabling every shard. Rounding up must keep tiny
+	// caches functional.
+	c := New(numShards - 1)
+	k := Key{FileNum: 7, Offset: 0}
+	c.Put(k, []byte("v"))
+	if _, ok := c.Get(k); !ok {
+		t.Fatalf("capacity %d dropped a %d-byte block", numShards-1, 1)
+	}
+	for i := range c.shards {
+		if c.shards[i].capacity <= 0 {
+			t.Fatalf("shard %d capacity = %d, want > 0", i, c.shards[i].capacity)
+		}
+	}
+	// Capacity <= 0 still disables caching entirely.
+	off := New(0)
+	off.Put(k, []byte("v"))
+	if _, ok := off.Get(k); ok {
+		t.Fatal("zero-capacity cache admitted a block")
+	}
+}

@@ -23,6 +23,15 @@ func (s SizeEstimate) Total() int64 { return s.LocalBytes + s.CloudBytes }
 // estimate: cheap, metadata-only, and accurate to within a file's internal
 // skew. The memtable is not included.
 func (d *DB) ApproximateSize(start, end []byte) SizeEstimate {
+	if d.shards != nil {
+		var est SizeEstimate
+		for _, sh := range d.shards {
+			e := sh.ApproximateSize(start, end)
+			est.LocalBytes += e.LocalBytes
+			est.CloudBytes += e.CloudBytes
+		}
+		return est
+	}
 	v := d.vs.Current()
 	var est SizeEstimate
 	var hiIncl []byte

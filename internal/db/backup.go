@@ -21,6 +21,36 @@ func (d *DB) Backup(dir string) error {
 	if d.closed.Load() {
 		return ErrClosed
 	}
+	dstLocal, err := storage.NewLocal(filepath.Join(dir, "local"))
+	if err != nil {
+		return err
+	}
+	dstCloud, err := storage.NewLocal(filepath.Join(dir, "cloud"))
+	if err != nil {
+		return err
+	}
+	if d.shards != nil {
+		// Reproduce the sharded layout: the marker at the destination root,
+		// each shard backed up into its prefix. Per-shard consistency
+		// points may differ slightly (each shard freezes independently);
+		// writes racing the backup land after some shard's point, the same
+		// guarantee the live store gives racing readers.
+		if err := storage.WriteObject(dstLocal, shardMarkerName,
+			[]byte(fmt.Sprintf("%d\n", len(d.shards)))); err != nil {
+			return err
+		}
+		return d.eachShard(func(sh *DB) error {
+			return sh.backupInto(
+				storage.NewPrefix(dstLocal, shardPrefix(sh.opts.shardID)),
+				storage.NewPrefix(dstCloud, shardPrefix(sh.opts.shardID)))
+		})
+	}
+	return d.backupInto(dstLocal, dstCloud)
+}
+
+// backupInto copies this engine's live tables and a manifest snapshot into
+// the destination backends.
+func (d *DB) backupInto(dstLocal, dstCloud storage.Backend) error {
 	// Make the memtable durable in tables so the backup is WAL-free.
 	if err := d.Flush(); err != nil {
 		return err
@@ -30,15 +60,6 @@ func (d *DB) Backup(dir string) error {
 	d.compactionMu.Lock()
 	defer d.compactionMu.Unlock()
 	v := d.vs.Current()
-
-	dstLocal, err := storage.NewLocal(filepath.Join(dir, "local"))
-	if err != nil {
-		return err
-	}
-	dstCloud, err := storage.NewLocal(filepath.Join(dir, "cloud"))
-	if err != nil {
-		return err
-	}
 
 	copyObject := func(src storage.Backend, dst storage.Backend, name string) error {
 		data, err := src.ReadAll(name)

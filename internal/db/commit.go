@@ -18,21 +18,30 @@ import (
 // reallocating channels — commits become allocation-free in steady state.
 type commitEntry struct {
 	b *batch.Batch
+	// d is the DB (the keyspace shard, in a sharded store) this entry
+	// commits into; the shared seqSource publishes the entry's sequence to
+	// d's watermark and manifest when it becomes visible.
+	d *DB
 	// mem is the memtable the group leader captured for this entry; the
 	// owning writer applies its batch there after the group's WAL write.
 	mem    *memtable.MemTable
 	maxSeq uint64
 	err    error
 
+	// gidx is this entry's absolute allocation index in the seqSource's
+	// global ring, assigned at enqueue; markApplied uses it to find the
+	// entry's slot after ring compaction.
+	gidx uint64
+
 	// wake is signalled by the group leader once sequences are assigned and
 	// the WAL write is done — or, for the head of the follow-up queue, when
 	// it is promoted to lead the next group (promoted tells the two apart).
 	wake     chan struct{}
 	promoted bool
-	// applied flips (under pmu) once the owning writer finished its
-	// memtable apply; publishVisible pops entries off the pending ring in
-	// commit order only while the head has applied, so readers never
-	// observe a sequence gap.
+	// applied flips (under the seqSource lock) once the owning writer
+	// finished its memtable apply; markApplied pops entries off the pending
+	// ring in commit order only while the head has applied, so readers
+	// never observe a sequence gap.
 	applied bool
 	// visible is signalled when the entry's maxSeq has been published as
 	// the DB's last visible sequence.
@@ -76,18 +85,11 @@ type commitPipeline struct {
 	qfree   []*commitEntry
 	leading bool
 
-	// nextSeq is the sequence-allocation counter (first unassigned
-	// sequence). It is distinct from d.lastSeq, the published visibility
-	// watermark: allocation runs ahead of visibility while appliers work,
-	// and a failed group leaves a harmless hole. Guarded by d.mu
-	// (assignment happens inside the rotation lock).
-	nextSeq uint64
-
-	// pmu guards the pending ring: entries in commit order awaiting
-	// application. head indexes the first not-yet-visible entry.
-	pmu     sync.Mutex
-	pending []*commitEntry
-	head    int
+	// Sequence allocation and the pending visibility ring live in the
+	// DB's seqSource (d.seqs): allocation runs ahead of visibility while
+	// appliers work, a failed group leaves a harmless hole, and in a
+	// sharded store every shard's pipeline feeds the same source so the
+	// watermark stays globally ordered.
 
 	// inflight counts writers currently inside commit. Group formation
 	// reads it (advisorily) to decide whether yielding could possibly add
@@ -100,8 +102,8 @@ type commitPipeline struct {
 	walBuf []wal.Entry
 }
 
-func newCommitPipeline(d *DB, nextSeq uint64) *commitPipeline {
-	return &commitPipeline{d: d, nextSeq: nextSeq}
+func newCommitPipeline(d *DB) *commitPipeline {
+	return &commitPipeline{d: d}
 }
 
 // commit runs one batch through the pipeline, returning once the batch is
@@ -109,6 +111,7 @@ func newCommitPipeline(d *DB, nextSeq uint64) *commitPipeline {
 func (p *commitPipeline) commit(b *batch.Batch) error {
 	e := entryPool.Get().(*commitEntry)
 	e.b = b
+	e.d = nil
 	e.mem = nil
 	e.maxSeq = 0
 	e.err = nil
@@ -144,11 +147,11 @@ func (p *commitPipeline) commit(b *batch.Batch) error {
 		})
 	}
 	e.mem.WriterDone()
-	p.publishVisible(e)
+	p.d.seqs.markApplied(e)
 	<-e.visible
 	p.inflight.Add(-1)
 	err := e.err
-	e.b, e.mem = nil, nil
+	e.b, e.d, e.mem = nil, nil, nil
 	entryPool.Put(e)
 	return err
 }
@@ -189,26 +192,27 @@ func (p *commitPipeline) leadGroup(self *commitEntry) {
 	// Assign a contiguous sequence range and capture the target memtable
 	// atomically with respect to rotation: makeRoomForWrite swaps d.mem
 	// under the same lock, and RegisterWriters here is what lets a later
-	// flush wait out in-flight appliers after the seal.
+	// flush wait out in-flight appliers after the seal. Allocation and the
+	// pending-ring append happen together under the seqSource lock (nested
+	// inside d.mu) so the ring stays in sequence order even when leaders
+	// of different shards race for the shared source.
+	ss := d.seqs
 	d.mu.Lock()
 	mem := d.mem
-	seq := p.nextSeq
+	ss.mu.Lock()
+	seq := ss.nextSeq
 	for _, e := range group {
 		e.b.SetSeq(seq)
 		seq += uint64(e.b.Count())
+		e.d = d
 		e.mem = mem
 		e.maxSeq = e.b.MaxSeq()
+		ss.enqueueLocked(d, e)
 	}
-	p.nextSeq = seq
+	ss.nextSeq = seq
+	ss.mu.Unlock()
 	mem.RegisterWriters(len(group))
 	d.mu.Unlock()
-
-	// Order the group into the pending ring before the WAL write. Leaders
-	// run one at a time (the leading flag), so appends preserve sequence
-	// order even across groups.
-	p.pmu.Lock()
-	p.pending = append(p.pending, group...)
-	p.pmu.Unlock()
 
 	// One vectored WAL append for the whole group: a single segment-writer
 	// critical section and, when WALSync is on, a single fsync amortized
@@ -285,30 +289,4 @@ func (p *commitPipeline) leadGroup(self *commitEntry) {
 		p.qfree = group[:0]
 	}
 	p.qmu.Unlock()
-}
-
-// publishVisible marks e applied and advances the visibility watermark over
-// every leading pending entry that has been applied, in commit order. The
-// writer that completes the head entry publishes for all contiguous
-// followers that finished earlier.
-func (p *commitPipeline) publishVisible(e *commitEntry) {
-	d := p.d
-	p.pmu.Lock()
-	e.applied = true
-	for p.head < len(p.pending) {
-		front := p.pending[p.head]
-		if !front.applied {
-			break
-		}
-		p.pending[p.head] = nil
-		p.head++
-		d.lastSeq.Store(front.maxSeq)
-		d.vs.SetLastSeq(front.maxSeq)
-		front.visible <- struct{}{}
-	}
-	if p.head == len(p.pending) {
-		p.pending = p.pending[:0]
-		p.head = 0
-	}
-	p.pmu.Unlock()
 }

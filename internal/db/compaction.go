@@ -165,7 +165,7 @@ func (d *DB) doCompaction(c *compaction) error {
 		pool     *prefetchPool
 	)
 	for _, f := range all {
-		h, err := d.tables.get(f)
+		h, err := d.tables.get(d, f)
 		if err != nil {
 			if pool != nil {
 				pool.close()

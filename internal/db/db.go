@@ -51,6 +51,24 @@ type DB struct {
 	pcache     pcache.BlockCache
 	tables     *tableCache
 
+	// shards is non-nil on the facade of a sharded store (Options.Shards >
+	// 1): the keyspace is hash-partitioned across these child DBs and every
+	// public method routes by key or fans out. The facade runs no engine of
+	// its own — vs, wal, mem, and pipeline stay nil and its background
+	// loops never start.
+	shards []*DB
+	// seqs allocates sequence numbers and publishes the visibility
+	// watermark. A standalone DB owns its own; keyspace shards share the
+	// facade's, which keeps snapshots consistent across shards.
+	seqs *seqSource
+	// shardRing is this engine's slice of the seqSource's allocation
+	// order: its own commits, in sequence order, awaiting their memtable
+	// apply. Writers are acked when their entry reaches the front, so one
+	// shard's commits never wait out another shard's in-flight group.
+	// Guarded by seqs.mu.
+	shardRing []*commitEntry
+	shardHead int
+
 	// commitMu serializes the legacy write path (WAL append + memtable
 	// apply) when the commit pipeline is disabled.
 	commitMu sync.Mutex
@@ -120,22 +138,47 @@ type DB struct {
 // the WAL and manifest; cloud may be nil for PolicyLocalOnly.
 func Open(opts Options, local storage.Backend, cloud storage.Backend) (*DB, error) {
 	opts = opts.sanitize()
+	if opts.Shards > 1 && opts.sharedSeqs == nil {
+		return openSharded(opts, local, cloud)
+	}
 	if cloud == nil && opts.Policy != PolicyLocalOnly {
 		return nil, errors.New("db: policy requires a cloud backend")
 	}
+	if opts.sharedSeqs == nil {
+		// A standalone open must not claim a directory laid out by a
+		// sharded store: the root holds only per-shard prefixes there.
+		if err := checkNotSharded(local); err != nil {
+			return nil, err
+		}
+	}
 	d := &DB{
-		opts:       opts,
-		local:      local,
-		cloud:      cloud,
-		blockCache: cache.New(opts.BlockCacheBytes),
-		mem:        memtable.New(),
-		bgWork:     make(chan struct{}, 1),
-		bgQuit:     make(chan struct{}),
-		bgDone:     make(chan struct{}),
-		drainWake:  make(chan struct{}, 1),
-		drainDone:  make(chan struct{}),
-		lat:        newLatencies(),
-		openedAt:   time.Now(),
+		opts:      opts,
+		local:     local,
+		cloud:     cloud,
+		mem:       memtable.New(),
+		bgWork:    make(chan struct{}, 1),
+		bgQuit:    make(chan struct{}),
+		bgDone:    make(chan struct{}),
+		drainWake: make(chan struct{}, 1),
+		drainDone: make(chan struct{}),
+		openedAt:  time.Now(),
+	}
+	// Facade-owned resources stay shared across keyspace shards: one block
+	// cache, one latency set, one sequence source, one table cache — the
+	// caches see the union of all shards' files (striped file numbering
+	// keeps file numbers globally unique), and the shared seqSource keeps
+	// one globally ordered visibility watermark.
+	if d.blockCache = opts.sharedCache; d.blockCache == nil {
+		d.blockCache = cache.New(opts.BlockCacheBytes)
+	}
+	if d.lat = opts.sharedLat; d.lat == nil {
+		d.lat = newLatencies()
+	}
+	if d.seqs = opts.sharedSeqs; d.seqs == nil {
+		d.seqs = newSeqSource()
+	}
+	if d.tables = opts.sharedTables; d.tables == nil {
+		d.tables = newTableCache(opts.MaxOpenTables)
 	}
 	// Unwrap decorators (Faulty, Instrumented, ...) to find the simulated
 	// cloud for cost reporting and object-loss injection.
@@ -164,18 +207,26 @@ func Open(opts Options, local storage.Backend, cloud storage.Backend) (*DB, erro
 		// real request and lands in the latency histograms; the breaker and
 		// backoff sit above them. The breaker's OnStateChange feeds events,
 		// stats, and the drainer wake-up; backoff waits abort at bgQuit so
-		// Close never sleeps out an outage.
-		userCB := opts.CloudBreaker.OnStateChange
-		d.breaker = retry.NewBreaker(retry.BreakerConfig{
-			FailureThreshold: opts.CloudBreaker.FailureThreshold,
-			Cooldown:         opts.CloudBreaker.Cooldown,
-			OnStateChange: func(from, to retry.State) {
-				d.onBreakerChange(from, to)
-				if userCB != nil {
-					userCB(from, to)
-				}
-			},
-		})
+		// Close never sleeps out an outage. Keyspace shards share one
+		// breaker (the cloud endpoint is one dependency: an outage seen by
+		// one shard should fail the others fast) whose state changes fan
+		// out to every shard's drainer.
+		if opts.sharedBreaker != nil {
+			d.breaker = opts.sharedBreaker
+			opts.breakerHooks.add(d.onBreakerChange)
+		} else {
+			userCB := opts.CloudBreaker.OnStateChange
+			d.breaker = retry.NewBreaker(retry.BreakerConfig{
+				FailureThreshold: opts.CloudBreaker.FailureThreshold,
+				Cooldown:         opts.CloudBreaker.Cooldown,
+				OnStateChange: func(from, to retry.State) {
+					d.onBreakerChange(from, to)
+					if userCB != nil {
+						userCB(from, to)
+					}
+				},
+			})
+		}
 		d.cloudRel = storage.NewReliable(
 			storage.Instrument(cloud, d.lat.cloudGet, d.lat.cloudPut),
 			opts.CloudRetry, d.breaker, d.onCloudRetry, d.bgQuit)
@@ -183,16 +234,23 @@ func Open(opts Options, local storage.Backend, cloud storage.Backend) (*DB, erro
 	}
 	d.immWake = sync.NewCond(&d.mu)
 	d.rs.Store(&readState{mem: d.mem})
-	d.tables = newTableCache(d, opts.MaxOpenTables)
 
 	var err error
 	if d.vs, err = manifest.Open(local); err != nil {
 		return nil, err
 	}
+	if opts.sharedSeqs != nil {
+		// Stripe file numbering so file numbers are globally unique across
+		// shards: the shared caches key on bare file numbers, and
+		// fileNum % Shards recovers the owning shard for attribution.
+		d.vs.SetStride(uint64(opts.Shards), uint64(opts.shardID))
+	}
 	d.lastSeq.Store(d.vs.LastSeq())
 
-	if err := d.initPCache(); err != nil {
-		return nil, err
+	if d.pcache = opts.sharedPCache; d.pcache == nil {
+		if err := d.initPCache(); err != nil {
+			return nil, err
+		}
 	}
 
 	walOpts := wal.Options{
@@ -212,13 +270,16 @@ func Open(opts Options, local storage.Backend, cloud storage.Backend) (*DB, erro
 	if err := d.recover(); err != nil {
 		return nil, err
 	}
+	// Replayed writes are already applied, so they are visible by
+	// definition; lift the (possibly shared) sequence source over them.
+	d.seqs.raise(d.lastSeq.Load())
 	// Register every live file's level with the persistent cache so its
 	// hit/miss counters attribute correctly from the first read.
 	d.vs.Current().AllFiles(func(level int, f *manifest.FileMetadata) {
 		d.pcache.SetLevel(f.Num, level)
 	})
 	if !opts.DisableCommitPipeline {
-		d.pipeline = newCommitPipeline(d, d.lastSeq.Load()+1)
+		d.pipeline = newCommitPipeline(d)
 	}
 	// A crash between an object write and its manifest edit (or during a
 	// degraded-mode drain) can strand table objects no version references.
@@ -332,13 +393,19 @@ func (d *DB) Delete(key []byte) error {
 	return d.Write(b)
 }
 
-// Write applies a batch atomically.
+// Write applies a batch atomically. In a sharded store the batch is split
+// by key hash and committed per shard: each sub-batch is atomic and the
+// caller observes all of them applied on return, but a reader racing the
+// write may see one shard's portion before another's.
 func (d *DB) Write(b *batch.Batch) error {
 	if d.closed.Load() {
 		return ErrClosed
 	}
 	if b.Empty() {
 		return nil
+	}
+	if d.shards != nil {
+		return d.shardWrite(b)
 	}
 	start := time.Now()
 	err := d.write(b)
@@ -356,26 +423,43 @@ func (d *DB) write(b *batch.Batch) error {
 		return p.commit(b)
 	}
 
+	// Serial path: one writer at a time per shard (commitMu), but sequence
+	// allocation and visibility still route through the shared seqSource so
+	// sharded stores keep one globally ordered watermark regardless of
+	// which commit path is configured.
 	d.commitMu.Lock()
 	defer d.commitMu.Unlock()
-	seq := d.lastSeq.Load() + 1
-	b.SetSeq(seq)
-	if _, err := d.wal.Append(b.Payload(), seq, b.MaxSeq()); err != nil {
-		return err
+	ss := d.seqs
+	e := entryPool.Get().(*commitEntry)
+	e.b, e.d, e.mem = b, d, nil
+	e.err, e.promoted, e.applied = nil, false, false
+	ss.mu.Lock()
+	b.SetSeq(ss.nextSeq)
+	ss.nextSeq += uint64(b.Count())
+	e.maxSeq = b.MaxSeq()
+	ss.enqueueLocked(d, e)
+	ss.mu.Unlock()
+	if _, err := d.wal.Append(b.Payload(), b.Seq(), e.maxSeq); err != nil {
+		// The allocated range is a hole: recovery and visibility tolerate
+		// gaps, matching the pipeline's failed-group semantics.
+		e.err = err
+	} else {
+		mem := d.currentMem()
+		e.err = b.Iterate(func(op batch.Op) error {
+			mem.Add(op.Seq, op.Kind, op.Key, op.Value)
+			return nil
+		})
+		if e.err == nil {
+			d.stats.Writes.Add(int64(b.Count()))
+			d.stats.BytesWritten.Add(int64(b.Size()))
+		}
 	}
-	mem := d.currentMem()
-	err := b.Iterate(func(op batch.Op) error {
-		mem.Add(op.Seq, op.Kind, op.Key, op.Value)
-		return nil
-	})
-	if err != nil {
-		return err
-	}
-	d.lastSeq.Store(b.MaxSeq())
-	d.vs.SetLastSeq(b.MaxSeq())
-	d.stats.Writes.Add(int64(b.Count()))
-	d.stats.BytesWritten.Add(int64(b.Size()))
-	return nil
+	ss.markApplied(e)
+	<-e.visible
+	err := e.err
+	e.b, e.d, e.mem = nil, nil, nil
+	entryPool.Put(e)
+	return err
 }
 
 func (d *DB) currentMem() *memtable.MemTable {
@@ -481,11 +565,22 @@ func (d *DB) scheduleWork() {
 
 // Get returns the value for key at the latest sequence number.
 func (d *DB) Get(key []byte) ([]byte, error) {
+	if d.shards != nil {
+		// A point read depends only on writes to key's own shard, so it
+		// reads at that shard's acked frontier — no need to touch the
+		// global watermark, which may trail another shard's in-flight
+		// commits.
+		sh := d.shardFor(key)
+		return sh.GetAt(key, sh.lastSeq.Load())
+	}
 	return d.GetAt(key, d.lastSeq.Load())
 }
 
 // GetAt returns the value for key visible at snapshot seq.
 func (d *DB) GetAt(key []byte, seq uint64) ([]byte, error) {
+	if d.shards != nil {
+		return d.shardFor(key).GetAt(key, seq)
+	}
 	if d.closed.Load() {
 		return nil, ErrClosed
 	}
@@ -512,6 +607,9 @@ func (d *DB) GetAt(key []byte, seq uint64) ([]byte, error) {
 // where the read was served from and what it cost, regardless of the
 // sampling rate. The read still feeds the aggregate counters.
 func (d *DB) GetProfiled(key []byte) ([]byte, readprof.Profile, error) {
+	if d.shards != nil {
+		return d.shardFor(key).GetProfiled(key)
+	}
 	if d.closed.Load() {
 		return nil, readprof.Profile{}, ErrClosed
 	}
@@ -582,7 +680,7 @@ func (d *DB) getAt(key []byte, seq uint64, prof *readprof.Profile) ([]byte, erro
 			// Nothing in this file is visible at the snapshot.
 			return false, nil
 		}
-		h, err := d.tables.get(f)
+		h, err := d.tables.get(d, f)
 		if err != nil {
 			return false, err
 		}
@@ -636,16 +734,43 @@ type Snapshot struct {
 	released bool
 }
 
-// GetSnapshot returns a consistent read view at the current sequence.
+// GetSnapshot returns a consistent read view at the current sequence. In a
+// sharded store the snapshot sequence comes from the shared visibility
+// watermark and is pinned in every shard, so reads through it observe a
+// single cross-shard point in time. The watermark is first caught up to
+// the acked frontier, so every write that returned before this call is
+// inside the snapshot.
 func (d *DB) GetSnapshot() *Snapshot {
+	if d.shards != nil {
+		d.seqs.waitVisible(d.ackedSeq())
+		s := &Snapshot{db: d, seq: d.seqs.visible.Load()}
+		for _, sh := range d.shards {
+			sh.registerSnapshot(s.seq)
+		}
+		return s
+	}
 	s := &Snapshot{db: d, seq: d.lastSeq.Load()}
+	d.registerSnapshot(s.seq)
+	return s
+}
+
+func (d *DB) registerSnapshot(seq uint64) {
 	d.mu.Lock()
 	if d.snaps == nil {
 		d.snaps = map[uint64]int{}
 	}
-	d.snaps[s.seq]++
+	d.snaps[seq]++
 	d.mu.Unlock()
-	return s
+}
+
+func (d *DB) unregisterSnapshot(seq uint64) {
+	d.mu.Lock()
+	if n := d.snaps[seq]; n <= 1 {
+		delete(d.snaps, seq)
+	} else {
+		d.snaps[seq] = n - 1
+	}
+	d.mu.Unlock()
 }
 
 // Release unpins the snapshot. Reads through a released snapshot may
@@ -655,13 +780,13 @@ func (s *Snapshot) Release() {
 		return
 	}
 	s.released = true
-	s.db.mu.Lock()
-	if n := s.db.snaps[s.seq]; n <= 1 {
-		delete(s.db.snaps, s.seq)
-	} else {
-		s.db.snaps[s.seq] = n - 1
+	if s.db.shards != nil {
+		for _, sh := range s.db.shards {
+			sh.unregisterSnapshot(s.seq)
+		}
+		return
 	}
-	s.db.mu.Unlock()
+	s.db.unregisterSnapshot(s.seq)
 }
 
 // Get reads key at the snapshot.
@@ -671,8 +796,11 @@ func (s *Snapshot) Get(key []byte) ([]byte, error) { return s.db.GetAt(key, s.se
 func (s *Snapshot) Seq() uint64 { return s.seq }
 
 // Flush forces the current memtable (and any recovery memtables) to an
-// SSTable and waits.
+// SSTable and waits. A sharded store flushes every shard concurrently.
 func (d *DB) Flush() error {
+	if d.shards != nil {
+		return d.eachShard(func(sh *DB) error { return sh.Flush() })
+	}
 	d.mu.Lock()
 	if d.mem.Empty() && d.imm == nil && len(d.recovered) == 0 {
 		d.mu.Unlock()
@@ -709,6 +837,9 @@ func (d *DB) Flush() error {
 // CompactAll flushes and repeatedly compacts until the tree is quiescent.
 // Used by experiments to reach a steady state.
 func (d *DB) CompactAll() error {
+	if d.shards != nil {
+		return d.eachShard(func(sh *DB) error { return sh.CompactAll() })
+	}
 	if err := d.Flush(); err != nil {
 		return err
 	}
@@ -789,8 +920,16 @@ func (d *DB) backgroundLoop() {
 	}
 }
 
+// isShard reports whether d is a keyspace shard inside a sharded store
+// (as opposed to a standalone DB or the facade itself). Shards borrow the
+// facade-owned shared resources and must not close them.
+func (d *DB) isShard() bool { return d.opts.sharedSeqs != nil }
+
 // Close flushes state and releases resources.
 func (d *DB) Close() error {
+	if d.shards != nil {
+		return d.closeSharded()
+	}
 	if !d.closed.CompareAndSwap(false, true) {
 		return nil
 	}
@@ -820,10 +959,13 @@ func (d *DB) Close() error {
 	if err := d.wal.Close(); err != nil && firstErr == nil {
 		firstErr = err
 	}
-	if err := d.pcache.Close(); err != nil && firstErr == nil {
-		firstErr = err
+	if !d.isShard() {
+		// Shared across keyspace shards and closed once by the facade.
+		if err := d.pcache.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		d.tables.close()
 	}
-	d.tables.close()
 	if err := d.vs.Close(); err != nil && firstErr == nil {
 		firstErr = err
 	}
@@ -840,19 +982,42 @@ func (d *DB) Close() error {
 }
 
 // LastSequence returns the newest committed sequence number.
-func (d *DB) LastSequence() uint64 { return d.lastSeq.Load() }
+func (d *DB) LastSequence() uint64 {
+	if d.shards != nil {
+		return d.ackedSeq()
+	}
+	return d.lastSeq.Load()
+}
+
+// ackedSeq returns the facade's acknowledged frontier: the newest sequence
+// any shard has acked a writer for.
+func (d *DB) ackedSeq() uint64 {
+	var max uint64
+	for _, sh := range d.shards {
+		if ls := sh.lastSeq.Load(); ls > max {
+			max = ls
+		}
+	}
+	return max
+}
 
 // Crash abandons the DB without flushing or closing cleanly, simulating a
 // process crash. Used by recovery experiments and tests; the handle must
 // not be used afterwards. Data appended to the WAL remains recoverable.
 func (d *DB) Crash() {
+	if d.shards != nil {
+		d.crashSharded()
+		return
+	}
 	if !d.closed.CompareAndSwap(false, true) {
 		return
 	}
 	close(d.bgQuit)
 	<-d.bgDone
 	<-d.drainDone
-	d.tables.close()
+	if !d.isShard() {
+		d.tables.close()
+	}
 }
 
 // LoseCloudObject simulates silent loss of a cloud object (reliability
@@ -861,6 +1026,14 @@ func (d *DB) LoseCloudObject(name string) bool {
 	if d.cloudSim == nil {
 		return false
 	}
+	if d.shards != nil {
+		// Objects live under per-shard prefixes; losing the name in every
+		// shard's namespace hits whichever shard actually holds it.
+		for i := range d.shards {
+			d.cloudSim.LoseObject(shardPrefix(i) + name)
+		}
+		return true
+	}
 	d.cloudSim.LoseObject(name)
 	return true
 }
@@ -868,6 +1041,15 @@ func (d *DB) LoseCloudObject(name string) bool {
 // debugCheckLevels is used by tests to inspect the file layout.
 func (d *DB) debugLevels() [manifest.NumLevels]int {
 	var out [manifest.NumLevels]int
+	if d.shards != nil {
+		for _, sh := range d.shards {
+			sub := sh.debugLevels()
+			for l := range sub {
+				out[l] += sub[l]
+			}
+		}
+		return out
+	}
 	v := d.vs.Current()
 	for l := range v.Levels {
 		out[l] = len(v.Levels[l])
@@ -877,6 +1059,14 @@ func (d *DB) debugLevels() [manifest.NumLevels]int {
 
 // String summarizes the DB for logs.
 func (d *DB) String() string {
+	if d.shards != nil {
+		var files int
+		for _, sh := range d.shards {
+			files += sh.vs.Current().NumFiles()
+		}
+		return fmt.Sprintf("db{policy=%s shards=%d files=%d lastSeq=%d}",
+			d.opts.Policy, len(d.shards), files, d.ackedSeq())
+	}
 	v := d.vs.Current()
 	return fmt.Sprintf("db{policy=%s files=%d lastSeq=%d}", d.opts.Policy, v.NumFiles(), d.lastSeq.Load())
 }

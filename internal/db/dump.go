@@ -96,6 +96,17 @@ func (d *DB) DumpStats() string {
 			m.WALSyncsAmortized)
 	}
 
+	if len(m.Shards) > 0 {
+		b.WriteString("\n** Shards **\n")
+		fmt.Fprintf(&b, "%-6s %10s %10s %8s %8s %8s %8s %12s %10s %10s\n",
+			"shard", "writes", "reads", "flushes", "compact", "stalls", "files", "bytes", "pc-hit", "pc-miss")
+		for _, s := range m.Shards {
+			fmt.Fprintf(&b, "%-6d %10d %10d %8d %8d %8d %8d %12s %10d %10d\n",
+				s.Shard, s.Writes, s.Reads, s.Flushes, s.Compactions, s.WriteStalls,
+				s.Files, humanBytes(s.Bytes), s.PCacheHits, s.PCacheMisses)
+		}
+	}
+
 	b.WriteString("\n** Level Shape **\n")
 	fmt.Fprintf(&b, "%-6s %8s %12s %8s\n", "level", "files", "bytes", "tier")
 	for l := range m.LevelFiles {

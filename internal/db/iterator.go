@@ -101,7 +101,7 @@ func (l *levelIter) openFile(i int) bool {
 		l.idx = len(l.files)
 		return false
 	}
-	h, err := l.db.tables.get(l.files[i])
+	h, err := l.db.tables.get(l.db, l.files[i])
 	if err != nil {
 		l.err = err
 		l.idx = len(l.files)
@@ -370,6 +370,16 @@ type Iterator struct {
 	merged internalIterator
 	seq    uint64
 
+	// kids is the facade mode of a sharded store: one child Iterator per
+	// keyspace shard, all bound to the same snapshot sequence, N-way merged
+	// by user key. Shard keyspaces are disjoint, so no deduplication is
+	// needed — the smallest (or largest, in reverse) valid child wins and
+	// its entry is copied into key/value. When kids is nil the iterator is
+	// a plain single-LSM iterator over merged.
+	kids []*Iterator
+	kcur int  // index of the child at the merge frontier, -1 when exhausted
+	krev bool // facade merge direction
+
 	// prof accumulates the iterator's data-block reads by source tier over
 	// its whole lifetime (nil when profiling is disabled); seeks counts
 	// positioning operations. Both fold into the DB's scan-side aggregates
@@ -386,11 +396,31 @@ type Iterator struct {
 
 // NewIterator returns an iterator over the DB at the current sequence.
 func (d *DB) NewIterator() (*Iterator, error) {
+	if d.shards != nil {
+		// Catch the global watermark up to the acked frontier so every
+		// write that returned before this call is inside the merged view.
+		d.seqs.waitVisible(d.ackedSeq())
+		return d.NewIteratorAt(d.seqs.visible.Load())
+	}
 	return d.NewIteratorAt(d.lastSeq.Load())
 }
 
 // NewIteratorAt returns an iterator at snapshot seq.
 func (d *DB) NewIteratorAt(seq uint64) (*Iterator, error) {
+	if d.shards != nil {
+		kids := make([]*Iterator, len(d.shards))
+		for i, sh := range d.shards {
+			k, err := sh.NewIteratorAt(seq)
+			if err != nil {
+				for _, kk := range kids[:i] {
+					_ = kk.Close()
+				}
+				return nil, err
+			}
+			kids[i] = k
+		}
+		return &Iterator{db: d, kids: kids, kcur: -1, seq: seq}, nil
+	}
 	if d.closed.Load() {
 		return nil, ErrClosed
 	}
@@ -414,7 +444,7 @@ func (d *DB) NewIteratorAt(seq uint64) (*Iterator, error) {
 		children = append(children, &memIter{m.NewIterator()})
 	}
 	for _, f := range v.Levels[0] {
-		h, err := d.tables.get(f)
+		h, err := d.tables.get(d, f)
 		if err != nil {
 			for _, c := range children {
 				c.Close()
@@ -443,6 +473,14 @@ func (s *Snapshot) NewIterator() (*Iterator, error) { return s.db.NewIteratorAt(
 
 // First positions at the smallest live key.
 func (it *Iterator) First() {
+	if it.kids != nil {
+		for _, k := range it.kids {
+			k.First()
+		}
+		it.krev = false
+		it.kidSettle()
+		return
+	}
 	it.seeks++
 	it.merged.First()
 	it.settle(nil)
@@ -450,6 +488,14 @@ func (it *Iterator) First() {
 
 // Seek positions at the first live key >= ukey.
 func (it *Iterator) Seek(ukey []byte) {
+	if it.kids != nil {
+		for _, k := range it.kids {
+			k.Seek(ukey)
+		}
+		it.krev = false
+		it.kidSettle()
+		return
+	}
 	it.seeks++
 	it.merged.SeekGE(keys.MakeSeekKey(nil, ukey, it.seq))
 	it.settle(nil)
@@ -458,6 +504,22 @@ func (it *Iterator) Seek(ukey []byte) {
 // Next advances to the following live key.
 func (it *Iterator) Next() {
 	if !it.valid {
+		return
+	}
+	if it.kids != nil {
+		if it.krev {
+			// Direction switch: reposition every other child to the first
+			// key after the current one. Shard keyspaces are disjoint, so
+			// Seek(current) on another shard lands strictly past it.
+			for i, k := range it.kids {
+				if i != it.kcur {
+					k.Seek(it.key)
+				}
+			}
+			it.krev = false
+		}
+		it.kids[it.kcur].Next()
+		it.kidSettle()
 		return
 	}
 	prev := append([]byte(nil), it.key...)
@@ -473,6 +535,14 @@ func (it *Iterator) Next() {
 
 // Last positions at the largest live key.
 func (it *Iterator) Last() {
+	if it.kids != nil {
+		for _, k := range it.kids {
+			k.Last()
+		}
+		it.krev = true
+		it.kidSettleReverse()
+		return
+	}
 	it.seeks++
 	it.merged.Last()
 	it.settleReverse(nil)
@@ -480,6 +550,14 @@ func (it *Iterator) Last() {
 
 // SeekForPrev positions at the last live key <= ukey.
 func (it *Iterator) SeekForPrev(ukey []byte) {
+	if it.kids != nil {
+		for _, k := range it.kids {
+			k.SeekForPrev(ukey)
+		}
+		it.krev = true
+		it.kidSettleReverse()
+		return
+	}
 	it.seeks++
 	// ukey++"\x00" is the immediate successor user key: every entry of
 	// ukey itself sorts before it.
@@ -491,6 +569,22 @@ func (it *Iterator) SeekForPrev(ukey []byte) {
 // Prev moves to the preceding live key.
 func (it *Iterator) Prev() {
 	if !it.valid {
+		return
+	}
+	if it.kids != nil {
+		if !it.krev {
+			// Direction switch: reposition every other child to the last
+			// key before the current one (disjoint keyspaces make
+			// SeekForPrev(current) land strictly before it on other shards).
+			for i, k := range it.kids {
+				if i != it.kcur {
+					k.SeekForPrev(it.key)
+				}
+			}
+			it.krev = true
+		}
+		it.kids[it.kcur].Prev()
+		it.kidSettleReverse()
 		return
 	}
 	bound := append([]byte(nil), it.key...)
@@ -509,6 +603,58 @@ func (it *Iterator) Prev() {
 		// unprocessed entry already; do not skip it.
 	}
 	it.settleReverse(bound)
+}
+
+// kidSettle picks the smallest-keyed valid child as the facade's current
+// entry, copying its key/value so the accessors stay stable until the next
+// move regardless of which child moves underneath.
+func (it *Iterator) kidSettle() {
+	it.valid = false
+	it.kcur = -1
+	var best []byte
+	for i, k := range it.kids {
+		if err := k.Err(); err != nil && it.err == nil {
+			it.err = err
+		}
+		if !k.Valid() {
+			continue
+		}
+		if best == nil || bytes.Compare(k.Key(), best) < 0 {
+			best = k.Key()
+			it.kcur = i
+		}
+	}
+	if it.kcur >= 0 && it.err == nil {
+		k := it.kids[it.kcur]
+		it.key = append(it.key[:0], k.Key()...)
+		it.value = append(it.value[:0], k.Value()...)
+		it.valid = true
+	}
+}
+
+// kidSettleReverse is kidSettle for the reverse direction: largest key wins.
+func (it *Iterator) kidSettleReverse() {
+	it.valid = false
+	it.kcur = -1
+	var best []byte
+	for i, k := range it.kids {
+		if err := k.Err(); err != nil && it.err == nil {
+			it.err = err
+		}
+		if !k.Valid() {
+			continue
+		}
+		if best == nil || bytes.Compare(k.Key(), best) > 0 {
+			best = k.Key()
+			it.kcur = i
+		}
+	}
+	if it.kcur >= 0 && it.err == nil {
+		k := it.kids[it.kcur]
+		it.key = append(it.key[:0], k.Key()...)
+		it.value = append(it.value[:0], k.Value()...)
+		it.valid = true
+	}
 }
 
 // settle advances the merged iterator until it rests on the newest visible,
@@ -624,6 +770,14 @@ func (it *Iterator) Close() error {
 	}
 	it.closed = true
 	it.valid = false
+	if it.kids != nil {
+		for _, k := range it.kids {
+			if err := k.Close(); err != nil && it.err == nil {
+				it.err = err
+			}
+		}
+		return it.err
+	}
 	if err := it.merged.Close(); err != nil && it.err == nil {
 		it.err = err
 	}

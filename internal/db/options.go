@@ -6,7 +6,9 @@ package db
 import (
 	"time"
 
+	"rocksmash/internal/cache"
 	"rocksmash/internal/event"
+	"rocksmash/internal/pcache"
 	"rocksmash/internal/retry"
 	"rocksmash/internal/sstable"
 	"rocksmash/internal/storage"
@@ -147,6 +149,19 @@ type Options struct {
 	// landing outputs locally as pending-upload tables.
 	DisableDegradedMode bool
 
+	// Shards splits the keyspace into this many independent sub-LSMs
+	// behind one DB facade. Each shard owns a full engine — memtable
+	// stack, eWAL segment stream, flush queue, compaction scheduler —
+	// rooted under its own storage prefix, so writers, flushes, and
+	// compactions on different shards never contend on the same mutexes
+	// or WAL writer. The block cache, persistent cache, table cache,
+	// cloud retry/breaker, and sequence-number source stay shared and
+	// global: snapshots and iterators remain consistent across shards.
+	// <= 1 (the default) keeps the single-LSM layout, byte-compatible
+	// with stores written before sharding existed. The shard count is
+	// part of the on-disk layout: reopen with the same value.
+	Shards int
+
 	// DisableCommitPipeline reverts the write path to the serial
 	// commit-mutex design: one writer at a time appends to the WAL and
 	// applies to the memtable. The default (pipelined) path group-commits
@@ -181,6 +196,19 @@ type Options struct {
 
 	// pcacheDir overrides where the persistent cache lives; set by OpenAt.
 	pcacheDir string
+
+	// Sharding internals, set by openSharded on the Options handed to each
+	// child Open. sharedSeqs doubles as the "this DB is a keyspace shard"
+	// marker (see DB.isShard); the rest plumb the facade-owned resources
+	// that sharding keeps global instead of per-shard.
+	shardID       int
+	sharedSeqs    *seqSource
+	sharedCache   *cache.Cache
+	sharedPCache  pcache.BlockCache
+	sharedTables  *tableCache
+	sharedLat     *latencies
+	sharedBreaker *retry.Breaker
+	breakerHooks  *breakerFanout
 }
 
 // DefaultOptions returns the PolicyMash configuration used throughout the
@@ -278,6 +306,9 @@ func (o Options) sanitize() Options {
 	o.CloudRetry = o.CloudRetry.Sanitize()
 	if o.PendingDrainInterval <= 0 {
 		o.PendingDrainInterval = 200 * time.Millisecond
+	}
+	if o.Shards < 1 {
+		o.Shards = 1
 	}
 	return o
 }

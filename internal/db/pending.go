@@ -286,6 +286,14 @@ func (d *DB) cleanOrphans() {
 // PendingCloudTables reports the degraded-mode backlog: how many tables
 // (and bytes) are on local storage awaiting upload to the cloud tier.
 func (d *DB) PendingCloudTables() (tables int, bytes int64) {
+	if d.shards != nil {
+		for _, sh := range d.shards {
+			t, b := sh.PendingCloudTables()
+			tables += t
+			bytes += b
+		}
+		return tables, bytes
+	}
 	d.vs.Current().AllFiles(func(level int, f *manifest.FileMetadata) {
 		if f.PendingCloud {
 			tables++

@@ -1,0 +1,510 @@
+package db
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"rocksmash/internal/batch"
+	"rocksmash/internal/storage"
+)
+
+func shardTestOptions(p Policy, shards int) Options {
+	o := testOptions(p)
+	o.Shards = shards
+	return o
+}
+
+func openShardTest(t *testing.T, p Policy, shards int) (*DB, string) {
+	t.Helper()
+	dir := t.TempDir()
+	d, err := OpenAt(dir, shardTestOptions(p, shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, dir
+}
+
+func TestShardedBasic(t *testing.T) {
+	d, dir := openShardTest(t, PolicyMash, 4)
+
+	const n = 2000
+	for i := 0; i < n; i++ {
+		mustPut(t, d, fmt.Sprintf("key%06d", i), fmt.Sprintf("val%06d", i))
+	}
+	for i := 0; i < n; i += 3 {
+		if err := d.Delete([]byte(fmt.Sprintf("key%06d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	verify := func(d *DB, label string) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			k := fmt.Sprintf("key%06d", i)
+			v, err := d.Get([]byte(k))
+			if i%3 == 0 {
+				if err != ErrNotFound {
+					t.Fatalf("%s: deleted %s: got %v", label, k, err)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%s: %s: %v", label, k, err)
+			}
+			if want := fmt.Sprintf("val%06d", i); string(v) != want {
+				t.Fatalf("%s: %s = %q want %q", label, k, v, want)
+			}
+		}
+	}
+	verify(d, "live")
+
+	// Per-shard attribution: every shard must have seen a fair slice of the
+	// hashed keyspace.
+	m := d.Metrics()
+	if len(m.Shards) != 4 {
+		t.Fatalf("Metrics().Shards has %d entries, want 4", len(m.Shards))
+	}
+	var writes int64
+	for _, s := range m.Shards {
+		writes += s.Writes
+		if s.Writes < int64(n)/16 {
+			t.Fatalf("shard %d underloaded: %d writes of %d", s.Shard, s.Writes, n)
+		}
+	}
+	if writes != m.Writes {
+		t.Fatalf("shard writes sum %d != aggregate %d", writes, m.Writes)
+	}
+	if !strings.Contains(d.DumpStats(), "** Shards **") {
+		t.Fatal("DumpStats missing the Shards section")
+	}
+
+	// Clean reopen: marker verified, all shards recover.
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenAt(dir, shardTestOptions(PolicyMash, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	verify(d2, "reopened")
+}
+
+// TestShardedMatchesUnsharded drives the same operation trace into a
+// 1-shard and a 4-shard store and requires byte-identical contents: full
+// forward scan, full reverse scan, and point reads all agree.
+func TestShardedMatchesUnsharded(t *testing.T) {
+	one, _ := openShardTest(t, PolicyMash, 1)
+	defer one.Close()
+	four, _ := openShardTest(t, PolicyMash, 4)
+	defer four.Close()
+
+	rng := rand.New(rand.NewSource(42))
+	apply := func(d *DB) {
+		t.Helper()
+		r := rand.New(rand.NewSource(77))
+		for step := 0; step < 4000; step++ {
+			k := fmt.Sprintf("key%05d", r.Intn(800))
+			switch r.Intn(10) {
+			case 0:
+				if err := d.Delete([]byte(k)); err != nil {
+					t.Fatal(err)
+				}
+			case 1:
+				b := batch.New()
+				for j := 0; j < 1+r.Intn(5); j++ {
+					b.Set([]byte(fmt.Sprintf("key%05d", r.Intn(800))), []byte(fmt.Sprintf("b%d-%d", step, j)))
+				}
+				if err := d.Write(b); err != nil {
+					t.Fatal(err)
+				}
+			default:
+				if err := d.Put([]byte(k), []byte(fmt.Sprintf("v%d", step))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if step%700 == 650 {
+				if err := d.Flush(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := d.CompactAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	apply(one)
+	apply(four)
+
+	dump := func(d *DB, reverse bool) []byte {
+		t.Helper()
+		it, err := d.NewIterator()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer it.Close()
+		var buf bytes.Buffer
+		if reverse {
+			for it.Last(); it.Valid(); it.Prev() {
+				fmt.Fprintf(&buf, "%s=%s\n", it.Key(), it.Value())
+			}
+		} else {
+			for it.First(); it.Valid(); it.Next() {
+				fmt.Fprintf(&buf, "%s=%s\n", it.Key(), it.Value())
+			}
+		}
+		if it.Err() != nil {
+			t.Fatal(it.Err())
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(dump(one, false), dump(four, false)) {
+		t.Fatal("forward scans differ between 1-shard and 4-shard stores")
+	}
+	if !bytes.Equal(dump(one, true), dump(four, true)) {
+		t.Fatal("reverse scans differ between 1-shard and 4-shard stores")
+	}
+
+	for trial := 0; trial < 300; trial++ {
+		k := []byte(fmt.Sprintf("key%05d", rng.Intn(900)))
+		v1, e1 := one.Get(k)
+		v4, e4 := four.Get(k)
+		if (e1 == nil) != (e4 == nil) || !bytes.Equal(v1, v4) {
+			t.Fatalf("Get(%s): unsharded (%q,%v) vs sharded (%q,%v)", k, v1, e1, v4, e4)
+		}
+	}
+}
+
+// TestShardedIteratorDirectionSwitch exercises the facade merge's
+// direction-switch repositioning against a sorted model.
+func TestShardedIteratorDirectionSwitch(t *testing.T) {
+	d, _ := openShardTest(t, PolicyLocalOnly, 4)
+	defer d.Close()
+	var sorted []string
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("key%04d", i)
+		mustPut(t, d, k, "v")
+		sorted = append(sorted, k)
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	it, err := d.NewIterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+
+	rng := rand.New(rand.NewSource(9))
+	pos := -1 // index into sorted, -1 = unpositioned
+	it.First()
+	pos = 0
+	for step := 0; step < 2000; step++ {
+		switch rng.Intn(4) {
+		case 0:
+			it.Next()
+			pos++
+		case 1:
+			it.Prev()
+			pos--
+		case 2:
+			i := rng.Intn(len(sorted))
+			it.Seek([]byte(sorted[i]))
+			pos = i
+		default:
+			i := rng.Intn(len(sorted))
+			it.SeekForPrev([]byte(sorted[i]))
+			pos = i
+		}
+		if pos < 0 || pos >= len(sorted) {
+			if it.Valid() {
+				t.Fatalf("step %d: expected exhausted, at %q", step, it.Key())
+			}
+			// Re-establish a known position: a real iterator stays
+			// exhausted until re-seeked, same as the single-LSM one.
+			i := rng.Intn(len(sorted))
+			it.Seek([]byte(sorted[i]))
+			pos = i
+		}
+		if !it.Valid() || string(it.Key()) != sorted[pos] {
+			t.Fatalf("step %d: at %q (valid=%v), want %q", step, it.Key(), it.Valid(), sorted[pos])
+		}
+	}
+}
+
+// TestShardedSnapshotConsistency pins a snapshot while writes continue on
+// every shard: the snapshot must keep showing the captured state, because
+// the shared sequence source gives all shards one visibility watermark.
+func TestShardedSnapshotConsistency(t *testing.T) {
+	d, _ := openShardTest(t, PolicyMash, 4)
+	defer d.Close()
+
+	model := map[string]string{}
+	for i := 0; i < 600; i++ {
+		k := fmt.Sprintf("key%04d", i)
+		v := fmt.Sprintf("gen0-%d", i)
+		mustPut(t, d, k, v)
+		model[k] = v
+	}
+	snap := d.GetSnapshot()
+	defer snap.Release()
+
+	// Overwrite everything and churn the physical layout.
+	for i := 0; i < 600; i++ {
+		mustPut(t, d, fmt.Sprintf("key%04d", i), fmt.Sprintf("gen1-%d", i))
+	}
+	if err := d.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	for k, want := range model {
+		got, err := snap.Get([]byte(k))
+		if err != nil {
+			t.Fatalf("snapshot Get(%s): %v", k, err)
+		}
+		if string(got) != want {
+			t.Fatalf("snapshot Get(%s) = %q want %q", k, got, want)
+		}
+	}
+	it, err := snap.NewIterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	seen := 0
+	for it.First(); it.Valid(); it.Next() {
+		if model[string(it.Key())] != string(it.Value()) {
+			t.Fatalf("snapshot iterator: %s = %q want %q", it.Key(), it.Value(), model[string(it.Key())])
+		}
+		seen++
+	}
+	if seen != len(model) {
+		t.Fatalf("snapshot iterator saw %d keys, want %d", seen, len(model))
+	}
+}
+
+// TestShardedCrashPointRecovery is the crash-point sweep over a 4-shard
+// store: storage dies at a random operation index, the store crashes, and
+// every acknowledged write must survive the (concurrent, per-shard) WAL
+// replay at reopen.
+func TestShardedCrashPointRecovery(t *testing.T) {
+	seeds := 30
+	if testing.Short() {
+		seeds = 6
+	}
+	for seed := 0; seed < seeds; seed++ {
+		t.Run(fmt.Sprintf("seed=%03d", seed), func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			rng := rand.New(rand.NewSource(int64(seed)*6151 + 11))
+			crashAt := int64(10 + rng.Intn(500))
+
+			o := crashOptions(dir)
+			o.Shards = 4
+			local, err := storage.NewLocal(filepath.Join(dir, "local"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cloud, err := storage.NewCloud(filepath.Join(dir, "cloud"), o.CloudLatency, o.CloudCost)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fl := storage.NewFaulty(local, storage.FaultConfig{})
+			fc := storage.NewFaulty(cloud, storage.FaultConfig{})
+			var ops atomic.Int64
+			dead := func(op, name string) error {
+				if ops.Add(1) > crashAt {
+					return errors.New("crash point reached")
+				}
+				return nil
+			}
+			fl.SetHook(dead)
+			fc.SetHook(dead)
+
+			acked := map[string]string{}
+			d, err := Open(o, fl, fc)
+			if err == nil {
+				for i := 0; i < 400; i++ {
+					k := fmt.Sprintf("k%04d", i)
+					v := fmt.Sprintf("value-%04d", i)
+					if perr := d.Put([]byte(k), []byte(v)); perr != nil {
+						break
+					}
+					acked[k] = v
+					if i%41 == 40 {
+						if ferr := d.Flush(); ferr != nil {
+							break
+						}
+					}
+				}
+				d.Crash()
+			}
+
+			local2, err := storage.NewLocal(filepath.Join(dir, "local"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cloud2, err := storage.NewCloud(filepath.Join(dir, "cloud"), o.CloudLatency, o.CloudCost)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o2 := crashOptions(dir)
+			o2.Shards = 4
+			d2, err := Open(o2, local2, cloud2)
+			if err != nil {
+				t.Fatalf("crashAt=%d acked=%d: reopen after crash: %v", crashAt, len(acked), err)
+			}
+			defer d2.Close()
+			for k, v := range acked {
+				got, gerr := d2.Get([]byte(k))
+				if gerr != nil {
+					t.Fatalf("crashAt=%d: acked key %s lost: %v", crashAt, k, gerr)
+				}
+				if string(got) != v {
+					t.Fatalf("crashAt=%d: acked key %s corrupted", crashAt, k)
+				}
+			}
+		})
+	}
+}
+
+func TestShardMarkerMismatch(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenAt(dir, shardTestOptions(PolicyLocalOnly, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, d, "a", "1")
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := OpenAt(dir, shardTestOptions(PolicyLocalOnly, 3)); err == nil {
+		t.Fatal("reopening a 2-shard store with Shards=3 must fail")
+	}
+	if _, err := OpenAt(dir, shardTestOptions(PolicyLocalOnly, 1)); err == nil {
+		t.Fatal("reopening a 2-shard store unsharded must fail")
+	}
+	d2, err := OpenAt(dir, shardTestOptions(PolicyLocalOnly, 2))
+	if err != nil {
+		t.Fatalf("reopening with the recorded shard count: %v", err)
+	}
+	defer d2.Close()
+	if v, err := d2.Get([]byte("a")); err != nil || string(v) != "1" {
+		t.Fatalf("Get(a) = %q, %v", v, err)
+	}
+}
+
+func TestShardingRejectsExistingUnshardedStore(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenAt(dir, testOptions(PolicyLocalOnly))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, d, "a", "1")
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenAt(dir, shardTestOptions(PolicyLocalOnly, 4)); err == nil {
+		t.Fatal("opening an existing unsharded store with Shards=4 must fail")
+	}
+	// The original layout still opens.
+	d2, err := OpenAt(dir, testOptions(PolicyLocalOnly))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if v, err := d2.Get([]byte("a")); err != nil || string(v) != "1" {
+		t.Fatalf("Get(a) = %q, %v", v, err)
+	}
+}
+
+func TestShardedCrossShardBatch(t *testing.T) {
+	d, _ := openShardTest(t, PolicyLocalOnly, 4)
+	defer d.Close()
+
+	b := batch.New()
+	for i := 0; i < 200; i++ {
+		b.Set([]byte(fmt.Sprintf("batch%05d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	if err := d.Write(b); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("batch%05d", i)
+		v, err := d.Get([]byte(k))
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		if want := fmt.Sprintf("v%d", i); string(v) != want {
+			t.Fatalf("%s = %q want %q", k, v, want)
+		}
+	}
+
+	// Mixed sets and cross-shard deletes in one batch.
+	b2 := batch.New()
+	for i := 0; i < 200; i += 2 {
+		b2.Delete([]byte(fmt.Sprintf("batch%05d", i)))
+	}
+	if err := d.Write(b2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		_, err := d.Get([]byte(fmt.Sprintf("batch%05d", i)))
+		if i%2 == 0 && err != ErrNotFound {
+			t.Fatalf("deleted batch%05d still readable (%v)", i, err)
+		}
+		if i%2 == 1 && err != nil {
+			t.Fatalf("batch%05d: %v", i, err)
+		}
+	}
+}
+
+func TestShardedBackupRestore(t *testing.T) {
+	d, _ := openShardTest(t, PolicyMash, 3)
+	defer d.Close()
+	for i := 0; i < 800; i++ {
+		mustPut(t, d, fmt.Sprintf("key%05d", i), fmt.Sprintf("val%05d", i))
+	}
+	if err := d.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	bdir := t.TempDir()
+	if err := d.Backup(bdir); err != nil {
+		t.Fatal(err)
+	}
+
+	o := shardTestOptions(PolicyMash, 3)
+	o.pcacheDir = filepath.Join(bdir, "pcache")
+	local, err := storage.NewLocal(filepath.Join(bdir, "local"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloud, err := storage.NewCloud(filepath.Join(bdir, "cloud"), o.CloudLatency, o.CloudCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(o, local, cloud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for i := 0; i < 800; i++ {
+		k := fmt.Sprintf("key%05d", i)
+		v, err := r.Get([]byte(k))
+		if err != nil {
+			t.Fatalf("restored %s: %v", k, err)
+		}
+		if want := fmt.Sprintf("val%05d", i); string(v) != want {
+			t.Fatalf("restored %s = %q want %q", k, v, want)
+		}
+	}
+}

@@ -252,10 +252,65 @@ type Metrics struct {
 	LocalPutLat LatencySummary
 	CloudGetLat LatencySummary
 	CloudPutLat LatencySummary
+
+	// Shards carries per-shard attribution in a sharded store (one entry
+	// per keyspace shard, in shard order); empty when Shards <= 1.
+	Shards []ShardSummary
+}
+
+// ShardSummary attributes engine activity to one keyspace shard.
+type ShardSummary struct {
+	Shard       int
+	LastSeq     uint64
+	Writes      int64
+	Reads       int64
+	Flushes     int64
+	Compactions int64
+	WriteStalls int64
+	// Files/Bytes describe the shard's live table footprint across levels;
+	// PendingTables is its degraded-mode upload backlog.
+	Files         int
+	Bytes         int64
+	PendingTables int
+	// Persistent-cache outcomes for blocks of this shard's files (from the
+	// shared cache's per-shard buckets; zero for shard indexes past the
+	// bucket range).
+	PCacheHits   int64
+	PCacheMisses int64
+}
+
+// add accumulates o into r. Per-level persistent-cache outcomes are not
+// summed: they come from the shared cache and are filled in once by the
+// caller.
+func (r *ReadAmp) add(o ReadAmp) {
+	r.ProfiledGets += o.ProfiledGets
+	r.TimedGets += o.TimedGets
+	r.MemServes += o.MemServes
+	r.NotFound += o.NotFound
+	for i := range r.LevelProbes {
+		r.LevelProbes[i] += o.LevelProbes[i]
+		r.LevelServes[i] += o.LevelServes[i]
+	}
+	r.Tables += o.Tables
+	r.BloomChecked += o.BloomChecked
+	r.BloomNegative += o.BloomNegative
+	for i := range r.Blocks {
+		r.Blocks[i] += o.Blocks[i]
+		r.Bytes[i] += o.Bytes[i]
+		r.FetchNanos[i] += o.FetchNanos[i]
+		r.IterBlocks[i] += o.IterBlocks[i]
+		r.IterBytes[i] += o.IterBytes[i]
+		r.IterNanos[i] += o.IterNanos[i]
+	}
+	r.TotalNanos += o.TotalNanos
+	r.IterSeeks += o.IterSeeks
 }
 
 // Metrics gathers a summary snapshot.
 func (d *DB) Metrics() Metrics {
+	if d.shards != nil {
+		return d.shardMetrics()
+	}
 	v := d.vs.Current()
 	m := Metrics{
 		Policy:      d.opts.Policy.String(),

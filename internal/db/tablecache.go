@@ -19,7 +19,12 @@ import (
 type tableHandle struct {
 	reader *sstable.Reader
 	tier   storage.Tier
-	ra     raState // sequential-scan readahead detection (cloud tables)
+	// db is the DB that owns the file (the keyspace shard, in a sharded
+	// store): its backends serve block reads and its options shape the
+	// fetch path. The cache itself is shard-agnostic — striped file
+	// numbering keeps file numbers globally unique.
+	db *DB
+	ra raState // sequential-scan readahead detection (cloud tables)
 
 	mu    sync.Mutex
 	refs  int
@@ -45,7 +50,6 @@ func (h *tableHandle) release() {
 // max_open_files analogue) — file descriptors must not scale with the
 // tree size.
 type tableCache struct {
-	db      *DB
 	maxOpen int
 
 	mu     sync.Mutex
@@ -54,12 +58,11 @@ type tableCache struct {
 	lruPos map[uint64]*list.Element
 }
 
-func newTableCache(db *DB, maxOpen int) *tableCache {
+func newTableCache(maxOpen int) *tableCache {
 	if maxOpen < 8 {
 		maxOpen = 8
 	}
 	return &tableCache{
-		db:      db,
 		maxOpen: maxOpen,
 		tables:  map[uint64]*tableHandle{},
 		lru:     list.New(),
@@ -101,8 +104,10 @@ func (tc *tableCache) enforceCapLocked() {
 	}
 }
 
-// get opens (or reuses) the table and returns a referenced handle.
-func (tc *tableCache) get(meta *manifest.FileMetadata) (*tableHandle, error) {
+// get opens (or reuses) the table and returns a referenced handle. d is
+// the DB that owns the file; in a sharded store every shard shares one
+// cache, so the open-table budget is global.
+func (tc *tableCache) get(d *DB, meta *manifest.FileMetadata) (*tableHandle, error) {
 	tc.mu.Lock()
 	if h, ok := tc.tables[meta.Num]; ok {
 		h.mu.Lock()
@@ -115,7 +120,7 @@ func (tc *tableCache) get(meta *manifest.FileMetadata) (*tableHandle, error) {
 	tc.mu.Unlock()
 
 	// Open outside the cache lock: cloud opens can be slow.
-	be := tc.db.backendFor(meta.Tier)
+	be := d.backendFor(meta.Tier)
 	f, err := be.Open(manifest.TableName(meta.Num))
 	if err != nil {
 		return nil, fmt.Errorf("db: opening table %s: %w", meta, err)
@@ -124,7 +129,7 @@ func (tc *tableCache) get(meta *manifest.FileMetadata) (*tableHandle, error) {
 		// Per the placement rule, table metadata lives locally: overlay
 		// the sidecar so Open performs zero cloud I/O. A missing sidecar
 		// (crash window) is rebuilt from the cloud copy.
-		f, err = tc.db.overlayMetadata(f, meta)
+		f, err = d.overlayMetadata(f, meta)
 		if err != nil {
 			f.Close()
 			return nil, err
@@ -135,7 +140,7 @@ func (tc *tableCache) get(meta *manifest.FileMetadata) (*tableHandle, error) {
 		f.Close()
 		return nil, fmt.Errorf("db: reading table %s metadata: %w", meta, err)
 	}
-	h := &tableHandle{reader: r, tier: meta.Tier, refs: 1, cache: tc}
+	h := &tableHandle{reader: r, tier: meta.Tier, db: d, refs: 1, cache: tc}
 	r.SetFetch(tc.fetchFor(h))
 
 	tc.mu.Lock()
@@ -165,7 +170,7 @@ func (tc *tableCache) get(meta *manifest.FileMetadata) (*tableHandle, error) {
 // Each block served is attributed to its source tier on prof; per-stage
 // clock reads happen only for Timed (sampled) profiles.
 func (tc *tableCache) fetchFor(h *tableHandle) sstable.FetchFunc {
-	db := tc.db
+	db := h.db
 	return func(fileNum uint64, hd sstable.Handle, prof *readprof.Profile) ([]byte, error) {
 		ck := cache.Key{FileNum: fileNum, Offset: hd.Offset}
 		if body, ok := db.blockCache.Get(ck); ok {
@@ -232,7 +237,7 @@ func (tc *tableCache) fetchFor(h *tableHandle) sstable.FetchFunc {
 // misses go straight to the backend without admitting anything — a bulk
 // merge must not evict the workload's hot set.
 func (tc *tableCache) compactionFetchFor(h *tableHandle) sstable.FetchFunc {
-	db := tc.db
+	db := h.db
 	return func(fileNum uint64, hd sstable.Handle, _ *readprof.Profile) ([]byte, error) {
 		ck := cache.Key{FileNum: fileNum, Offset: hd.Offset}
 		if body, ok := db.blockCache.Get(ck); ok {

@@ -28,6 +28,14 @@ type Set struct {
 	w           storage.Writer
 	rw          *wal.RecordWriter
 	editsInLog  int
+
+	// stride/strideOff restrict allocations to numbers ≡ strideOff (mod
+	// stride). Keyspace shards stripe one global file-number space this way
+	// (shard i allocates i, i+N, i+2N, ...) so file numbers stay unique
+	// across shards and the shared block/table/persistent caches need no
+	// per-shard key salting. stride 0 or 1 means dense allocation.
+	stride    uint64
+	strideOff uint64
 }
 
 // Open recovers the version state from be, or initializes a fresh store.
@@ -198,6 +206,7 @@ func (s *Set) applyLocked(e *VersionEdit) error {
 	s.current = nv
 	if e.HasNextFileNum && e.NextFileNum > s.nextFileNum {
 		s.nextFileNum = e.NextFileNum
+		s.alignLocked()
 	}
 	if e.HasLastSeq && e.LastSeq > s.lastSeq {
 		s.lastSeq = e.LastSeq
@@ -245,13 +254,41 @@ func (s *Set) Current() *Version {
 	return s.current
 }
 
-// NewFileNum allocates the next file number.
+// NewFileNum allocates the next file number (on this set's stride when
+// SetStride was called).
 func (s *Set) NewFileNum() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	n := s.nextFileNum
-	s.nextFileNum++
+	if s.stride > 1 {
+		s.nextFileNum += s.stride
+	} else {
+		s.nextFileNum++
+	}
 	return n
+}
+
+// SetStride restricts future allocations to file numbers ≡ offset (mod
+// stride), aligning the allocation cursor up to the stride if needed.
+// Called once right after Open, before any allocation. stride ≤ 1 restores
+// dense allocation.
+func (s *Set) SetStride(stride, offset uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stride, s.strideOff = stride, offset
+	s.alignLocked()
+}
+
+// alignLocked advances nextFileNum to the stride's next slot; a freshly
+// initialized or recovered cursor starts dense and must be snapped onto
+// this set's residue class before the first allocation.
+func (s *Set) alignLocked() {
+	if s.stride <= 1 {
+		return
+	}
+	if rem := s.nextFileNum % s.stride; rem != s.strideOff {
+		s.nextFileNum += (s.strideOff + s.stride - rem) % s.stride
+	}
 }
 
 // PeekFileNum returns the next file number without allocating it.

@@ -102,9 +102,9 @@ func (g *GenericLRU) Get(fileNum, blockOff uint64) ([]byte, bool) {
 	data, ok := g.get(fileNum, blockOff)
 	b := g.levels.bucket(fileNum)
 	if ok {
-		g.stats.hit(b)
+		g.stats.hit(b, fileNum)
 	} else {
-		g.stats.miss(b)
+		g.stats.miss(b, fileNum)
 	}
 	return data, ok
 }

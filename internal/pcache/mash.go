@@ -154,9 +154,9 @@ func (c *PCache) Get(fileNum, blockOff uint64) ([]byte, bool) {
 	buf, ok := c.get(fileNum, blockOff)
 	b := c.levels.bucket(fileNum)
 	if ok {
-		c.stats.hit(b)
+		c.stats.hit(b, fileNum)
 	} else {
-		c.stats.miss(b)
+		c.stats.miss(b, fileNum)
 	}
 	return buf, ok
 }

@@ -43,6 +43,10 @@ func LevelBucket(level int) int {
 	return level
 }
 
+// ShardBuckets sizes the per-keyspace-shard hit/miss counters. Buckets
+// 0..15 map to shards directly; the last bucket collects shards ≥ 16.
+const ShardBuckets = 17
+
 // Stats counts cache activity.
 type Stats struct {
 	Hits           atomic.Int64
@@ -55,6 +59,36 @@ type Stats struct {
 	// file's LSM level (see LevelBucket); they sum to Hits/Misses.
 	LevelHits   [LevelBuckets]atomic.Int64
 	LevelMisses [LevelBuckets]atomic.Int64
+	// ShardHits/ShardMisses break the same outcomes down by keyspace shard.
+	// With striped file numbering, a file's owning shard is fileNum mod the
+	// shard count, so no extra per-file registration is needed. All traffic
+	// lands in bucket 0 until SetKeyspaceShards is called.
+	ShardHits   [ShardBuckets]atomic.Int64
+	ShardMisses [ShardBuckets]atomic.Int64
+	// shardMod is the keyspace shard count (0 or 1 = unsharded).
+	shardMod atomic.Uint64
+}
+
+// SetKeyspaceShards tells the stats how many keyspace shards stripe the
+// file-number space, enabling per-shard attribution of Get outcomes.
+func (s *Stats) SetKeyspaceShards(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.shardMod.Store(uint64(n))
+}
+
+// ShardBucket maps a file number to its keyspace-shard counter bucket.
+func (s *Stats) ShardBucket(fileNum uint64) int {
+	mod := s.shardMod.Load()
+	if mod <= 1 {
+		return 0
+	}
+	b := int(fileNum % mod)
+	if b >= ShardBuckets-1 {
+		return ShardBuckets - 1
+	}
+	return b
 }
 
 // HitRatio returns hits/(hits+misses).
@@ -66,15 +100,18 @@ func (s *Stats) HitRatio() float64 {
 	return float64(h) / float64(h+m)
 }
 
-// hit/miss record one Get outcome against the level bucket b.
-func (s *Stats) hit(b int) {
+// hit/miss record one Get outcome for fileNum against the level bucket b
+// and the file's keyspace-shard bucket.
+func (s *Stats) hit(b int, fileNum uint64) {
 	s.Hits.Add(1)
 	s.LevelHits[b].Add(1)
+	s.ShardHits[s.ShardBucket(fileNum)].Add(1)
 }
 
-func (s *Stats) miss(b int) {
+func (s *Stats) miss(b int, fileNum uint64) {
 	s.Misses.Add(1)
 	s.LevelMisses[b].Add(1)
+	s.ShardMisses[s.ShardBucket(fileNum)].Add(1)
 }
 
 // BlockCache is the interface the DB read path uses for persistent
@@ -129,8 +166,8 @@ type Null struct{ stats Stats }
 func NewNull() *Null { return &Null{} }
 
 // Get always misses.
-func (n *Null) Get(uint64, uint64) ([]byte, bool) {
-	n.stats.miss(LevelUnknown)
+func (n *Null) Get(fileNum, _ uint64) ([]byte, bool) {
+	n.stats.miss(LevelUnknown, fileNum)
 	return nil, false
 }
 

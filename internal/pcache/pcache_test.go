@@ -349,3 +349,48 @@ func TestHitRatioStats(t *testing.T) {
 		}
 	})
 }
+
+// TestShardBucketAttribution checks that Get outcomes land in the
+// keyspace-shard bucket implied by striped file numbering (shard =
+// fileNum mod shard count), with shards >= 16 folded into the overflow
+// bucket and everything in bucket 0 while unsharded.
+func TestShardBucketAttribution(t *testing.T) {
+	c := newMash(t, 1<<20, 64<<10)
+	s := c.Stats()
+
+	// Unsharded: all traffic is bucket 0 regardless of file number.
+	c.Put(7, 0, []byte("unsharded"))
+	c.Get(7, 0)
+	if got := s.ShardHits[0].Load(); got != 1 {
+		t.Fatalf("unsharded hit bucket 0 = %d, want 1", got)
+	}
+
+	s.SetKeyspaceShards(4)
+	var baseHits, baseMisses [ShardBuckets]int64
+	for b := 0; b < ShardBuckets; b++ {
+		baseHits[b] = s.ShardHits[b].Load()
+		baseMisses[b] = s.ShardMisses[b].Load()
+	}
+	for file := uint64(0); file < 8; file++ {
+		c.Put(file+100, 0, []byte("sharded")) // fileNum 100..107 → shards 0..3 twice
+		c.Get(file+100, 0)
+		c.Get(file+100, 4096) // never inserted: a miss
+	}
+	// Files 100..107 stripe two files onto each of the 4 shards: one hit
+	// and one miss per file means 2 hits and 2 misses per shard bucket.
+	for shard := 0; shard < 4; shard++ {
+		gotHits := s.ShardHits[shard].Load() - baseHits[shard]
+		gotMisses := s.ShardMisses[shard].Load() - baseMisses[shard]
+		if gotHits != 2 || gotMisses != 2 {
+			t.Fatalf("shard %d: hits=%d misses=%d, want 2/2", shard, gotHits, gotMisses)
+		}
+	}
+
+	// Shard counts past the bucket space collapse into the overflow bucket.
+	s.SetKeyspaceShards(64)
+	before := s.ShardMisses[ShardBuckets-1].Load()
+	c.Get(163, 0) // 163 mod 64 = 35 ≥ 16 → overflow
+	if got := s.ShardMisses[ShardBuckets-1].Load(); got != before+1 {
+		t.Fatalf("overflow bucket misses = %d, want %d", got, before+1)
+	}
+}

@@ -39,24 +39,35 @@ type List struct {
 	rngState atomic.Uint64
 }
 
+// seedCounter hands every list a distinct RNG seed. A fixed seed would make
+// all lists (one memtable per keyspace shard, rotated on every flush) draw
+// identical height sequences, correlating tower shapes across shards.
+var seedCounter atomic.Uint64
+
 // New returns an empty skiplist allocating from a.
 func New(a *arena.Arena) *List {
 	h := &node{next: make([]atomic.Pointer[node], maxHeight)}
 	l := &List{head: h, arena: a}
-	l.rngState.Store(0xdecafbad)
+	l.rngState.Store(splitmix64(seedCounter.Add(0x9E3779B97F4A7C15)))
 	l.height.Store(1)
 	return l
 }
 
-func (l *List) randomHeight() int {
-	// splitmix64 over an atomic counter: each Add claims a unique state and
-	// the finalizer scrambles it into an independent uniform draw.
-	x := l.rngState.Add(0x9E3779B97F4A7C15)
+// splitmix64 scrambles x into an independent uniform draw (the splitmix64
+// finalizer).
+func splitmix64(x uint64) uint64 {
 	x ^= x >> 30
 	x *= 0xBF58476D1CE4E5B9
 	x ^= x >> 27
 	x *= 0x94D049BB133111EB
 	x ^= x >> 31
+	return x
+}
+
+func (l *List) randomHeight() int {
+	// splitmix64 over an atomic counter: each Add claims a unique state and
+	// the finalizer scrambles it into an independent uniform draw.
+	x := splitmix64(l.rngState.Add(0x9E3779B97F4A7C15))
 	h := 1
 	for h < maxHeight && x&(branching-1) == 0 {
 		h++

@@ -179,3 +179,53 @@ func TestConcurrentReadDuringInsert(t *testing.T) {
 		t.Fatalf("len = %d want %d", l.Len(), n)
 	}
 }
+
+func TestIndependentHeightStreams(t *testing.T) {
+	// Two lists must not replay the same height sequence: identical streams
+	// would correlate tower shapes across every memtable (and every keyspace
+	// shard). Compare the first draws of freshly built lists.
+	a, b := New(arena.New()), New(arena.New())
+	same := true
+	for i := 0; i < 64; i++ {
+		if a.randomHeight() != b.randomHeight() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("two lists produced identical height sequences")
+	}
+}
+
+func TestHeightDistribution(t *testing.T) {
+	// Heights follow a geometric distribution with promotion probability
+	// 1/branching: P(h=1) = 3/4, and E[h] = 1/(1-1/4) = 4/3.
+	l := New(arena.New())
+	const n = 100000
+	counts := make([]int, maxHeight+1)
+	sum := 0
+	for i := 0; i < n; i++ {
+		h := l.randomHeight()
+		if h < 1 || h > maxHeight {
+			t.Fatalf("height %d out of range [1, %d]", h, maxHeight)
+		}
+		counts[h]++
+		sum += h
+	}
+	if f := float64(counts[1]) / n; f < 0.73 || f > 0.77 {
+		t.Errorf("P(h=1) = %.4f, want ~0.75", f)
+	}
+	if mean := float64(sum) / n; mean < 1.30 || mean > 1.37 {
+		t.Errorf("mean height = %.4f, want ~1.333", mean)
+	}
+	// Each extra level should be roughly 4x rarer than the previous.
+	for h := 2; h <= 4; h++ {
+		if counts[h] == 0 {
+			t.Fatalf("no draws of height %d in %d samples", h, n)
+		}
+		ratio := float64(counts[h-1]) / float64(counts[h])
+		if ratio < 3.2 || ratio > 4.9 {
+			t.Errorf("count[%d]/count[%d] = %.2f, want ~4", h-1, h, ratio)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package storage
+
+import "strings"
+
+// Prefixed exposes a sub-namespace of a backend: every object name is
+// transparently prefixed (e.g. "shard-003/") on the way in and stripped on
+// the way out. Keyspace shards each root their WAL, manifest, tables and
+// sidecars in their own prefix of the same physical backend, so one local
+// directory (or one cloud bucket) hosts all shards without any shard
+// knowing about the others. Stats remain the wrapped backend's — I/O
+// counters are per device, not per namespace.
+type Prefixed struct {
+	b      Backend
+	prefix string
+}
+
+// NewPrefix wraps b so all names live under prefix. A trailing separator is
+// appended if missing so prefixes always end at a path boundary.
+func NewPrefix(b Backend, prefix string) *Prefixed {
+	if prefix != "" && !strings.HasSuffix(prefix, "/") {
+		prefix += "/"
+	}
+	return &Prefixed{b: b, prefix: prefix}
+}
+
+// Unwrap returns the wrapped backend (for BaseBackend).
+func (p *Prefixed) Unwrap() Backend { return p.b }
+
+// Create implements Backend.
+func (p *Prefixed) Create(name string) (Writer, error) { return p.b.Create(p.prefix + name) }
+
+// Open implements Backend.
+func (p *Prefixed) Open(name string) (Reader, error) { return p.b.Open(p.prefix + name) }
+
+// ReadAll implements Backend.
+func (p *Prefixed) ReadAll(name string) ([]byte, error) { return p.b.ReadAll(p.prefix + name) }
+
+// Delete implements Backend.
+func (p *Prefixed) Delete(name string) error { return p.b.Delete(p.prefix + name) }
+
+// List implements Backend; returned names have the namespace prefix
+// stripped so callers see the same relative names they wrote.
+func (p *Prefixed) List(prefix string) ([]string, error) {
+	names, err := p.b.List(p.prefix + prefix)
+	if err != nil {
+		return nil, err
+	}
+	out := names[:0]
+	for _, n := range names {
+		if rel, ok := strings.CutPrefix(n, p.prefix); ok {
+			out = append(out, rel)
+		}
+	}
+	return out, nil
+}
+
+// Size implements Backend.
+func (p *Prefixed) Size(name string) (int64, error) { return p.b.Size(p.prefix + name) }
+
+// Rename implements Backend.
+func (p *Prefixed) Rename(oldname, newname string) error {
+	return p.b.Rename(p.prefix+oldname, p.prefix+newname)
+}
+
+// Tier implements Backend.
+func (p *Prefixed) Tier() Tier { return p.b.Tier() }
+
+// Stats implements Backend, delegating to the wrapped backend: request
+// counters describe the physical device shared by every namespace on it.
+func (p *Prefixed) Stats() *Stats { return p.b.Stats() }
