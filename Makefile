@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench shardcheck check
+.PHONY: all build test race vet bench shardcheck vitalscheck check
 
 all: build
 
@@ -27,4 +27,9 @@ bench:
 shardcheck:
 	$(GO) test -race -count=1 -run 'Shard' ./internal/db ./internal/cache ./internal/pcache
 
-check: build vet test race shardcheck
+# Vitals/observability suite: the sampler, the stats read surfaces, and the
+# exposition endpoints are all concurrent with the engine — race-run them.
+vitalscheck:
+	$(GO) test -race -count=1 -run 'Vitals|Dump|Stats|LevelWriteAmp|Derive|Ring|Sampler|Windows|Prom' ./internal/db ./internal/vitals ./internal/obs
+
+check: build vet test race shardcheck vitalscheck

@@ -14,6 +14,7 @@
 //	mashctl trace    -f trace.jsonl    # summarize an engine event trace
 //	mashctl profile  -addr host:port   # read-path attribution from a live /metrics
 //	mashctl profile  -f trace.jsonl    # slow-read records captured in a trace
+//	mashctl top      -addr host:port   # live refreshing dashboard from /vitals
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"rocksmash/internal/keys"
 	"rocksmash/internal/manifest"
@@ -43,8 +45,16 @@ func main() {
 	num := fs.Uint64("num", 0, "table file number (sst command)")
 	traceFile := fs.String("f", "", "trace file to summarize (trace/profile commands; default <db>/trace.jsonl)")
 	top := fs.Int("top", 10, "number of slowest events to list (trace/profile commands)")
-	addr := fs.String("addr", "", "live metrics endpoint to scrape (profile command, e.g. 127.0.0.1:8080)")
+	addr := fs.String("addr", "", "live metrics endpoint to scrape (top/profile commands, e.g. 127.0.0.1:8080)")
+	interval := fs.Duration("interval", time.Second, "dashboard refresh period (top command)")
+	iters := fs.Int("n", 0, "number of dashboard refreshes, 0 = until interrupted (top command)")
+	once := fs.Bool("once", false, "render a single dashboard frame and exit (top command)")
 	fs.Parse(os.Args[2:])
+
+	if cmd == "top" {
+		cmdTop(*addr, *interval, *iters, *once)
+		return
+	}
 
 	if cmd == "profile" {
 		path := *traceFile
@@ -148,7 +158,7 @@ func eachShard(local storage.Backend, shards int, fn func(sh storage.Backend, pr
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mashctl {manifest|sst|wal|pcache|cost|verify|trace|profile} -db DIR [-num N] [-f TRACE] [-top N] [-addr HOST:PORT]")
+	fmt.Fprintln(os.Stderr, "usage: mashctl {manifest|sst|wal|pcache|cost|verify|trace|profile|top} -db DIR [-num N] [-f TRACE] [-top N] [-addr HOST:PORT] [-interval D] [-n N] [-once]")
 	os.Exit(2)
 }
 

@@ -78,7 +78,8 @@ func main() {
 		shards     = flag.Int("shards", 1, "hash-partition the keyspace into this many independent sub-LSMs")
 		valueSize  = flag.Int("valuesize", 400, "value size in bytes")
 		seed       = flag.Int64("seed", 42, "workload RNG seed")
-		metrics    = flag.String("metrics-addr", "", "serve live metrics over HTTP on this address (/metrics, /debug/vars, /stats, /debug/pprof)")
+		metrics    = flag.String("metrics-addr", "", "serve live metrics over HTTP on this address (/metrics, /debug/vars, /stats, /vitals, /debug/pprof)")
+		vitalsEach = flag.Duration("vitals", 0, "sample time-series vitals at this interval (0 = off; view with `mashctl top` via -metrics-addr)")
 		profSample = flag.Int("profile-sample", 0, "time 1-in-N reads for the read-path profiler (0 = engine default, 1 = every read, -1 = off)")
 		tracePath  = flag.String("trace", "", "append engine events as JSON lines to this file (see `mashctl trace`)")
 		dumpStats  = flag.Bool("stats", false, "print the DumpStats report after the run")
@@ -118,6 +119,7 @@ func main() {
 	opts.TracePath = *tracePath
 	opts.ReadProfileSampleRate = *profSample
 	opts.Shards = *shards
+	opts.VitalsInterval = *vitalsEach
 	var d *db.DB
 	var faulty *storage.Faulty
 	if *faultGet > 0 || *faultPut > 0 || *outage != "" {

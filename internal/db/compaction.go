@@ -367,6 +367,14 @@ func (d *DB) doCompaction(c *compaction) error {
 	d.stats.Compactions.Add(1)
 	d.stats.CompactBytesIn.Add(int64(sumSizes(all)))
 	d.stats.CompactBytesOut.Add(int64(sumBuilt(outputs)))
+	// Per-level attribution, indexed by source level (the target is always
+	// c.level+1): source inputs and target-overlap inputs are recorded
+	// separately so the two partitions sum exactly to the store totals.
+	lc := &d.stats.LevelCompact[c.level]
+	lc.Count.Add(1)
+	lc.BytesInSource.Add(int64(sumSizes(c.inputs)))
+	lc.BytesInTarget.Add(int64(sumSizes(c.overlap)))
+	lc.BytesOut.Add(int64(sumBuilt(outputs)))
 	dur := time.Since(compactStart)
 	d.lat.compact.Record(dur)
 	if observed {

@@ -17,6 +17,7 @@ import (
 	"rocksmash/internal/readprof"
 	"rocksmash/internal/retry"
 	"rocksmash/internal/storage"
+	"rocksmash/internal/vitals"
 	"rocksmash/internal/wal"
 )
 
@@ -130,6 +131,10 @@ type DB struct {
 	// dumpMu guards lastDump, the windowed-delta baseline for DumpStats.
 	dumpMu   sync.Mutex
 	lastDump dumpWindow
+
+	// vit is the time-series telemetry sampler (Options.VitalsInterval);
+	// nil when vitals are off. In a sharded store only the facade runs one.
+	vit *vitals.Sampler
 
 	recovery RecoveryReport
 }
@@ -287,6 +292,11 @@ func Open(opts Options, local storage.Backend, cloud storage.Backend) (*DB, erro
 	d.cleanOrphans()
 	go d.backgroundLoop()
 	go d.drainLoop()
+	// Keyspace shards never sample on their own: the facade runs the one
+	// sampler over the aggregated cross-shard view.
+	if !d.isShard() {
+		d.startVitals()
+	}
 	return d, nil
 }
 
@@ -667,51 +677,63 @@ func (d *DB) getAt(key []byte, seq uint64, prof *readprof.Profile) ([]byte, erro
 		}
 	}
 
-	v := d.vs.Current()
-	var (
-		value []byte
-		state int // 0 = not found, 1 = live, 2 = tombstone
-	)
-	err := v.FilesFor(key, func(level int, f *manifest.FileMetadata) (bool, error) {
-		if prof != nil {
-			prof.ProbeLevel(level)
-		}
-		if seq < f.MinSeq && level > 0 {
-			// Nothing in this file is visible at the snapshot.
-			return false, nil
-		}
-		h, err := d.tables.get(d, f)
+	// The version walk does not pin the version: a concurrent compaction
+	// may install a successor and delete its input tables while we hold
+	// the old file list. Losing that race surfaces as a storage not-found
+	// from the table open; re-walking the fresh version (which no longer
+	// references the deleted table) is always correct at the same seq —
+	// data only moves down the tree, never out of it. Bounded so a
+	// genuinely missing object still fails loudly.
+	for attempt := 0; ; attempt++ {
+		v := d.vs.Current()
+		var (
+			value []byte
+			state int // 0 = not found, 1 = live, 2 = tombstone
+		)
+		err := v.FilesFor(key, func(level int, f *manifest.FileMetadata) (bool, error) {
+			if prof != nil {
+				prof.ProbeLevel(level)
+			}
+			if seq < f.MinSeq && level > 0 {
+				// Nothing in this file is visible at the snapshot.
+				return false, nil
+			}
+			h, err := d.tables.get(d, f)
+			if err != nil {
+				return false, err
+			}
+			defer h.release()
+			if prof != nil {
+				prof.Tables++
+			}
+			val, found, live, err := h.reader.GetProf(key, seq, prof)
+			if err != nil {
+				return false, err
+			}
+			if !found {
+				return false, nil
+			}
+			if prof != nil {
+				prof.LevelServed = int8(level)
+			}
+			if live {
+				value, state = val, 1
+			} else {
+				state = 2
+			}
+			return true, nil
+		})
 		if err != nil {
-			return false, err
+			if errors.Is(err, storage.ErrNotFound) && attempt < 3 {
+				continue
+			}
+			return nil, err
 		}
-		defer h.release()
-		if prof != nil {
-			prof.Tables++
+		if state == 1 {
+			return value, nil
 		}
-		val, found, live, err := h.reader.GetProf(key, seq, prof)
-		if err != nil {
-			return false, err
-		}
-		if !found {
-			return false, nil
-		}
-		if prof != nil {
-			prof.LevelServed = int8(level)
-		}
-		if live {
-			value, state = val, 1
-		} else {
-			state = 2
-		}
-		return true, nil
-	})
-	if err != nil {
-		return nil, err
+		return nil, ErrNotFound
 	}
-	if state == 1 {
-		return value, nil
-	}
-	return nil, ErrNotFound
 }
 
 // Has reports whether key exists.
@@ -933,7 +955,9 @@ func (d *DB) Close() error {
 	if !d.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	// Stop background work (the flush/compaction loop and the drainer).
+	// Stop background work (the vitals sampler, the flush/compaction loop,
+	// and the drainer).
+	d.stopVitals()
 	close(d.bgQuit)
 	<-d.bgDone
 	<-d.drainDone
@@ -1012,6 +1036,7 @@ func (d *DB) Crash() {
 	if !d.closed.CompareAndSwap(false, true) {
 		return
 	}
+	d.stopVitals()
 	close(d.bgQuit)
 	<-d.bgDone
 	<-d.drainDone

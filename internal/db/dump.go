@@ -48,6 +48,16 @@ func windowOf(m Metrics, at time.Time) dumpWindow {
 	}
 }
 
+// hasLevelCompactions reports whether any level has compacted yet.
+func hasLevelCompactions(lws []LevelWriteAmp) bool {
+	for _, lw := range lws {
+		if lw.Count > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // humanBytes renders a byte count with a binary-unit suffix.
 func humanBytes(n int64) string {
 	switch {
@@ -129,6 +139,24 @@ func (d *DB) DumpStats() string {
 		m.UploadRetries, m.UploadRetries-prev.uploadRetries)
 	fmt.Fprintf(&b, "Pipeline: prefetch %d spans/%d blocks, readahead %d spans/%d blocks\n",
 		m.PrefetchSpans, m.PrefetchBlocks, m.ReadaheadSpans, m.ReadaheadBlocks)
+	fmt.Fprintf(&b, "Write amp: %.2fx cumulative (flush %s + compact-out %s / user %s)\n",
+		m.WriteAmp(), humanBytes(m.FlushBytes), humanBytes(m.CompactBytesOut),
+		humanBytes(m.BytesWritten))
+	fmt.Fprintf(&b, "Compaction debt: %s, space amp %.2fx\n",
+		humanBytes(m.CompactionDebt), m.SpaceAmp)
+	if hasLevelCompactions(m.LevelWriteAmp) {
+		fmt.Fprintf(&b, "%-8s %8s %12s %12s %12s %8s\n",
+			"move", "count", "in-src", "in-tgt", "out", "w-amp")
+		for _, lw := range m.LevelWriteAmp {
+			if lw.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "L%d->L%-3d %8d %12s %12s %12s %7.2fx\n",
+				lw.Level, lw.Target, lw.Count,
+				humanBytes(lw.BytesInSource), humanBytes(lw.BytesInTarget),
+				humanBytes(lw.BytesOut), lw.WriteAmp())
+		}
+	}
 
 	if m.BreakerState != "" {
 		b.WriteString("\n** Robustness **\n")

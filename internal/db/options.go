@@ -172,6 +172,19 @@ type Options struct {
 	// recovered state.
 	DisableCommitPipeline bool
 
+	// VitalsInterval enables continuous time-series telemetry: a background
+	// sampler snapshots Metrics() into a fixed-size lock-free ring at this
+	// period and derives windowed rates (ops/s, bytes/s per tier, cache hit
+	// ratios, write-amp, $/hour — see internal/vitals and DB.Vitals). 0
+	// (the default) disables sampling entirely: no goroutine starts and the
+	// hot paths are untouched. In a sharded store one sampler runs on the
+	// facade, snapshotting the aggregated cross-shard view.
+	VitalsInterval time.Duration
+	// VitalsHistory is the sample ring capacity (how much history /vitals
+	// and `mashctl top` can see). 0 means vitals.DefaultHistory (720 — 12
+	// minutes at a 1s interval).
+	VitalsHistory int
+
 	// ReadProfileSampleRate selects 1-in-N Gets for full (timed) read-path
 	// profiling; the cheap counter core (levels probed, tables touched,
 	// bloom outcomes, blocks by tier) is recorded for every Get regardless.
@@ -306,6 +319,12 @@ func (o Options) sanitize() Options {
 	o.CloudRetry = o.CloudRetry.Sanitize()
 	if o.PendingDrainInterval <= 0 {
 		o.PendingDrainInterval = 200 * time.Millisecond
+	}
+	if o.VitalsInterval < 0 {
+		o.VitalsInterval = 0
+	}
+	if o.VitalsHistory < 0 {
+		o.VitalsHistory = 0 // NewSampler substitutes vitals.DefaultHistory
 	}
 	if o.Shards < 1 {
 		o.Shards = 1

@@ -237,6 +237,10 @@ func openSharded(opts Options, local, cloud storage.Backend) (*DB, error) {
 	}
 	d.recovery.Parallelism = opts.RecoveryParallelism
 	d.recovery.Duration = time.Since(start)
+	// One sampler for the whole store, on the facade: its snapshot closure
+	// routes through shardMetrics, so every sample is the cross-shard view.
+	// (Shards skip startVitals themselves — see Open.)
+	d.startVitals()
 	return d, nil
 }
 
@@ -322,6 +326,7 @@ func (d *DB) closeSharded() error {
 	if !d.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	d.stopVitals()
 	firstErr := d.eachShard(func(sh *DB) error { return sh.Close() })
 	if err := d.pcache.Close(); err != nil && firstErr == nil {
 		firstErr = err
@@ -340,6 +345,7 @@ func (d *DB) crashSharded() {
 	if !d.closed.CompareAndSwap(false, true) {
 		return
 	}
+	d.stopVitals()
 	var wg sync.WaitGroup
 	for _, sh := range d.shards {
 		wg.Add(1)
@@ -377,6 +383,10 @@ func (d *DB) shardMetrics() Metrics {
 	}
 	m.LevelFiles = make([]int, manifest.NumLevels)
 	m.LevelBytes = make([]uint64, manifest.NumLevels)
+	m.LevelWriteAmp = make([]LevelWriteAmp, manifest.NumLevels)
+	for l := range m.LevelWriteAmp {
+		m.LevelWriteAmp[l] = LevelWriteAmp{Level: l, Target: l + 1}
+	}
 	m.Shards = make([]ShardSummary, len(d.shards))
 	pcs := d.pcache.Stats()
 
@@ -438,9 +448,25 @@ func (d *DB) shardMetrics() Metrics {
 		m.DeferredDeletes += sh.stats.DeferredDeletes.Load()
 		m.CompactionsDeferred += sh.stats.CompactionsDeferred.Load()
 
+		// Per-level compaction attribution and debt sum across shards: each
+		// sub-LSM compacts its own tree, so the store-wide level picture is
+		// the union.
+		for l := range sh.stats.LevelCompact {
+			lc := &sh.stats.LevelCompact[l]
+			m.LevelWriteAmp[l].Count += lc.Count.Load()
+			m.LevelWriteAmp[l].BytesInSource += lc.BytesInSource.Load()
+			m.LevelWriteAmp[l].BytesInTarget += lc.BytesInTarget.Load()
+			m.LevelWriteAmp[l].BytesOut += lc.BytesOut.Load()
+		}
+		m.CompactionDebt += sh.compactionDebt(v)
+
 		m.ReadAmp.add(sh.readAgg.snapshot())
 		m.Shards[i] = s
 	}
+	m.SpaceAmp = spaceAmpOf(m.LevelBytes)
+	m.BlockCacheHits, m.BlockCacheMisses = d.blockCache.Counters()
+	m.PCacheHits = pcs.Hits.Load()
+	m.PCacheMisses = pcs.Misses.Load()
 
 	// Every shard observes every transition of the shared breaker, so the
 	// trip history is any one shard's count, not a sum.

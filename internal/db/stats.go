@@ -48,6 +48,21 @@ type Stats struct {
 	PrefetchBlocks  atomic.Int64
 	ReadaheadSpans  atomic.Int64
 	ReadaheadBlocks atomic.Int64
+
+	// LevelCompact attributes compaction traffic to its source level: every
+	// compaction moves level → level+1, so indexing by the source level
+	// captures the full source→target pair. The per-level counters
+	// partition the store totals exactly: Σ(BytesInSource+BytesInTarget)
+	// == CompactBytesIn and Σ BytesOut == CompactBytesOut.
+	LevelCompact [manifest.NumLevels]LevelCompactCounters
+}
+
+// LevelCompactCounters are the raw per-source-level compaction counters.
+type LevelCompactCounters struct {
+	Count         atomic.Int64 // compactions picked at this source level
+	BytesInSource atomic.Int64 // bytes read from the source level's inputs
+	BytesInTarget atomic.Int64 // bytes read from overlapping target files
+	BytesOut      atomic.Int64 // bytes written to the target level
 }
 
 // RecoveryReport describes what the last Open had to do to recover.
@@ -185,6 +200,46 @@ func (r ReadAmp) BytesTotal() int64 {
 	return n
 }
 
+// LevelWriteAmp attributes compaction traffic to one source→target level
+// pair (Target is always Level+1). WriteAmp is the level's classic
+// amplification ratio: bytes written to the target per source byte moved.
+type LevelWriteAmp struct {
+	Level         int   `json:"level"`
+	Target        int   `json:"target"`
+	Count         int64 `json:"count"`
+	BytesInSource int64 `json:"bytes_in_source"`
+	BytesInTarget int64 `json:"bytes_in_target"`
+	BytesOut      int64 `json:"bytes_out"`
+}
+
+// WriteAmp is the level's write amplification: bytes written per source
+// byte compacted away (0 before any compaction at this level).
+func (l LevelWriteAmp) WriteAmp() float64 {
+	if l.BytesInSource == 0 {
+		return 0
+	}
+	return float64(l.BytesOut) / float64(l.BytesInSource)
+}
+
+// levelWriteAmp snapshots the per-level compaction counters, always one
+// entry per level (zero-valued where nothing compacted) so consumers can
+// index by level.
+func levelWriteAmp(s *Stats) []LevelWriteAmp {
+	out := make([]LevelWriteAmp, manifest.NumLevels)
+	for l := range out {
+		lc := &s.LevelCompact[l]
+		out[l] = LevelWriteAmp{
+			Level:         l,
+			Target:        l + 1,
+			Count:         lc.Count.Load(),
+			BytesInSource: lc.BytesInSource.Load(),
+			BytesInTarget: lc.BytesInTarget.Load(),
+			BytesOut:      lc.BytesOut.Load(),
+		}
+	}
+	return out
+}
+
 // Metrics is a point-in-time summary for reporting.
 type Metrics struct {
 	Policy      string
@@ -223,6 +278,22 @@ type Metrics struct {
 	PrefetchBlocks  int64
 	ReadaheadSpans  int64
 	ReadaheadBlocks int64
+
+	// Per-source-level compaction attribution (always manifest.NumLevels
+	// entries; see LevelWriteAmp), plus the derived health gauges:
+	// CompactionDebt estimates the bytes the compactor must move to bring
+	// every level back under its target; SpaceAmp is total table bytes
+	// over the deepest non-empty level's bytes (1.0 = no duplication).
+	LevelWriteAmp  []LevelWriteAmp
+	CompactionDebt int64
+	SpaceAmp       float64
+
+	// Raw cache outcome counts (the ratios above are cumulative; counts
+	// let consumers window them over time).
+	BlockCacheHits   int64
+	BlockCacheMisses int64
+	PCacheHits       int64
+	PCacheMisses     int64
 
 	// Robustness state: the cloud circuit breaker's position and history,
 	// and the degraded-mode backlog of tables awaiting upload.
@@ -306,6 +377,52 @@ func (r *ReadAmp) add(o ReadAmp) {
 	r.IterSeeks += o.IterSeeks
 }
 
+// WriteAmp is the store's exact cumulative write amplification: physical
+// table bytes written (flush outputs plus compaction outputs) per user
+// byte committed. Returns 0 before any user write.
+func (m Metrics) WriteAmp() float64 {
+	if m.BytesWritten == 0 {
+		return 0
+	}
+	return float64(m.FlushBytes+m.CompactBytesOut) / float64(m.BytesWritten)
+}
+
+// compactionDebt estimates the bytes compaction must move to bring the
+// tree back to its shape invariants: all of L0 once it reaches the
+// compaction trigger, plus each deeper level's overage past its size
+// target.
+func (d *DB) compactionDebt(v *manifest.Version) int64 {
+	var debt int64
+	if len(v.Levels[0]) >= d.opts.L0CompactTrigger {
+		debt += int64(v.LevelSize(0))
+	}
+	for l := 1; l < manifest.NumLevels-1; l++ {
+		if over := int64(v.LevelSize(l)) - d.opts.levelTargetBytes(l); over > 0 {
+			debt += over
+		}
+	}
+	return debt
+}
+
+// spaceAmpOf estimates space amplification from a level-bytes profile:
+// total table bytes over the deepest non-empty level's bytes. The deepest
+// level approximates the dataset's true size (everything above it is
+// yet-to-merge duplication), so 1.0 means no duplication. Returns 0 for
+// an empty tree.
+func spaceAmpOf(levelBytes []uint64) float64 {
+	var total, deepest uint64
+	for _, b := range levelBytes {
+		total += b
+		if b > 0 {
+			deepest = b
+		}
+	}
+	if deepest == 0 {
+		return 0
+	}
+	return float64(total) / float64(deepest)
+}
+
 // Metrics gathers a summary snapshot.
 func (d *DB) Metrics() Metrics {
 	if d.shards != nil {
@@ -363,6 +480,10 @@ func (d *DB) Metrics() Metrics {
 		m.LevelFiles = append(m.LevelFiles, len(v.Levels[l]))
 		m.LevelBytes = append(m.LevelBytes, v.LevelSize(l))
 	}
+	m.LevelWriteAmp = levelWriteAmp(&d.stats)
+	m.CompactionDebt = d.compactionDebt(v)
+	m.SpaceAmp = spaceAmpOf(m.LevelBytes)
+	m.BlockCacheHits, m.BlockCacheMisses = d.blockCache.Counters()
 	v.AllFiles(func(level int, f *manifest.FileMetadata) {
 		if f.Tier == storage.TierCloud {
 			m.CloudBytes += int64(f.Size)
@@ -386,6 +507,8 @@ func (d *DB) Metrics() Metrics {
 	}
 	m.ReadAmp = d.readAgg.snapshot()
 	pcs := d.pcache.Stats()
+	m.PCacheHits = pcs.Hits.Load()
+	m.PCacheMisses = pcs.Misses.Load()
 	for b := 0; b < pcache.LevelBuckets; b++ {
 		m.ReadAmp.PCacheLevelHits[b] = pcs.LevelHits[b].Load()
 		m.ReadAmp.PCacheLevelMisses[b] = pcs.LevelMisses[b].Load()

@@ -1,7 +1,8 @@
 // Package obs exposes a running DB's metrics over HTTP for the command-line
 // tools: Metrics() as JSON under /debug/vars (expvar wire format), the
 // DumpStats() text report under /stats, Prometheus text exposition under
-// /metrics, and net/http/pprof profiling under /debug/pprof/.
+// /metrics, the vitals time-series (sample ring + latest derived window)
+// as JSON under /vitals, and net/http/pprof profiling under /debug/pprof/.
 //
 // Every handler is scoped to the DB passed to Serve/NewMux — two DBs in one
 // process (tests, multi-DB tools) each serve their own numbers, and Serve
@@ -20,6 +21,7 @@ import (
 	"rocksmash/internal/db"
 	"rocksmash/internal/pcache"
 	"rocksmash/internal/readprof"
+	"rocksmash/internal/vitals"
 )
 
 // Serve starts an HTTP listener on addr (e.g. ":8080"; ":0" picks a free
@@ -28,6 +30,8 @@ import (
 //	/debug/vars   expvar-format JSON with a "rocksmash" Metrics() snapshot
 //	/stats        the DumpStats() multi-line text report
 //	/metrics      Prometheus text exposition
+//	/vitals       vitals time-series JSON (ring dump + latest window);
+//	              {"enabled": false} when Options.VitalsInterval is 0
 //	/debug/pprof  runtime profiling (net/http/pprof)
 //
 // The returned server's Addr field holds the bound address (useful with
@@ -70,6 +74,23 @@ func NewMux(d *db.DB) *http.ServeMux {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		WriteProm(w, d.Metrics())
+		if s := d.Vitals(); s != nil {
+			if win, ok := s.LatestWindow(); ok {
+				WritePromVitals(w, win)
+			}
+		}
+	})
+	mux.HandleFunc("/vitals", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		var rep vitals.Report
+		if s := d.Vitals(); s != nil {
+			rep = s.Report()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -195,13 +216,138 @@ func WriteProm(w io.Writer, m db.Metrics) {
 	p.family("rocksmash_cloud_bytes", "gauge", "Table bytes on the cloud tier.")
 	p.sample("rocksmash_cloud_bytes", "", float64(m.CloudBytes))
 
+	// Per-level compaction attribution and the derived health gauges.
+	if len(m.LevelWriteAmp) > 0 {
+		p.family("rocksmash_level_compactions_total", "counter",
+			"Compactions picked at each source level.")
+		for _, lw := range m.LevelWriteAmp {
+			p.sample("rocksmash_level_compactions_total", promLevel(lw.Level), float64(lw.Count))
+		}
+		p.family("rocksmash_level_compact_bytes_in_total", "counter",
+			"Bytes read by compactions at each source level (source inputs + target overlap).")
+		for _, lw := range m.LevelWriteAmp {
+			p.sample("rocksmash_level_compact_bytes_in_total", promLevel(lw.Level),
+				float64(lw.BytesInSource+lw.BytesInTarget))
+		}
+		p.family("rocksmash_level_compact_bytes_out_total", "counter",
+			"Bytes written by compactions at each source level.")
+		for _, lw := range m.LevelWriteAmp {
+			p.sample("rocksmash_level_compact_bytes_out_total", promLevel(lw.Level), float64(lw.BytesOut))
+		}
+		p.family("rocksmash_level_write_amp", "gauge",
+			"Per-source-level write amplification (bytes out per source byte).")
+		for _, lw := range m.LevelWriteAmp {
+			p.sample("rocksmash_level_write_amp", promLevel(lw.Level), lw.WriteAmp())
+		}
+	}
+	p.family("rocksmash_write_amp", "gauge",
+		"Cumulative write amplification: physical table bytes per user byte.")
+	p.sample("rocksmash_write_amp", "", m.WriteAmp())
+	p.family("rocksmash_compaction_debt_bytes", "gauge",
+		"Estimated bytes compaction must move to restore level targets.")
+	p.sample("rocksmash_compaction_debt_bytes", "", float64(m.CompactionDebt))
+	p.family("rocksmash_space_amp", "gauge",
+		"Space amplification estimate: total table bytes over deepest level bytes.")
+	p.sample("rocksmash_space_amp", "", m.SpaceAmp)
+
+	// Per-shard attribution (sharded stores only): shard imbalance must be
+	// scrapeable, not just visible in DumpStats.
+	if len(m.Shards) > 0 {
+		shard := func(i int) string { return fmt.Sprintf("shard=%q", fmt.Sprint(i)) }
+		p.family("rocksmash_shard_writes_total", "counter", "Write operations committed per keyspace shard.")
+		for _, s := range m.Shards {
+			p.sample("rocksmash_shard_writes_total", shard(s.Shard), float64(s.Writes))
+		}
+		p.family("rocksmash_shard_reads_total", "counter", "Point lookups served per keyspace shard.")
+		for _, s := range m.Shards {
+			p.sample("rocksmash_shard_reads_total", shard(s.Shard), float64(s.Reads))
+		}
+		p.family("rocksmash_shard_flushes_total", "counter", "Memtable flushes per keyspace shard.")
+		for _, s := range m.Shards {
+			p.sample("rocksmash_shard_flushes_total", shard(s.Shard), float64(s.Flushes))
+		}
+		p.family("rocksmash_shard_compactions_total", "counter", "Compactions per keyspace shard.")
+		for _, s := range m.Shards {
+			p.sample("rocksmash_shard_compactions_total", shard(s.Shard), float64(s.Compactions))
+		}
+		p.family("rocksmash_shard_write_stalls_total", "counter", "Write stalls per keyspace shard.")
+		for _, s := range m.Shards {
+			p.sample("rocksmash_shard_write_stalls_total", shard(s.Shard), float64(s.WriteStalls))
+		}
+		p.family("rocksmash_shard_bytes", "gauge", "Live table bytes per keyspace shard.")
+		for _, s := range m.Shards {
+			p.sample("rocksmash_shard_bytes", shard(s.Shard), float64(s.Bytes))
+		}
+		p.family("rocksmash_shard_files", "gauge", "Live table files per keyspace shard.")
+		for _, s := range m.Shards {
+			p.sample("rocksmash_shard_files", shard(s.Shard), float64(s.Files))
+		}
+		p.family("rocksmash_shard_pending_tables", "gauge",
+			"Degraded-mode tables awaiting cloud upload per keyspace shard.")
+		for _, s := range m.Shards {
+			p.sample("rocksmash_shard_pending_tables", shard(s.Shard), float64(s.PendingTables))
+		}
+	}
+
 	p.family("rocksmash_get_latency_seconds", "summary", "Point-lookup latency quantiles.")
 	writePromSummary(p, "rocksmash_get_latency_seconds", m.GetLat)
 	p.family("rocksmash_put_latency_seconds", "summary", "Commit latency quantiles (includes stall time).")
 	writePromSummary(p, "rocksmash_put_latency_seconds", m.PutLat)
+	p.family("rocksmash_flush_latency_seconds", "summary", "Memtable flush latency quantiles.")
+	writePromSummary(p, "rocksmash_flush_latency_seconds", m.FlushLat)
+	p.family("rocksmash_compact_latency_seconds", "summary", "Compaction latency quantiles.")
+	writePromSummary(p, "rocksmash_compact_latency_seconds", m.CompactLat)
+	p.family("rocksmash_local_get_latency_seconds", "summary", "Local-tier GET latency quantiles.")
+	writePromSummary(p, "rocksmash_local_get_latency_seconds", m.LocalGetLat)
+	p.family("rocksmash_local_put_latency_seconds", "summary", "Local-tier PUT latency quantiles.")
+	writePromSummary(p, "rocksmash_local_put_latency_seconds", m.LocalPutLat)
 	p.family("rocksmash_cloud_get_latency_seconds", "summary", "Cloud GET latency quantiles.")
 	writePromSummary(p, "rocksmash_cloud_get_latency_seconds", m.CloudGetLat)
+	p.family("rocksmash_cloud_put_latency_seconds", "summary", "Cloud PUT latency quantiles.")
+	writePromSummary(p, "rocksmash_cloud_put_latency_seconds", m.CloudPutLat)
 }
+
+// WritePromVitals renders the latest vitals window as Prometheus gauges —
+// the sampler's derived rates, so dashboards get windowed figures without
+// running their own rate() over raw counters.
+func WritePromVitals(w io.Writer, win vitals.Window) {
+	p := promWriter{w: w}
+	p.family("rocksmash_vitals_window_seconds", "gauge", "Width of the vitals rate window.")
+	p.sample("rocksmash_vitals_window_seconds", "", win.Seconds)
+	p.family("rocksmash_vitals_write_ops_per_second", "gauge", "Windowed write throughput.")
+	p.sample("rocksmash_vitals_write_ops_per_second", "", win.WriteOpsPerSec)
+	p.family("rocksmash_vitals_read_ops_per_second", "gauge", "Windowed read throughput.")
+	p.sample("rocksmash_vitals_read_ops_per_second", "", win.ReadOpsPerSec)
+	p.family("rocksmash_vitals_write_amp", "gauge", "Windowed write amplification.")
+	p.sample("rocksmash_vitals_write_amp", "", win.WriteAmp)
+	p.family("rocksmash_vitals_read_amp_blocks_per_get", "gauge", "Windowed blocks per profiled Get.")
+	p.sample("rocksmash_vitals_read_amp_blocks_per_get", "", win.ReadAmpBlocksPerGet)
+	p.family("rocksmash_vitals_block_cache_hit_ratio", "gauge", "Block cache hit ratio over the window.")
+	p.sample("rocksmash_vitals_block_cache_hit_ratio", "", win.BlockHitRatio)
+	p.family("rocksmash_vitals_pcache_hit_ratio", "gauge", "Persistent cache hit ratio over the window.")
+	p.sample("rocksmash_vitals_pcache_hit_ratio", "", win.PCacheHitRatio)
+	p.family("rocksmash_vitals_commit_group_size", "gauge", "Windowed mean batches per commit group.")
+	p.sample("rocksmash_vitals_commit_group_size", "", win.CommitGroupSize)
+	p.family("rocksmash_vitals_shard_skew", "gauge",
+		"Windowed shard balance skew: (max-min)/mean of per-shard op deltas.")
+	p.sample("rocksmash_vitals_shard_skew", "", win.ShardSkew)
+	p.family("rocksmash_vitals_cloud_read_bytes_per_second", "gauge", "Windowed cloud read bandwidth.")
+	p.sample("rocksmash_vitals_cloud_read_bytes_per_second", "", win.CloudReadBytesPerSec)
+	p.family("rocksmash_vitals_cloud_write_bytes_per_second", "gauge", "Windowed cloud write bandwidth.")
+	p.sample("rocksmash_vitals_cloud_write_bytes_per_second", "", win.CloudWriteBytesPerSec)
+	p.family("rocksmash_vitals_dollars_per_hour", "gauge",
+		"Windowed cloud cost rate by component.")
+	p.sample("rocksmash_vitals_dollars_per_hour", `component="storage"`, win.DollarsPerHour.Storage)
+	p.sample("rocksmash_vitals_dollars_per_hour", `component="request"`, win.DollarsPerHour.Request)
+	p.sample("rocksmash_vitals_dollars_per_hour", `component="egress"`, win.DollarsPerHour.Egress)
+	p.sample("rocksmash_vitals_dollars_per_hour", `component="total"`, win.DollarsPerHour.Total)
+	p.family("rocksmash_vitals_ops_per_dollar", "gauge",
+		"Windowed throughput per dollar: ops/s over $/hour.")
+	p.sample("rocksmash_vitals_ops_per_dollar", "", win.OpsPerDollar)
+}
+
+// promLevel renders a level="N" label.
+func promLevel(l int) string { return fmt.Sprintf("level=%q", fmt.Sprint(l)) }
 
 func writePromSummary(p promWriter, name string, s db.LatencySummary) {
 	p.sample(name, `quantile="0.5"`, s.P50.Seconds())

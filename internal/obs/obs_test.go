@@ -1,14 +1,17 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"rocksmash/internal/db"
+	"rocksmash/internal/vitals"
 )
 
 func openDB(t *testing.T) *db.DB {
@@ -171,4 +174,105 @@ func firstLines(s string, n int) string {
 		lines = lines[:n]
 	}
 	return strings.Join(lines, "\n")
+}
+
+// TestVitalsEndpoint covers both sampler states: disabled reports
+// {"enabled": false}; enabled returns the ring with a latest sample and at
+// least one derived window, plus rocksmash_vitals_* gauges on /metrics.
+func TestVitalsEndpoint(t *testing.T) {
+	// Disabled: default options.
+	d := openDB(t)
+	s := httptest.NewServer(NewMux(d))
+	defer s.Close()
+	var off vitals.Report
+	if err := json.Unmarshal([]byte(get(t, s.URL+"/vitals")), &off); err != nil {
+		t.Fatal(err)
+	}
+	if off.Enabled || off.Latest != nil {
+		t.Fatalf("disabled /vitals = %+v, want enabled=false", off)
+	}
+	if strings.Contains(get(t, s.URL+"/metrics"), "rocksmash_vitals_") {
+		t.Error("disabled sampler leaked rocksmash_vitals_* families")
+	}
+
+	// Enabled: fast interval, some traffic, wait for >= 2 samples.
+	o := db.DefaultOptions()
+	o.VitalsInterval = time.Millisecond
+	dv, err := db.OpenAt(t.TempDir(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dv.Close()
+	if err := dv.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for len(dv.Vitals().Samples()) < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	sv := httptest.NewServer(NewMux(dv))
+	defer sv.Close()
+	var on vitals.Report
+	if err := json.Unmarshal([]byte(get(t, sv.URL+"/vitals")), &on); err != nil {
+		t.Fatal(err)
+	}
+	if !on.Enabled || on.Latest == nil || on.Window == nil || len(on.Samples) < 2 {
+		t.Fatalf("enabled /vitals incomplete: enabled=%v latest=%v window=%v samples=%d",
+			on.Enabled, on.Latest != nil, on.Window != nil, len(on.Samples))
+	}
+	if on.Latest.Writes == 0 {
+		t.Errorf("latest sample missed the write: %+v", on.Latest)
+	}
+	metrics := get(t, sv.URL+"/metrics")
+	for _, fam := range []string{
+		"rocksmash_vitals_window_seconds",
+		"rocksmash_vitals_write_ops_per_second",
+		"rocksmash_vitals_dollars_per_hour",
+		"rocksmash_vitals_ops_per_dollar",
+	} {
+		if !strings.Contains(metrics, fam) {
+			t.Errorf("/metrics missing %s with vitals enabled", fam)
+		}
+	}
+}
+
+// TestPromNewFamilies greps the exposition for the families this PR adds:
+// per-level compaction attribution, cumulative write/space amp, debt, the
+// new latency summaries, and (for a sharded store) per-shard families.
+func TestPromNewFamilies(t *testing.T) {
+	o := db.DefaultOptions()
+	o.Shards = 2
+	d, err := db.OpenAt(t.TempDir(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.Put([]byte("a"), []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	WriteProm(&sb, d.Metrics())
+	text := sb.String()
+	for _, want := range []string{
+		"rocksmash_level_compactions_total",
+		"rocksmash_level_compact_bytes_in_total",
+		"rocksmash_level_compact_bytes_out_total",
+		"rocksmash_level_write_amp",
+		"rocksmash_write_amp",
+		"rocksmash_compaction_debt_bytes",
+		"rocksmash_space_amp",
+		"rocksmash_flush_latency_seconds",
+		"rocksmash_compact_latency_seconds",
+		"rocksmash_local_get_latency_seconds",
+		"rocksmash_local_put_latency_seconds",
+		"rocksmash_cloud_put_latency_seconds",
+		`rocksmash_shard_writes_total{shard="0"}`,
+		`rocksmash_shard_writes_total{shard="1"}`,
+		"rocksmash_shard_bytes",
+		"rocksmash_shard_pending_tables",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
 }

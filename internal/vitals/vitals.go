@@ -1,0 +1,435 @@
+// Package vitals records how a running store's health evolves over time:
+// a background sampler snapshots the engine's cumulative counters into a
+// fixed-size lock-free ring at a configurable interval, and consecutive
+// samples are differentiated into windowed rates — ops/s, bytes/s per
+// tier, windowed cache hit ratios, write amplification, cloud $/hour and
+// throughput-per-dollar. Point-in-time Metrics() answers "where is the
+// store now"; vitals answers "which way is it moving", which is what
+// dashboards (`mashctl top`), the /vitals endpoint, and the cost/perf
+// autotuner consume.
+//
+// The package is engine-agnostic: the DB hands NewSampler a closure that
+// produces a Sample, so vitals has no dependency on internal/db and the
+// hot write/read paths never touch it (a disabled sampler is a nil
+// pointer — zero goroutines, zero allocations).
+package vitals
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// HoursPerMonth converts a $/GB-month storage price into the $/hour rate
+// the windowed cost split reports (365.25/12 days).
+const HoursPerMonth = 730.5
+
+// Sample is one point-in-time snapshot of the engine's cumulative
+// counters and gauges. Counters only ever grow; Window differentiates
+// consecutive samples into rates. Fields mirror a condensed db.Metrics.
+type Sample struct {
+	UnixNano int64 `json:"unix_nano"`
+
+	// Cumulative engine counters.
+	Reads              int64 `json:"reads"`
+	Writes             int64 `json:"writes"`
+	BytesWritten       int64 `json:"bytes_written"`
+	WriteStalls        int64 `json:"write_stalls"`
+	Flushes            int64 `json:"flushes"`
+	FlushBytes         int64 `json:"flush_bytes"`
+	Compactions        int64 `json:"compactions"`
+	CompactBytesIn     int64 `json:"compact_bytes_in"`
+	CompactBytesOut    int64 `json:"compact_bytes_out"`
+	CommitGroups       int64 `json:"commit_groups"`
+	CommitGroupBatches int64 `json:"commit_group_batches"`
+
+	// Cumulative cache outcomes (counts, so ratios can be windowed).
+	BlockHits    int64 `json:"block_hits"`
+	BlockMisses  int64 `json:"block_misses"`
+	PCacheHits   int64 `json:"pcache_hits"`
+	PCacheMisses int64 `json:"pcache_misses"`
+
+	// Cumulative storage-device traffic per tier.
+	LocalGetOps     int64 `json:"local_get_ops"`
+	LocalPutOps     int64 `json:"local_put_ops"`
+	LocalReadBytes  int64 `json:"local_read_bytes"`
+	LocalWriteBytes int64 `json:"local_write_bytes"`
+	CloudGetOps     int64 `json:"cloud_get_ops"`
+	CloudPutOps     int64 `json:"cloud_put_ops"`
+	CloudReadBytes  int64 `json:"cloud_read_bytes"`
+	CloudWriteBytes int64 `json:"cloud_write_bytes"`
+
+	// Cumulative read-path attribution (profiled Gets).
+	ProfiledGets    int64 `json:"profiled_gets"`
+	ReadBlocks      int64 `json:"read_blocks"`
+	ReadBlocksCloud int64 `json:"read_blocks_cloud"`
+
+	// Per-level shape and compaction attribution, indexed by level. The
+	// In/Out arrays are indexed by *source* level (outputs land one level
+	// deeper); LevelServes/LevelProbes are the read-path per-level totals.
+	LevelFiles    []int   `json:"level_files"`
+	LevelBytes    []int64 `json:"level_bytes"`
+	LevelBytesIn  []int64 `json:"level_bytes_in"`
+	LevelBytesOut []int64 `json:"level_bytes_out"`
+	LevelServes   []int64 `json:"level_serves"`
+	LevelProbes   []int64 `json:"level_probes"`
+
+	// Gauges.
+	LocalBytes     int64   `json:"local_bytes"`
+	CloudBytes     int64   `json:"cloud_bytes"`
+	CompactionDebt int64   `json:"compaction_debt"`
+	SpaceAmp       float64 `json:"space_amp"`
+	PendingTables  int     `json:"pending_tables"`
+	PendingBytes   int64   `json:"pending_bytes"`
+	Breaker        string  `json:"breaker,omitempty"`
+
+	// Simulated cloud bill: storage is a $/month gauge at current
+	// capacity; request and egress are cumulative dollars.
+	CostStorageMonthly float64 `json:"cost_storage_monthly"`
+	CostRequest        float64 `json:"cost_request"`
+	CostEgress         float64 `json:"cost_egress"`
+
+	// Per-shard cumulative ops (writes+reads), for balance skew. Empty
+	// in an unsharded store.
+	ShardOps []int64 `json:"shard_ops,omitempty"`
+}
+
+// Time returns the sample's wall-clock time.
+func (s Sample) Time() time.Time { return time.Unix(0, s.UnixNano) }
+
+// CostSplit is the windowed cloud bill rate, in dollars per hour.
+type CostSplit struct {
+	Storage float64 `json:"storage"`
+	Request float64 `json:"request"`
+	Egress  float64 `json:"egress"`
+	Total   float64 `json:"total"`
+}
+
+// Window is the derivative of two consecutive samples: every rate is
+// (end-start)/dt, ratios are computed over the window's own deltas, and
+// gauges (breaker, debt, pending) carry the end sample's value.
+type Window struct {
+	StartUnixNano int64   `json:"start_unix_nano"`
+	EndUnixNano   int64   `json:"end_unix_nano"`
+	Seconds       float64 `json:"seconds"`
+
+	WriteOpsPerSec  float64 `json:"write_ops_per_sec"`
+	ReadOpsPerSec   float64 `json:"read_ops_per_sec"`
+	UserBytesPerSec float64 `json:"user_bytes_per_sec"`
+	StallsPerSec    float64 `json:"stalls_per_sec"`
+
+	FlushBytesPerSec      float64 `json:"flush_bytes_per_sec"`
+	CompactInBytesPerSec  float64 `json:"compact_in_bytes_per_sec"`
+	CompactOutBytesPerSec float64 `json:"compact_out_bytes_per_sec"`
+	// WriteAmp is the windowed physical-write amplification: table bytes
+	// written by flushes and compactions per user byte committed in the
+	// window (0 when no user bytes arrived).
+	WriteAmp float64 `json:"write_amp"`
+	// ReadAmpBlocksPerGet is the windowed blocks-per-profiled-Get.
+	ReadAmpBlocksPerGet float64 `json:"read_amp_blocks_per_get"`
+	CloudBlocksPerSec   float64 `json:"cloud_blocks_per_sec"`
+
+	// Windowed cache hit ratios (NaN-free: 0 when no lookups happened).
+	BlockHitRatio  float64 `json:"block_hit_ratio"`
+	PCacheHitRatio float64 `json:"pcache_hit_ratio"`
+
+	LocalReadBytesPerSec  float64 `json:"local_read_bytes_per_sec"`
+	LocalWriteBytesPerSec float64 `json:"local_write_bytes_per_sec"`
+	CloudReadBytesPerSec  float64 `json:"cloud_read_bytes_per_sec"`
+	CloudWriteBytesPerSec float64 `json:"cloud_write_bytes_per_sec"`
+	CloudGetsPerSec       float64 `json:"cloud_gets_per_sec"`
+	CloudPutsPerSec       float64 `json:"cloud_puts_per_sec"`
+
+	// CommitGroupSize is the windowed mean batches per commit group.
+	CommitGroupSize float64 `json:"commit_group_size"`
+
+	// Gauges at the window's end.
+	Breaker        string  `json:"breaker,omitempty"`
+	CompactionDebt int64   `json:"compaction_debt"`
+	SpaceAmp       float64 `json:"space_amp"`
+	PendingTables  int     `json:"pending_tables"`
+
+	// ShardSkew is (max-min)/mean of the per-shard op deltas in the
+	// window; 0 for perfect balance or a single shard.
+	ShardSkew float64 `json:"shard_skew"`
+
+	// DollarsPerHour splits the windowed cloud cost rate: storage is the
+	// end-capacity monthly price rescaled to an hour; request and egress
+	// are the window's observed spend rescaled to an hour.
+	DollarsPerHour CostSplit `json:"dollars_per_hour"`
+	// OpsPerDollar is throughput-per-dollar: windowed ops/s divided by
+	// the windowed $/hour rate, i.e. operations bought per dollar-hour.
+	OpsPerDollar float64 `json:"ops_per_dollar"`
+}
+
+// ratio returns num/den, or 0 for an empty denominator.
+func ratio(num, den float64) float64 {
+	if den <= 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Derive differentiates two samples into a Window. prev must precede cur;
+// a non-positive elapsed time yields a zero-duration window with only the
+// end gauges filled in.
+func Derive(prev, cur Sample) Window {
+	w := Window{
+		StartUnixNano:  prev.UnixNano,
+		EndUnixNano:    cur.UnixNano,
+		Breaker:        cur.Breaker,
+		CompactionDebt: cur.CompactionDebt,
+		SpaceAmp:       cur.SpaceAmp,
+		PendingTables:  cur.PendingTables,
+	}
+	dt := float64(cur.UnixNano-prev.UnixNano) / float64(time.Second)
+	if dt <= 0 {
+		return w
+	}
+	w.Seconds = dt
+	per := func(a, b int64) float64 { return float64(b-a) / dt }
+
+	w.WriteOpsPerSec = per(prev.Writes, cur.Writes)
+	w.ReadOpsPerSec = per(prev.Reads, cur.Reads)
+	w.UserBytesPerSec = per(prev.BytesWritten, cur.BytesWritten)
+	w.StallsPerSec = per(prev.WriteStalls, cur.WriteStalls)
+	w.FlushBytesPerSec = per(prev.FlushBytes, cur.FlushBytes)
+	w.CompactInBytesPerSec = per(prev.CompactBytesIn, cur.CompactBytesIn)
+	w.CompactOutBytesPerSec = per(prev.CompactBytesOut, cur.CompactBytesOut)
+	w.WriteAmp = ratio(
+		float64(cur.FlushBytes-prev.FlushBytes+cur.CompactBytesOut-prev.CompactBytesOut),
+		float64(cur.BytesWritten-prev.BytesWritten))
+	w.ReadAmpBlocksPerGet = ratio(
+		float64(cur.ReadBlocks-prev.ReadBlocks),
+		float64(cur.ProfiledGets-prev.ProfiledGets))
+	w.CloudBlocksPerSec = per(prev.ReadBlocksCloud, cur.ReadBlocksCloud)
+
+	w.BlockHitRatio = ratio(
+		float64(cur.BlockHits-prev.BlockHits),
+		float64(cur.BlockHits-prev.BlockHits+cur.BlockMisses-prev.BlockMisses))
+	w.PCacheHitRatio = ratio(
+		float64(cur.PCacheHits-prev.PCacheHits),
+		float64(cur.PCacheHits-prev.PCacheHits+cur.PCacheMisses-prev.PCacheMisses))
+
+	w.LocalReadBytesPerSec = per(prev.LocalReadBytes, cur.LocalReadBytes)
+	w.LocalWriteBytesPerSec = per(prev.LocalWriteBytes, cur.LocalWriteBytes)
+	w.CloudReadBytesPerSec = per(prev.CloudReadBytes, cur.CloudReadBytes)
+	w.CloudWriteBytesPerSec = per(prev.CloudWriteBytes, cur.CloudWriteBytes)
+	w.CloudGetsPerSec = per(prev.CloudGetOps, cur.CloudGetOps)
+	w.CloudPutsPerSec = per(prev.CloudPutOps, cur.CloudPutOps)
+
+	w.CommitGroupSize = ratio(
+		float64(cur.CommitGroupBatches-prev.CommitGroupBatches),
+		float64(cur.CommitGroups-prev.CommitGroups))
+
+	if n := len(cur.ShardOps); n > 1 && len(prev.ShardOps) == n {
+		min, max, sum := int64(1<<62), int64(-1), int64(0)
+		for i := range cur.ShardOps {
+			d := cur.ShardOps[i] - prev.ShardOps[i]
+			if d < min {
+				min = d
+			}
+			if d > max {
+				max = d
+			}
+			sum += d
+		}
+		if sum > 0 {
+			mean := float64(sum) / float64(n)
+			w.ShardSkew = float64(max-min) / mean
+		}
+	}
+
+	// $/hour: storage is the capacity gauge rescaled from a month; the
+	// request/egress components are the window's incremental spend
+	// extrapolated to an hour.
+	w.DollarsPerHour = CostSplit{
+		Storage: cur.CostStorageMonthly / HoursPerMonth,
+		Request: (cur.CostRequest - prev.CostRequest) / dt * 3600,
+		Egress:  (cur.CostEgress - prev.CostEgress) / dt * 3600,
+	}
+	w.DollarsPerHour.Total = w.DollarsPerHour.Storage +
+		w.DollarsPerHour.Request + w.DollarsPerHour.Egress
+	w.OpsPerDollar = ratio(w.WriteOpsPerSec+w.ReadOpsPerSec, w.DollarsPerHour.Total)
+	return w
+}
+
+// ring is the fixed-size lock-free sample history: a single writer (the
+// sampler goroutine) publishes each sample through an atomic pointer slot
+// and then advances the head; readers copy out pointers without blocking
+// the writer. Samples are immutable once published.
+type ring struct {
+	slots []atomic.Pointer[Sample]
+	head  atomic.Uint64 // total samples ever published
+}
+
+func newRing(n int) *ring {
+	if n < 2 {
+		n = 2
+	}
+	return &ring{slots: make([]atomic.Pointer[Sample], n)}
+}
+
+func (r *ring) push(s *Sample) {
+	h := r.head.Load()
+	r.slots[h%uint64(len(r.slots))].Store(s)
+	r.head.Store(h + 1)
+}
+
+// snapshot returns the retained samples, oldest first. Racing pushes may
+// tear at most the boundary: a slot observed both before and after an
+// overwrite is dropped rather than misordered.
+func (r *ring) snapshot() []Sample {
+	h := r.head.Load()
+	n := uint64(len(r.slots))
+	lo := uint64(0)
+	if h > n {
+		lo = h - n
+	}
+	out := make([]Sample, 0, h-lo)
+	var lastNano int64
+	for i := lo; i < h; i++ {
+		p := r.slots[i%n].Load()
+		if p == nil || p.UnixNano < lastNano {
+			// The writer lapped us into this slot; skip the torn entry.
+			continue
+		}
+		lastNano = p.UnixNano
+		out = append(out, *p)
+	}
+	return out
+}
+
+// DefaultHistory is the ring capacity when the caller does not choose one:
+// at a 1s interval it retains 12 minutes of history.
+const DefaultHistory = 720
+
+// Sampler drives the ring: one background goroutine calls snap every
+// interval and publishes the result. Stop (idempotent) halts the goroutine
+// and waits for it to exit, so Close-time teardown leaks nothing.
+type Sampler struct {
+	interval time.Duration
+	snap     func() Sample
+	ring     *ring
+	quit     chan struct{}
+	done     chan struct{}
+	stop     sync.Once
+}
+
+// NewSampler starts sampling snap every interval into a ring of history
+// samples (DefaultHistory when history <= 0). One sample is taken
+// synchronously so Latest never comes up empty on a just-opened store.
+func NewSampler(interval time.Duration, history int, snap func() Sample) *Sampler {
+	if history <= 0 {
+		history = DefaultHistory
+	}
+	s := &Sampler{
+		interval: interval,
+		snap:     snap,
+		ring:     newRing(history),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	s.observe()
+	go s.loop()
+	return s
+}
+
+func (s *Sampler) loop() {
+	defer close(s.done)
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-t.C:
+			s.observe()
+		}
+	}
+}
+
+// observe takes one sample now and publishes it.
+func (s *Sampler) observe() {
+	smp := s.snap()
+	if smp.UnixNano == 0 {
+		smp.UnixNano = time.Now().UnixNano()
+	}
+	s.ring.push(&smp)
+}
+
+// Stop halts the sampling goroutine and waits for it to exit. Safe to call
+// more than once; the ring remains readable after Stop.
+func (s *Sampler) Stop() {
+	s.stop.Do(func() { close(s.quit) })
+	<-s.done
+}
+
+// Interval returns the sampling period.
+func (s *Sampler) Interval() time.Duration { return s.interval }
+
+// Samples returns the retained history, oldest first.
+func (s *Sampler) Samples() []Sample { return s.ring.snapshot() }
+
+// Latest returns the newest sample, if any has been taken.
+func (s *Sampler) Latest() (Sample, bool) {
+	all := s.ring.snapshot()
+	if len(all) == 0 {
+		return Sample{}, false
+	}
+	return all[len(all)-1], true
+}
+
+// Windows differentiates the retained history into len(samples)-1
+// consecutive windows, oldest first.
+func (s *Sampler) Windows() []Window {
+	return WindowsOf(s.ring.snapshot())
+}
+
+// WindowsOf differentiates an already-captured sample series.
+func WindowsOf(samples []Sample) []Window {
+	if len(samples) < 2 {
+		return nil
+	}
+	out := make([]Window, 0, len(samples)-1)
+	for i := 1; i < len(samples); i++ {
+		out = append(out, Derive(samples[i-1], samples[i]))
+	}
+	return out
+}
+
+// LatestWindow derives the rate window over the two newest samples.
+func (s *Sampler) LatestWindow() (Window, bool) {
+	all := s.ring.snapshot()
+	if len(all) < 2 {
+		return Window{}, false
+	}
+	return Derive(all[len(all)-2], all[len(all)-1]), true
+}
+
+// Report is the /vitals endpoint (and vitals.json artifact) payload: the
+// full retained ring plus the latest derived window.
+type Report struct {
+	Enabled         bool     `json:"enabled"`
+	IntervalSeconds float64  `json:"interval_seconds"`
+	Latest          *Sample  `json:"latest,omitempty"`
+	Window          *Window  `json:"window,omitempty"`
+	Samples         []Sample `json:"samples,omitempty"`
+	Windows         []Window `json:"windows,omitempty"`
+}
+
+// Report assembles the endpoint payload from the current ring contents.
+func (s *Sampler) Report() Report {
+	r := Report{Enabled: true, IntervalSeconds: s.interval.Seconds()}
+	r.Samples = s.ring.snapshot()
+	if len(r.Samples) > 0 {
+		last := r.Samples[len(r.Samples)-1]
+		r.Latest = &last
+	}
+	r.Windows = WindowsOf(r.Samples)
+	if len(r.Windows) > 0 {
+		w := r.Windows[len(r.Windows)-1]
+		r.Window = &w
+	}
+	return r
+}
