@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench shardcheck vitalscheck check
+.PHONY: all build test race vet bench shardcheck vitalscheck scrubcheck check
 
 all: build
 
@@ -32,4 +32,10 @@ shardcheck:
 vitalscheck:
 	$(GO) test -race -count=1 -run 'Vitals|Dump|Stats|LevelWriteAmp|Derive|Ring|Sampler|Windows|Prom' ./internal/db ./internal/vitals ./internal/obs
 
-check: build vet test race shardcheck vitalscheck
+# Self-healing local-tier suite: corruption scrub/repair, disk-full
+# degradation, and the local crash-point sweep — concurrent with the engine's
+# background scrubber and drainer, so race-run it.
+scrubcheck:
+	$(GO) test -race -count=1 -run 'LocalFault|Scrub|Corrupt|Quarantine|Mirror|Spill|LocalDegraded|SyncFail|WriteBudget' ./internal/db ./internal/wal ./internal/storage ./internal/pcache
+
+check: build vet test race shardcheck vitalscheck scrubcheck

@@ -97,6 +97,10 @@ func main() {
 		faultGet   = flag.Float64("fault-get-rate", 0, "inject cloud GET failures with this probability [0,1]")
 		faultPut   = flag.Float64("fault-put-rate", 0, "inject cloud PUT failures with this probability [0,1]")
 		outage     = flag.String("outage", "", "script a full cloud outage as start,duration (e.g. 10s,30s)")
+
+		faultLocalCorrupt = flag.Float64("fault-local-corrupt-rate", 0, "flip a bit in local reads with this probability [0,1]")
+		faultLocalBudget  = flag.Int64("fault-local-write-budget", 0, "fail local writes with ENOSPC after this many bytes (0 = unlimited)")
+		faultLocalSync    = flag.Int("fault-local-sync-failures", 0, "fail the next N local fsyncs with EIO")
 	)
 	flag.Parse()
 
@@ -140,8 +144,26 @@ func main() {
 	opts.Shards = *shards
 	opts.VitalsInterval = *vitalsEach
 	var d *db.DB
-	var faulty *storage.Faulty
-	if *faultGet > 0 || *faultPut > 0 || *outage != "" {
+	var faulty, localFaulty *storage.Faulty
+	localChaos := *faultLocalCorrupt > 0 || *faultLocalBudget > 0 || *faultLocalSync > 0
+	switch {
+	case localChaos:
+		d, localFaulty, faulty, err = db.OpenAtChaosLocal(dir, opts,
+			storage.FaultConfig{
+				Seed:             *seed,
+				CorruptRate:      *faultLocalCorrupt,
+				WriteBudgetBytes: *faultLocalBudget,
+				SyncFailures:     *faultLocalSync,
+			},
+			storage.FaultConfig{
+				Seed:         *seed + 1,
+				GetErrorRate: *faultGet,
+				PutErrorRate: *faultPut,
+			})
+		if err == nil && *outage != "" && faulty != nil {
+			err = scheduleOutage(faulty, *outage)
+		}
+	case *faultGet > 0 || *faultPut > 0 || *outage != "":
 		d, faulty, err = db.OpenAtChaos(dir, opts, storage.FaultConfig{
 			Seed:         *seed,
 			GetErrorRate: *faultGet,
@@ -150,7 +172,7 @@ func main() {
 		if err == nil && *outage != "" {
 			err = scheduleOutage(faulty, *outage)
 		}
-	} else {
+	default:
 		d, err = db.OpenAt(dir, opts)
 	}
 	if err != nil {
@@ -188,6 +210,12 @@ func main() {
 		fmt.Printf("chaos: injected=%d unavailable-reads=%d breaker=%s trips=%d degraded=%s pending=%d drained=%d\n",
 			faulty.InjectedFaults(), unavailableReads.Load(), m.BreakerState, m.BreakerTrips,
 			m.DegradedDur.Round(time.Millisecond), m.PendingTables, m.DrainedTables)
+	}
+	if localFaulty != nil {
+		fmt.Printf("local chaos: injected=%d corrupted-reads=%d breaker=%s trips=%d degraded-tables=%d drained-back=%d detected=%d repaired=%d unrepaired=%d\n",
+			localFaulty.InjectedFaults(), localFaulty.CorruptedReads(), m.LocalBreakerState,
+			m.LocalBreakerTrips, m.LocalDegradedTables, m.LocalDrainedBack,
+			m.CorruptionsDetected, m.CorruptionsRepaired, m.CorruptionsUnrepaired)
 	}
 	if *dumpStats {
 		fmt.Println()

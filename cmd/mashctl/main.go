@@ -10,7 +10,8 @@
 //	mashctl wal      -db /path/to/db
 //	mashctl pcache   -db /path/to/db
 //	mashctl cost     -db /path/to/db
-//	mashctl verify   -db /path/to/db   # checksum-audit every table block
+//	mashctl verify   -db /path/to/db   # checksum-audit tables, sidecars, WAL
+//	mashctl scrub    -db /path/to/db   # open the store and run a repairing scrub
 //	mashctl trace    -f trace.jsonl    # summarize an engine event trace
 //	mashctl profile  -addr host:port   # read-path attribution from a live /metrics
 //	mashctl profile  -f trace.jsonl    # slow-read records captured in a trace
@@ -18,15 +19,18 @@
 package main
 
 import (
+	"encoding/binary"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
 
+	"rocksmash/internal/db"
 	"rocksmash/internal/keys"
 	"rocksmash/internal/manifest"
 	"rocksmash/internal/pcache"
@@ -112,17 +116,20 @@ func main() {
 	case "cost":
 		cmdCost(*dbDir)
 	case "verify":
-		var files, blocks, bad int
+		var rep verifyReport
 		eachShard(local, shards, func(sh storage.Backend, prefix string) {
-			f, bl, b := verifyStore(*dbDir, sh, prefix)
-			files += f
-			blocks += bl
-			bad += b
+			rep.merge(verifyStore(*dbDir, sh, prefix))
 		})
-		fmt.Printf("verified %d files, %d blocks: %d problems\n", files, blocks, bad)
-		if bad > 0 {
+		fmt.Printf("verified %d tables (%d blocks), %d sidecars, %d wal segments\n",
+			rep.tables, rep.blocks, rep.sidecars, rep.walSegments)
+		unrepaired := rep.badTables + rep.badSidecars + rep.badWAL
+		fmt.Printf("unrepaired damage: tables=%d sidecars=%d wal=%d (wal restored from backup: %d)\n",
+			rep.badTables, rep.badSidecars, rep.badWAL, rep.walRepaired)
+		if unrepaired > 0 {
 			os.Exit(1)
 		}
+	case "scrub":
+		cmdScrub(*dbDir, local, shards)
 	default:
 		usage()
 	}
@@ -158,7 +165,7 @@ func eachShard(local storage.Backend, shards int, fn func(sh storage.Backend, pr
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mashctl {manifest|sst|wal|pcache|cost|verify|trace|profile|top} -db DIR [-num N] [-f TRACE] [-top N] [-addr HOST:PORT] [-interval D] [-n N] [-once]")
+	fmt.Fprintln(os.Stderr, "usage: mashctl {manifest|sst|wal|pcache|cost|verify|scrub|trace|profile|top} -db DIR [-num N] [-f TRACE] [-top N] [-addr HOST:PORT] [-interval D] [-n N] [-once]")
 	os.Exit(2)
 }
 
@@ -253,10 +260,41 @@ func cmdCost(dbDir string) {
 	fmt.Println(cloud.CostReport())
 }
 
-// verifyStore walks every live table of one (sub-)store on both tiers and
-// verifies every block checksum — a full scrub. prefix selects the same
-// shard subtree on the cloud tier that local already points at.
-func verifyStore(dbDir string, local storage.Backend, prefix string) (files, blocks, bad int) {
+// verifyReport is the per-artifact outcome of one offline verification
+// pass: how many artifacts of each class were checked and how many carry
+// damage no backup could fix.
+type verifyReport struct {
+	tables, blocks, sidecars, walSegments int
+	badTables, badSidecars, badWAL        int
+	walRepaired                           int
+}
+
+func (r *verifyReport) merge(o verifyReport) {
+	r.tables += o.tables
+	r.blocks += o.blocks
+	r.sidecars += o.sidecars
+	r.walSegments += o.walSegments
+	r.badTables += o.badTables
+	r.badSidecars += o.badSidecars
+	r.badWAL += o.badWAL
+	r.walRepaired += o.walRepaired
+}
+
+// tailOnlyFile backs a metadata-only sstable open: the sidecar holds just
+// the table's metadata tail, so any read below it returns EOF.
+type tailOnlyFile struct{ size int64 }
+
+func (f tailOnlyFile) ReadAt([]byte, int64) (int, error) { return 0, io.EOF }
+func (f tailOnlyFile) Size() int64                       { return f.size }
+func (f tailOnlyFile) Close() error                      { return nil }
+
+// verifyStore walks every local artifact of one (sub-)store — live tables
+// on both tiers, metadata sidecars, sealed WAL segments — and verifies
+// every checksum end to end. prefix selects the same shard subtree on the
+// cloud tier that local already points at. WAL segments with a clean
+// cloud-backup copy are restored in place; everything else only reports.
+func verifyStore(dbDir string, local storage.Backend, prefix string) verifyReport {
+	var rep verifyReport
 	v, _, _, _, err := manifest.Peek(local)
 	if err != nil {
 		fatal(err)
@@ -270,25 +308,30 @@ func verifyStore(dbDir string, local storage.Backend, prefix string) (files, blo
 		var be storage.Backend = local
 		if fm.Tier == storage.TierCloud {
 			be = cloud
+			if !verifySidecarFile(local, fm.Num, &rep) {
+				fmt.Printf("  L%d %s: SIDECAR CORRUPT (delete meta/%06d.meta to rebuild from cloud)\n",
+					level, fm, fm.Num)
+			}
 		}
+		bad := 0
 		f, err := be.Open(manifest.TableName(fm.Num))
 		if err != nil {
 			fmt.Printf("  L%d %s: OPEN FAILED: %v\n", level, fm, err)
-			bad++
+			rep.badTables++
 			return
 		}
 		r, err := sstable.Open(f, fm.Num)
 		if err != nil {
 			fmt.Printf("  L%d %s: METADATA CORRUPT: %v\n", level, fm, err)
 			f.Close()
-			bad++
+			rep.badTables++
 			return
 		}
 		hs, err := r.DataHandles()
 		if err != nil {
 			fmt.Printf("  L%d %s: INDEX CORRUPT: %v\n", level, fm, err)
 			r.Close()
-			bad++
+			rep.badTables++
 			return
 		}
 		for _, h := range hs {
@@ -296,10 +339,75 @@ func verifyStore(dbDir string, local storage.Backend, prefix string) (files, blo
 				fmt.Printf("  L%d %s block@%d: %v\n", level, fm, h.Offset, err)
 				bad++
 			}
-			blocks++
+			rep.blocks++
 		}
 		r.Close()
-		files++
+		rep.tables++
+		if bad > 0 {
+			rep.badTables++
+		}
 	})
-	return files, blocks, bad
+
+	// Sealed WAL segments: record-checksum walk with backup-tier restore,
+	// the same pass the engine's own scrubber runs.
+	wopts := wal.DefaultOptions()
+	wopts.Backup = cloud
+	if m, err := wal.Open(local, wopts, 1); err == nil {
+		checked, corrupt, repaired := m.Scrub()
+		rep.walSegments += checked
+		rep.badWAL += corrupt - repaired
+		rep.walRepaired += repaired
+	}
+	return rep
+}
+
+// verifySidecarFile structurally validates a cloud-tier table's local
+// metadata sidecar, when one is cached. Returns false only for a present
+// but corrupt sidecar.
+func verifySidecarFile(local storage.Backend, num uint64, rep *verifyReport) bool {
+	buf, err := local.ReadAll(fmt.Sprintf("meta/%06d.meta", num))
+	if err != nil {
+		return true // none cached; the next open rebuilds it from the cloud tail
+	}
+	rep.sidecars++
+	ok := false
+	if len(buf) >= 8 {
+		tailOff := binary.LittleEndian.Uint64(buf)
+		tail := buf[8:]
+		f := tailOnlyFile{int64(tailOff) + int64(len(tail))}
+		if r, err := sstable.Open(sstable.NewTailReader(f, int64(tailOff), tail), num); err == nil {
+			_, herr := r.DataHandles()
+			r.Close()
+			ok = herr == nil
+		}
+	}
+	if !ok {
+		rep.badSidecars++
+	}
+	return ok
+}
+
+// cmdScrub opens the store read-write and runs one repairing scrub pass:
+// corrupt local tables are re-materialized from their cloud copies,
+// damaged sidecars dropped for rebuild, WAL segments restored from backup.
+// Exits nonzero when damage survives the pass.
+func cmdScrub(dbDir string, local storage.Backend, shards int) {
+	opts := db.DefaultOptions()
+	opts.Shards = shards
+	d, err := db.OpenAt(dbDir, opts)
+	if err != nil {
+		fatal(err)
+	}
+	rep := d.Scrub()
+	m := d.Metrics()
+	if err := d.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("scrubbed %d artifacts: %d tables, %d sidecars, %d wal segments\n",
+		rep.Checked, rep.Tables, rep.Sidecars, rep.WALSegments)
+	fmt.Printf("corrupt=%d repaired=%d unrepaired=%d quarantined=%d\n",
+		rep.Corrupt, rep.Repaired, rep.Unrepaired, m.QuarantinedTables)
+	if rep.Unrepaired > 0 {
+		os.Exit(1)
+	}
 }

@@ -360,7 +360,13 @@ func (d *DB) doCompaction(c *compaction) error {
 			if err := d.local.Delete(metaSidecarName(f.Num)); err != nil {
 				d.deferDelete(storage.TierLocal, metaSidecarName(f.Num))
 			}
+		} else if d.dropMirror(f.Num) {
+			// A retired local table's lazy cloud mirror goes with it.
+			if err := d.cloud.Delete(manifest.TableName(f.Num)); err != nil {
+				d.deferDelete(storage.TierCloud, manifest.TableName(f.Num))
+			}
 		}
+		d.unquarantine(f.Num)
 		d.evTableDeleted(f.Num, f.Tier)
 	}
 

@@ -33,6 +33,11 @@ var ErrNotFound = errors.New("db: key not found")
 // cloud-block fetch surfaces this error.
 var ErrCloudUnavailable = storage.ErrCloudUnavailable
 
+// ErrLocalUnavailable marks writes that genuinely need the local tier while
+// its circuit breaker is open and no cloud fallback exists (PolicyLocalOnly
+// or DisableLocalDegradedMode).
+var ErrLocalUnavailable = storage.ErrLocalUnavailable
+
 // DB is the LSM-tree store. It is safe for concurrent use.
 type DB struct {
 	opts  Options
@@ -45,6 +50,12 @@ type DB struct {
 	// PolicyLocalOnly); breaker is its circuit breaker.
 	cloudRel *storage.Reliable
 	breaker  *retry.Breaker
+	// localBreaker is the local tier's circuit breaker, the cloud breaker's
+	// symmetric twin: consecutive local write failures (ENOSPC, fsync EIO)
+	// open it, flushes and compactions land their outputs cloud-direct while
+	// it is open, and its close transition wakes the drainer to migrate
+	// misplaced tables back. Keyspace shards share one instance (one disk).
+	localBreaker *retry.Breaker
 
 	vs         *manifest.Set
 	wal        *wal.Manager
@@ -111,6 +122,21 @@ type DB struct {
 	drainDone  chan struct{}
 	deferredMu sync.Mutex
 	deferred   []deferredDelete
+
+	// repairMu serializes cloud-backed repairs of corrupt local artifacts so
+	// concurrent readers hitting the same damage trigger one re-fetch;
+	// quarantined holds table numbers whose damage had no clean source and
+	// must not be recounted on every read.
+	repairMu    sync.Mutex
+	quarantined map[uint64]bool
+	// mirrorMu guards mirrored, the set of local-tier tables whose bytes are
+	// known to have a cloud copy (Options.MirrorLocalLevels lazy uploads,
+	// plus copies reconciled from a cloud listing at Open).
+	mirrorMu sync.Mutex
+	mirrored map[uint64]bool
+	// scrubDone closes when the background scrub loop exits; nil when
+	// Options.ScrubInterval is zero.
+	scrubDone chan struct{}
 
 	stats Stats
 	// lat holds the always-on per-operation latency histograms.
@@ -237,6 +263,28 @@ func Open(opts Options, local storage.Backend, cloud storage.Backend) (*DB, erro
 			opts.CloudRetry, d.breaker, d.onCloudRetry, d.bgQuit)
 		d.cloud = d.cloudRel
 	}
+	// The local tier gets the symmetric breaker. It exists even for
+	// PolicyLocalOnly (there is always a local device): without a cloud
+	// fallback an open local breaker cannot redirect flushes, but its state
+	// still gates pcache admissions and feeds the metrics.
+	if opts.sharedLocalBreaker != nil {
+		d.localBreaker = opts.sharedLocalBreaker
+		opts.localBreakerHooks.add(d.onLocalBreakerChange)
+	} else {
+		userCB := opts.LocalBreaker.OnStateChange
+		d.localBreaker = retry.NewBreaker(retry.BreakerConfig{
+			FailureThreshold: opts.LocalBreaker.FailureThreshold,
+			Cooldown:         opts.LocalBreaker.Cooldown,
+			OnStateChange: func(from, to retry.State) {
+				d.onLocalBreakerChange(from, to)
+				if userCB != nil {
+					userCB(from, to)
+				}
+			},
+		})
+	}
+	d.quarantined = map[uint64]bool{}
+	d.mirrored = map[uint64]bool{}
 	d.immWake = sync.NewCond(&d.mu)
 	d.rs.Store(&readState{mem: d.mem})
 
@@ -292,6 +340,10 @@ func Open(opts Options, local storage.Backend, cloud storage.Backend) (*DB, erro
 	d.cleanOrphans()
 	go d.backgroundLoop()
 	go d.drainLoop()
+	if opts.ScrubInterval > 0 {
+		d.scrubDone = make(chan struct{})
+		go d.scrubLoop()
+	}
 	// Keyspace shards never sample on their own: the facade runs the one
 	// sampler over the aggregated cross-shard view.
 	if !d.isShard() {
@@ -348,6 +400,35 @@ func OpenAtChaos(dir string, opts Options, cfg storage.FaultConfig) (*DB, *stora
 	return d, faulty, nil
 }
 
+// OpenAtChaosLocal opens like OpenAtChaos but wraps *both* tiers in Faulty
+// decorators, so experiments can script local-device faults (bit flips,
+// ENOSPC, fsync EIO) alongside cloud outages. The returned handles are
+// (localFaulty, cloudFaulty); cloudFaulty is nil for PolicyLocalOnly.
+func OpenAtChaosLocal(dir string, opts Options, localCfg, cloudCfg storage.FaultConfig) (*DB, *storage.Faulty, *storage.Faulty, error) {
+	opts = opts.sanitize()
+	l, err := storage.NewLocal(filepath.Join(dir, "local"))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	localFaulty := storage.NewFaulty(l, localCfg)
+	var cloud storage.Backend
+	var cloudFaulty *storage.Faulty
+	if opts.Policy != PolicyLocalOnly {
+		c, err := storage.NewCloud(filepath.Join(dir, "cloud"), opts.CloudLatency, opts.CloudCost)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		cloudFaulty = storage.NewFaulty(c, cloudCfg)
+		cloud = cloudFaulty
+	}
+	opts.pcacheDir = filepath.Join(dir, "pcache")
+	d, err := Open(opts, localFaulty, cloud)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return d, localFaulty, cloudFaulty, nil
+}
+
 func (d *DB) initPCache() error {
 	dir := d.opts.pcacheDir
 	if dir == "" {
@@ -368,6 +449,15 @@ func (d *DB) initPCache() error {
 			return err
 		}
 		pc.SetListener(d.listener)
+		if pc.IndexWasCorrupt() {
+			// A damaged index snapshot is self-healing by design: the cache
+			// restarts cold and refills from the cloud. Count it as a detected
+			// and repaired corruption so scrub reconciliation stays honest.
+			d.stats.CorruptionsDetected.Add(1)
+			d.stats.CorruptionsRepaired.Add(1)
+			d.evCorruptionDetected("pcache-index", "INDEX", 0, errors.New("pcache: index snapshot corrupt"))
+			d.evCorruptionRepaired("pcache-index", "INDEX", 0, "cold-start", 0)
+		}
 		d.pcache = pc
 	case d.opts.Policy == PolicyCloudLRU && d.opts.PCacheBytes > 0:
 		pc, err := pcache.NewGenericLRU(dir, d.opts.PCacheBytes)
@@ -379,6 +469,12 @@ func (d *DB) initPCache() error {
 	default:
 		d.pcache = pcache.NewNull()
 	}
+	// Cache admissions are writes to the local device; gate them off while
+	// the local tier is degraded. The closure reads d.localBreaker at call
+	// time, so facade/shard wiring order does not matter.
+	d.pcache.SetAdmit(func() bool {
+		return d.localBreaker == nil || d.localBreaker.State() != retry.StateOpen
+	})
 	return nil
 }
 
@@ -961,6 +1057,9 @@ func (d *DB) Close() error {
 	close(d.bgQuit)
 	<-d.bgDone
 	<-d.drainDone
+	if d.scrubDone != nil {
+		<-d.scrubDone
+	}
 
 	// Flush any sealed or recovered memtables synchronously so no WAL
 	// data is stranded longer than necessary (the WAL still covers the
@@ -1040,6 +1139,9 @@ func (d *DB) Crash() {
 	close(d.bgQuit)
 	<-d.bgDone
 	<-d.drainDone
+	if d.scrubDone != nil {
+		<-d.scrubDone
+	}
 	if !d.isShard() {
 		d.tables.close()
 	}

@@ -39,6 +39,7 @@ func testOptions(p Policy) Options {
 		Deadline:    10 * time.Second,
 	}
 	o.CloudBreaker = retry.BreakerConfig{Cooldown: 5 * time.Millisecond}
+	o.LocalBreaker = retry.BreakerConfig{Cooldown: 5 * time.Millisecond}
 	o.PendingDrainInterval = 10 * time.Millisecond
 	return o
 }

@@ -173,6 +173,28 @@ func (d *DB) DumpStats() string {
 			fmt.Fprintf(&b, "Deferred deletes: %d queued for retry\n", m.DeferredDeletes)
 		}
 	}
+	if m.LocalBreakerState != "" {
+		if m.BreakerState == "" {
+			b.WriteString("\n** Robustness **\n")
+		}
+		fmt.Fprintf(&b, "Local breaker: %s, trips %d, half-opens %d, degraded %s\n",
+			m.LocalBreakerState, m.LocalBreakerTrips, m.LocalBreakerHalfOpens,
+			m.LocalDegradedDur.Round(time.Millisecond))
+		fmt.Fprintf(&b, "Local-degraded landings: %d tables, drained back %d, misplaced %d\n",
+			m.LocalDegradedTables, m.LocalDrainedBack, m.MisplacedTables)
+		fmt.Fprintf(&b, "Corruption: detected %d, repaired %d, unrepaired %d, quarantined %d (scrub passes %d)\n",
+			m.CorruptionsDetected, m.CorruptionsRepaired, m.CorruptionsUnrepaired,
+			m.QuarantinedTables, m.ScrubPasses)
+		if m.MirroredTables > 0 {
+			fmt.Fprintf(&b, "Mirrored local tables: %d\n", m.MirroredTables)
+		}
+		if m.PCacheCorruptReads > 0 {
+			fmt.Fprintf(&b, "PCache corrupt reads (self-healed): %d\n", m.PCacheCorruptReads)
+		}
+		if m.WALSpills > 0 || m.WALRestored > 0 {
+			fmt.Fprintf(&b, "WAL segments: spilled %d to backup, restored %d\n", m.WALSpills, m.WALRestored)
+		}
+	}
 
 	b.WriteString("\n** Latency (cumulative) **\n")
 	fmt.Fprintf(&b, "%-10s %10s %10s %10s %10s %10s %10s\n",

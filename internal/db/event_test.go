@@ -257,7 +257,7 @@ func TestNilListenerZeroAllocs(t *testing.T) {
 		d.evTableUploaded(1, storage.TierCloud, 4096, 1, time.Millisecond, false)
 		d.evTableDeleted(1, storage.TierCloud)
 		d.evCloudRetry("put", "tables/000001.sst", 1, retryErr)
-		d.evBreakerState("closed", "open")
+		d.evBreakerState("cloud", "closed", "open")
 		d.lat.get.Record(time.Microsecond)
 		d.lat.put.Record(time.Microsecond)
 	})

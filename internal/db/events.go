@@ -94,9 +94,29 @@ func (d *DB) evCloudRetry(op, object string, attempt int, err error) {
 	}
 }
 
-func (d *DB) evBreakerState(from, to string) {
+func (d *DB) evBreakerState(tier, from, to string) {
 	if l := d.listener; l != nil {
-		l.OnBreakerState(event.BreakerState{From: from, To: to})
+		l.OnBreakerState(event.BreakerState{From: from, To: to, Tier: tier})
+	}
+}
+
+func (d *DB) evCorruptionDetected(artifact, object string, file uint64, err error) {
+	if l := d.listener; l != nil {
+		msg := ""
+		if err != nil {
+			msg = err.Error()
+		}
+		l.OnCorruptionDetected(event.CorruptionDetected{
+			Artifact: artifact, Object: object, File: file, Err: msg,
+		})
+	}
+}
+
+func (d *DB) evCorruptionRepaired(artifact, object string, file uint64, source string, dur time.Duration) {
+	if l := d.listener; l != nil {
+		l.OnCorruptionRepaired(event.CorruptionRepaired{
+			Artifact: artifact, Object: object, File: file, Source: source, Duration: dur,
+		})
 	}
 }
 

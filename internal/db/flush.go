@@ -70,16 +70,56 @@ func (d *DB) uploadTable(t *builtTable) error {
 	name := manifest.TableName(t.meta.Num)
 	start := time.Now()
 	if t.meta.Tier != storage.TierCloud {
-		if err := storage.WriteObject(d.local, name, t.data); err != nil {
-			return err
+		// Local landing, guarded by the local breaker. While it is open the
+		// local attempt is skipped entirely (fail fast, no doomed write);
+		// when half-open the write doubles as the recovery probe.
+		var lerr error
+		if d.localBreaker.Allow() {
+			lerr = storage.WriteObject(d.local, name, t.data)
+			if lerr == nil {
+				d.localBreaker.Success()
+				d.evTableUploaded(t.meta.Num, t.meta.Tier, int64(t.meta.Size), 1, time.Since(start), false)
+				return nil
+			}
+			d.localBreaker.Failure()
 		}
-		d.evTableUploaded(t.meta.Num, t.meta.Tier, int64(t.meta.Size), 1, time.Since(start), false)
+		if d.opts.DisableLocalDegradedMode || d.cloud == nil {
+			if lerr == nil {
+				lerr = storage.ErrLocalUnavailable
+			}
+			return lerr
+		}
+		// Local-degraded landing: the table goes cloud-direct. It is marked
+		// neither PendingCloud (it is already durable at its final backend)
+		// nor local-tier — the drainer migrates it back by its misplaced
+		// level once the breaker closes.
+		attempts, cerr := d.cloudPut(name, t.data)
+		if cerr != nil {
+			if lerr == nil {
+				return fmt.Errorf("db: cloud-direct landing with local breaker open: %w", cerr)
+			}
+			return fmt.Errorf("db: cloud-direct landing after local failure (%v): %w", lerr, cerr)
+		}
+		// The sidecar write targets the failing local device; tolerate its
+		// loss — overlayMetadata rebuilds it from the cloud object's tail.
+		_ = d.writeMetaSidecar(t.meta.Num, t.metaOff, t.data[t.metaOff:])
+		t.meta.Tier = storage.TierCloud
+		d.stats.LocalDegradedTables.Add(1)
+		d.evTableUploaded(t.meta.Num, t.meta.Tier, int64(t.meta.Size), attempts, time.Since(start), true)
 		return nil
 	}
 	attempts, err := d.cloudPut(name, t.data)
 	if err == nil {
-		if err := d.writeMetaSidecar(t.meta.Num, t.metaOff, t.data[t.metaOff:]); err != nil {
-			return err
+		// The sidecar is a rebuildable cache of the object's metadata tail
+		// (overlayMetadata recreates it at the next open): losing it must not
+		// fail a flush whose data is already durable in the cloud. Routing it
+		// through the local breaker lets a failing device trip degradation.
+		if d.localBreaker.Allow() {
+			if serr := d.writeMetaSidecar(t.meta.Num, t.metaOff, t.data[t.metaOff:]); serr != nil {
+				d.localBreaker.Failure()
+			} else {
+				d.localBreaker.Success()
+			}
 		}
 		d.evTableUploaded(t.meta.Num, t.meta.Tier, int64(t.meta.Size), attempts, time.Since(start), false)
 		return nil

@@ -149,6 +149,35 @@ type Options struct {
 	// landing outputs locally as pending-upload tables.
 	DisableDegradedMode bool
 
+	// LocalBreaker tunes the circuit breaker guarding the local tier — the
+	// symmetric twin of CloudBreaker. After FailureThreshold consecutive
+	// failed local writes (ENOSPC, fsync EIO) the breaker opens and the store
+	// enters local-degraded mode: flush and compaction outputs that belong on
+	// the local tier land cloud-direct instead, the persistent cache stops
+	// admitting, and WAL segments spill to the cloud backup. A half-open
+	// probe (the next local write attempt) closes it again, after which the
+	// drainer migrates misplaced tables back. Zero fields take the breaker
+	// defaults.
+	LocalBreaker retry.BreakerConfig
+	// DisableLocalDegradedMode makes local write failures surface as flush
+	// and compaction errors instead of landing outputs cloud-direct.
+	DisableLocalDegradedMode bool
+
+	// ScrubInterval enables the background corruption scrubber: every
+	// interval one pass walks the local tier's artifacts (SSTable blocks,
+	// metadata sidecars, WAL segments, pcache index snapshot) verifying
+	// checksums, and repairs damaged artifacts that have a cloud source of
+	// truth in place. 0 (the default) disables the background loop;
+	// DB.Scrub() remains available for on-demand passes either way.
+	ScrubInterval time.Duration
+	// MirrorLocalLevels lazily uploads local-level SSTables to the cloud tier
+	// off the write path (riding the pending drainer), so every table has a
+	// cloud source of truth and any local corruption is repairable. Mirror
+	// uploads never block flushes or compactions; until a table's mirror
+	// exists it is protected only by detection (typed corruption errors, no
+	// silent wrong reads).
+	MirrorLocalLevels bool
+
 	// Shards splits the keyspace into this many independent sub-LSMs
 	// behind one DB facade. Each shard owns a full engine — memtable
 	// stack, eWAL segment stream, flush queue, compaction scheduler —
@@ -214,14 +243,16 @@ type Options struct {
 	// child Open. sharedSeqs doubles as the "this DB is a keyspace shard"
 	// marker (see DB.isShard); the rest plumb the facade-owned resources
 	// that sharding keeps global instead of per-shard.
-	shardID       int
-	sharedSeqs    *seqSource
-	sharedCache   *cache.Cache
-	sharedPCache  pcache.BlockCache
-	sharedTables  *tableCache
-	sharedLat     *latencies
-	sharedBreaker *retry.Breaker
-	breakerHooks  *breakerFanout
+	shardID            int
+	sharedSeqs         *seqSource
+	sharedCache        *cache.Cache
+	sharedPCache       pcache.BlockCache
+	sharedTables       *tableCache
+	sharedLat          *latencies
+	sharedBreaker      *retry.Breaker
+	breakerHooks       *breakerFanout
+	sharedLocalBreaker *retry.Breaker
+	localBreakerHooks  *breakerFanout
 }
 
 // DefaultOptions returns the PolicyMash configuration used throughout the
@@ -322,6 +353,9 @@ func (o Options) sanitize() Options {
 	}
 	if o.VitalsInterval < 0 {
 		o.VitalsInterval = 0
+	}
+	if o.ScrubInterval < 0 {
+		o.ScrubInterval = 0
 	}
 	if o.VitalsHistory < 0 {
 		o.VitalsHistory = 0 // NewSampler substitutes vitals.DefaultHistory

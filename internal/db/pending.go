@@ -74,7 +74,26 @@ func (d *DB) onBreakerChange(from, to retry.State) {
 		// Compactions deferred during the outage can run again.
 		d.scheduleWork()
 	}
-	d.evBreakerState(from.String(), to.String())
+	d.evBreakerState("cloud", from.String(), to.String())
+}
+
+// onLocalBreakerChange is the local tier's twin of onBreakerChange: trips
+// and half-opens mirror into stats, and the close transition wakes the
+// drainer so misplaced tables start migrating back immediately.
+func (d *DB) onLocalBreakerChange(from, to retry.State) {
+	switch to {
+	case retry.StateOpen:
+		d.stats.LocalBreakerTrips.Add(1)
+	case retry.StateHalfOpen:
+		d.stats.LocalBreakerHalfOpens.Add(1)
+	case retry.StateClosed:
+		select {
+		case d.drainWake <- struct{}{}:
+		default:
+		}
+		d.scheduleWork()
+	}
+	d.evBreakerState("local", from.String(), to.String())
 }
 
 // drainLoop runs until shutdown, retrying deferred deletes and migrating
@@ -95,6 +114,14 @@ func (d *DB) drainLoop() {
 		d.drainDeferredDeletes()
 		if d.cloudRel != nil {
 			d.drainPending()
+			// While the local breaker is open the drain-back fails fast
+			// without touching the cloud; once the cooldown elapses the
+			// round itself carries the recovery probe (drainBackOne's local
+			// write), so recovery needs no foreground traffic.
+			if d.localBreaker.State() != retry.StateOpen || d.localBreaker.ProbeDue() {
+				d.drainMisplaced()
+			}
+			d.mirrorLocals()
 		}
 	}
 }
@@ -239,6 +266,191 @@ func (d *DB) drainOne(level int, meta manifest.FileMetadata) bool {
 	return true
 }
 
+// nextMisplaced locates one misplaced file: a table sitting on the cloud
+// tier whose level belongs to the local tier under the placement policy —
+// the footprint of a cloud-direct landing during local degradation.
+func (d *DB) nextMisplaced() *pendingFile {
+	var out *pendingFile
+	d.vs.Current().AllFiles(func(level int, f *manifest.FileMetadata) {
+		if out == nil && d.isMisplaced(level, f) {
+			out = &pendingFile{level: level, meta: *f}
+		}
+	})
+	return out
+}
+
+func (d *DB) isMisplaced(level int, f *manifest.FileMetadata) bool {
+	return f.Tier == storage.TierCloud && !f.PendingCloud &&
+		d.opts.tierForLevel(level) == storage.TierLocal
+}
+
+// drainMisplaced migrates misplaced tables back to local storage one at a
+// time until the backlog is empty or either tier stops cooperating.
+func (d *DB) drainMisplaced() {
+	for {
+		select {
+		case <-d.bgQuit:
+			return
+		default:
+		}
+		p := d.nextMisplaced()
+		if p == nil {
+			return
+		}
+		if !d.drainBackOne(p.level, p.meta) {
+			return
+		}
+	}
+}
+
+// drainBackOne copies one misplaced table's bytes back to local storage and
+// installs the tier change, mirroring drainOne's liveness discipline. The
+// local write doubles as the local breaker's recovery probe: it runs only
+// when Allow() admits it, and its outcome is reported back.
+func (d *DB) drainBackOne(level int, meta manifest.FileMetadata) bool {
+	name := manifest.TableName(meta.Num)
+	data, err := d.cloud.ReadAll(name)
+	if err != nil {
+		// Cloud unreachable (or the object vanished with its table mid-race);
+		// stop the round and let the next tick re-evaluate the fresh version.
+		return false
+	}
+	if !d.localBreaker.Allow() {
+		return false
+	}
+	if err := storage.WriteObject(d.local, name, data); err != nil {
+		d.localBreaker.Failure()
+		return false
+	}
+	d.localBreaker.Success()
+
+	d.compactionMu.Lock()
+	live := false
+	for _, f := range d.vs.Current().Levels[level] {
+		if f.Num == meta.Num && f.Tier == storage.TierCloud {
+			live = true
+			break
+		}
+	}
+	if !live {
+		d.compactionMu.Unlock()
+		// Compacted away mid-drain: the fresh local copy is an orphan.
+		_ = d.local.Delete(name)
+		return true
+	}
+	newMeta := meta
+	newMeta.Tier = storage.TierLocal
+	err = d.vs.LogAndApply(&manifest.VersionEdit{
+		Deleted: []manifest.DeletedFile{{Level: level, Num: meta.Num}},
+		Added:   []manifest.AddedFile{{Level: level, Meta: newMeta}},
+	})
+	d.compactionMu.Unlock()
+	if err != nil {
+		d.mu.Lock()
+		if d.bgErr == nil {
+			d.bgErr = err
+		}
+		d.immWake.Broadcast()
+		d.mu.Unlock()
+		return false
+	}
+
+	// Reopen against the local tier on next use; the sidecar is no longer
+	// referenced (local-tier tables carry their metadata in-file).
+	d.tables.evict(meta.Num)
+	if err := d.local.Delete(metaSidecarName(meta.Num)); err != nil {
+		d.deferDelete(storage.TierLocal, metaSidecarName(meta.Num))
+	}
+	if d.opts.MirrorLocalLevels {
+		// The cloud object we just copied from is a byte-identical mirror of
+		// the new local table; keep it as the repair source.
+		d.markMirrored(meta.Num)
+	} else if err := d.cloud.Delete(name); err != nil {
+		d.deferDelete(storage.TierCloud, name)
+	}
+	d.stats.LocalDrainedBack.Add(1)
+	return true
+}
+
+// markMirrored / isMirrored / dropMirror track which local-tier tables have
+// a byte-identical cloud copy. dropMirror reports whether the table was
+// mirrored, so compaction retirement knows to delete the cloud object.
+func (d *DB) markMirrored(num uint64) {
+	d.mirrorMu.Lock()
+	d.mirrored[num] = true
+	d.mirrorMu.Unlock()
+}
+
+func (d *DB) isMirrored(num uint64) bool {
+	d.mirrorMu.Lock()
+	defer d.mirrorMu.Unlock()
+	return d.mirrored[num]
+}
+
+func (d *DB) dropMirror(num uint64) bool {
+	d.mirrorMu.Lock()
+	defer d.mirrorMu.Unlock()
+	if !d.mirrored[num] {
+		return false
+	}
+	delete(d.mirrored, num)
+	return true
+}
+
+// mirrorLocals lazily uploads local-tier tables to the cloud so every table
+// has a repair source (Options.MirrorLocalLevels). It rides the drainer —
+// strictly off the write path — and verifies each table's checksums before
+// upload so a mirror is never seeded from already-damaged bytes.
+func (d *DB) mirrorLocals() {
+	if !d.opts.MirrorLocalLevels {
+		return
+	}
+	var cands []uint64
+	d.vs.Current().AllFiles(func(level int, f *manifest.FileMetadata) {
+		if f.Tier == storage.TierLocal && !f.PendingCloud &&
+			!d.isMirrored(f.Num) && !d.isQuarantined(f.Num) {
+			cands = append(cands, f.Num)
+		}
+	})
+	for _, num := range cands {
+		select {
+		case <-d.bgQuit:
+			return
+		default:
+		}
+		name := manifest.TableName(num)
+		data, err := d.local.ReadAll(name)
+		if err != nil {
+			continue // retired mid-round; the next round sees the fresh version
+		}
+		if err := d.verifyTableBytes(data, num); err != nil {
+			// Never poison the mirror: the read path and scrubber classify
+			// the damage through their own channels.
+			continue
+		}
+		if _, err := d.cloudPut(name, data); err != nil {
+			return // cloud uncooperative; next tick
+		}
+		// A compaction may have retired the table mid-upload, in which case
+		// its retirement already passed dropMirror (a no-op then) and the
+		// fresh cloud object is an orphan until the next Open's sweep.
+		live := false
+		d.vs.Current().AllFiles(func(level int, f *manifest.FileMetadata) {
+			if f.Num == num && f.Tier == storage.TierLocal {
+				live = true
+			}
+		})
+		if !live {
+			if err := d.cloud.Delete(name); err != nil {
+				d.deferDelete(storage.TierCloud, name)
+			}
+			continue
+		}
+		d.markMirrored(num)
+		d.stats.MirroredTables.Add(1)
+	}
+}
+
 // cleanOrphans removes table objects and metadata sidecars that no version
 // references: leftovers of a crash between an object write and its
 // manifest edit, or of a degraded-mode drain cut short. It runs during
@@ -248,13 +460,18 @@ func (d *DB) cleanOrphans() {
 	localRef := map[string]bool{}
 	cloudRef := map[string]bool{}
 	sidecarRef := map[string]bool{}
+	localNum := map[string]uint64{}
 	d.vs.Current().AllFiles(func(level int, f *manifest.FileMetadata) {
 		name := manifest.TableName(f.Num)
+		// Every live table's cloud object is legitimate regardless of tier:
+		// cloud-tier primaries, lazy mirrors of local-tier tables, and copies
+		// left mid-flight by a drain in either direction.
+		cloudRef[name] = true
 		if f.Tier == storage.TierCloud {
-			cloudRef[name] = true
 			sidecarRef[metaSidecarName(f.Num)] = true
 		} else {
 			localRef[name] = true
+			localNum[name] = f.Num
 		}
 	})
 	if names, err := d.local.List("sst/"); err == nil {
@@ -278,6 +495,11 @@ func (d *DB) cleanOrphans() {
 		for _, n := range names {
 			if !cloudRef[n] {
 				_ = d.cloud.Delete(n)
+			} else if num, ok := localNum[n]; ok {
+				// A cloud copy of a live local-tier table is a mirror from a
+				// previous run; remember it so the mirror pass skips it and
+				// the repair path can trust that a source may exist.
+				d.markMirrored(num)
 			}
 		}
 	}
@@ -310,4 +532,32 @@ func (d *DB) BreakerState() string {
 		return ""
 	}
 	return d.breaker.State().String()
+}
+
+// LocalBreakerState returns the local tier's breaker position.
+func (d *DB) LocalBreakerState() string {
+	if d.localBreaker == nil {
+		return ""
+	}
+	return d.localBreaker.State().String()
+}
+
+// MisplacedTables reports how many tables are sitting on the cloud tier
+// while their level belongs to the local tier — the drain-back backlog
+// left by a local-degraded episode.
+func (d *DB) MisplacedTables() int {
+	if d.shards != nil {
+		n := 0
+		for _, sh := range d.shards {
+			n += sh.MisplacedTables()
+		}
+		return n
+	}
+	n := 0
+	d.vs.Current().AllFiles(func(level int, f *manifest.FileMetadata) {
+		if d.isMisplaced(level, f) {
+			n++
+		}
+	})
+	return n
 }

@@ -182,6 +182,22 @@ func openSharded(opts Options, local, cloud storage.Backend) (*DB, error) {
 			},
 		})
 	}
+	// The local breaker is likewise shared: the shards sit on one disk, so a
+	// device failure observed by any shard should degrade the others fast.
+	localFanout := &breakerFanout{}
+	{
+		userCB := opts.LocalBreaker.OnStateChange
+		d.localBreaker = retry.NewBreaker(retry.BreakerConfig{
+			FailureThreshold: opts.LocalBreaker.FailureThreshold,
+			Cooldown:         opts.LocalBreaker.Cooldown,
+			OnStateChange: func(from, to retry.State) {
+				localFanout.fire(from, to)
+				if userCB != nil {
+					userCB(from, to)
+				}
+			},
+		})
+	}
 
 	child := opts
 	child.EventListener = listener
@@ -194,6 +210,8 @@ func openSharded(opts Options, local, cloud storage.Backend) (*DB, error) {
 	child.sharedLat = d.lat
 	child.sharedBreaker = d.breaker
 	child.breakerHooks = fanout
+	child.sharedLocalBreaker = d.localBreaker
+	child.localBreakerHooks = localFanout
 
 	d.shards = make([]*DB, n)
 	errs := make([]error, n)
@@ -418,6 +436,9 @@ func (d *DB) shardMetrics() Metrics {
 				m.PendingTables++
 				m.PendingBytes += int64(f.Size)
 			}
+			if sh.isMisplaced(level, f) {
+				m.MisplacedTables++
+			}
 		})
 		if i < pcache.ShardBuckets-1 {
 			s.PCacheHits = pcs.ShardHits[i].Load()
@@ -447,6 +468,18 @@ func (d *DB) shardMetrics() Metrics {
 		m.DrainedTables += sh.stats.DrainedTables.Load()
 		m.DeferredDeletes += sh.stats.DeferredDeletes.Load()
 		m.CompactionsDeferred += sh.stats.CompactionsDeferred.Load()
+		m.LocalDegradedTables += sh.stats.LocalDegradedTables.Load()
+		m.LocalDrainedBack += sh.stats.LocalDrainedBack.Load()
+		m.CorruptionsDetected += sh.stats.CorruptionsDetected.Load()
+		m.CorruptionsRepaired += sh.stats.CorruptionsRepaired.Load()
+		m.CorruptionsUnrepaired += sh.stats.CorruptionsUnrepaired.Load()
+		m.ScrubPasses += sh.stats.ScrubPasses.Load()
+		m.MirroredTables += sh.stats.MirroredTables.Load()
+		m.QuarantinedTables += sh.quarantinedCount()
+		if sh.wal != nil {
+			m.WALSpills += sh.wal.Spills()
+			m.WALRestored += sh.wal.Restored()
+		}
 
 		// Per-level compaction attribution and debt sum across shards: each
 		// sub-LSM compacts its own tree, so the store-wide level picture is
@@ -468,14 +501,21 @@ func (d *DB) shardMetrics() Metrics {
 	m.PCacheHits = pcs.Hits.Load()
 	m.PCacheMisses = pcs.Misses.Load()
 
-	// Every shard observes every transition of the shared breaker, so the
-	// trip history is any one shard's count, not a sum.
+	// Every shard observes every transition of the shared breakers, so the
+	// trip histories are any one shard's counts, not sums.
 	m.BreakerTrips = d.shards[0].stats.BreakerTrips.Load()
 	m.BreakerHalfOpens = d.shards[0].stats.BreakerHalfOpens.Load()
 	if d.breaker != nil {
 		m.BreakerState = d.breaker.State().String()
 		m.DegradedDur = d.breaker.DegradedDur()
 	}
+	m.LocalBreakerTrips = d.shards[0].stats.LocalBreakerTrips.Load()
+	m.LocalBreakerHalfOpens = d.shards[0].stats.LocalBreakerHalfOpens.Load()
+	if d.localBreaker != nil {
+		m.LocalBreakerState = d.localBreaker.State().String()
+		m.LocalDegradedDur = d.localBreaker.DegradedDur()
+	}
+	m.PCacheCorruptReads = pcs.CorruptReads.Load()
 	// The instrumented backends delegate Stats to the shared device, so
 	// any shard's snapshot is the global per-device I/O view.
 	m.LocalIO = d.shards[0].local.Stats().Snapshot()

@@ -37,10 +37,24 @@ type Stats struct {
 	DrainedTables       atomic.Int64 // pending tables migrated to cloud
 	DeferredDeletes     atomic.Int64 // object deletions queued for retry
 	CompactionsDeferred atomic.Int64 // compactions postponed by an open breaker
-	Compactions         atomic.Int64
-	CompactBytesIn      atomic.Int64
-	CompactBytesOut     atomic.Int64
-	CompactDroppedKeys  atomic.Int64
+
+	// Local-tier fault-tolerance counters (the self-healing layer): the
+	// local breaker's history, tables landed cloud-direct while the local
+	// tier was degraded and later migrated back, corruption scrub/repair
+	// outcomes, and lazy mirror uploads of local-level tables.
+	LocalBreakerTrips     atomic.Int64
+	LocalBreakerHalfOpens atomic.Int64
+	LocalDegradedTables   atomic.Int64 // tables landed cloud-direct during local degradation
+	LocalDrainedBack      atomic.Int64 // misplaced tables migrated back to local
+	CorruptionsDetected   atomic.Int64 // checksum failures classified on local artifacts
+	CorruptionsRepaired   atomic.Int64 // artifacts re-materialized from a cloud source
+	CorruptionsUnrepaired atomic.Int64 // damage with no clean source (quarantined)
+	ScrubPasses           atomic.Int64 // completed scrub walks
+	MirroredTables        atomic.Int64 // local-level tables lazily copied to cloud
+	Compactions           atomic.Int64
+	CompactBytesIn        atomic.Int64
+	CompactBytesOut       atomic.Int64
+	CompactDroppedKeys    atomic.Int64
 
 	// I/O pipeline counters: coalesced range GETs issued by the compaction
 	// prefetcher and by iterator readahead, and the blocks they carried.
@@ -308,6 +322,27 @@ type Metrics struct {
 	PendingTables       int
 	PendingBytes        int64
 
+	// Local-tier robustness state (the self-healing layer): the local
+	// breaker's position and history, cloud-direct landings and drain-backs,
+	// corruption scrub/repair reconciliation, quarantined tables, mirror
+	// uploads, pcache CRC misses, and WAL segment spill/restore counts.
+	LocalBreakerState     string
+	LocalBreakerTrips     int64
+	LocalBreakerHalfOpens int64
+	LocalDegradedDur      time.Duration
+	LocalDegradedTables   int64
+	LocalDrainedBack      int64
+	MisplacedTables       int // cloud-landed tables awaiting drain-back to local
+	CorruptionsDetected   int64
+	CorruptionsRepaired   int64
+	CorruptionsUnrepaired int64
+	QuarantinedTables     int
+	ScrubPasses           int64
+	MirroredTables        int64
+	PCacheCorruptReads    int64
+	WALSpills             int64
+	WALRestored           int64
+
 	// Read-path attribution (per-level serves, per-tier blocks, bloom
 	// effectiveness); zero-valued when ReadProfileSampleRate is negative.
 	ReadAmp ReadAmp
@@ -467,6 +502,16 @@ func (d *DB) Metrics() Metrics {
 		DeferredDeletes:     d.stats.DeferredDeletes.Load(),
 		CompactionsDeferred: d.stats.CompactionsDeferred.Load(),
 
+		LocalBreakerTrips:     d.stats.LocalBreakerTrips.Load(),
+		LocalBreakerHalfOpens: d.stats.LocalBreakerHalfOpens.Load(),
+		LocalDegradedTables:   d.stats.LocalDegradedTables.Load(),
+		LocalDrainedBack:      d.stats.LocalDrainedBack.Load(),
+		CorruptionsDetected:   d.stats.CorruptionsDetected.Load(),
+		CorruptionsRepaired:   d.stats.CorruptionsRepaired.Load(),
+		CorruptionsUnrepaired: d.stats.CorruptionsUnrepaired.Load(),
+		ScrubPasses:           d.stats.ScrubPasses.Load(),
+		MirroredTables:        d.stats.MirroredTables.Load(),
+
 		GetLat:      summarize(d.lat.get),
 		PutLat:      summarize(d.lat.put),
 		FlushLat:    summarize(d.lat.flush),
@@ -494,10 +539,22 @@ func (d *DB) Metrics() Metrics {
 			m.PendingTables++
 			m.PendingBytes += int64(f.Size)
 		}
+		if d.isMisplaced(level, f) {
+			m.MisplacedTables++
+		}
 	})
 	if d.breaker != nil {
 		m.BreakerState = d.breaker.State().String()
 		m.DegradedDur = d.breaker.DegradedDur()
+	}
+	if d.localBreaker != nil {
+		m.LocalBreakerState = d.localBreaker.State().String()
+		m.LocalDegradedDur = d.localBreaker.DegradedDur()
+	}
+	m.QuarantinedTables = d.quarantinedCount()
+	if d.wal != nil {
+		m.WALSpills = d.wal.Spills()
+		m.WALRestored = d.wal.Restored()
 	}
 	if d.cloud != nil {
 		m.CloudIO = d.cloud.Stats().Snapshot()
@@ -509,6 +566,7 @@ func (d *DB) Metrics() Metrics {
 	pcs := d.pcache.Stats()
 	m.PCacheHits = pcs.Hits.Load()
 	m.PCacheMisses = pcs.Misses.Load()
+	m.PCacheCorruptReads = pcs.CorruptReads.Load()
 	for b := 0; b < pcache.LevelBuckets; b++ {
 		m.ReadAmp.PCacheLevelHits[b] = pcs.LevelHits[b].Load()
 		m.ReadAmp.PCacheLevelMisses[b] = pcs.LevelMisses[b].Load()

@@ -2,6 +2,7 @@ package db
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -119,26 +120,31 @@ func (tc *tableCache) get(d *DB, meta *manifest.FileMetadata) (*tableHandle, err
 	}
 	tc.mu.Unlock()
 
-	// Open outside the cache lock: cloud opens can be slow.
-	be := d.backendFor(meta.Tier)
-	f, err := be.Open(manifest.TableName(meta.Num))
-	if err != nil {
-		return nil, fmt.Errorf("db: opening table %s: %w", meta, err)
-	}
-	if meta.Tier == storage.TierCloud {
-		// Per the placement rule, table metadata lives locally: overlay
-		// the sidecar so Open performs zero cloud I/O. A missing sidecar
-		// (crash window) is rebuilt from the cloud copy.
-		f, err = d.overlayMetadata(f, meta)
-		if err != nil {
-			f.Close()
-			return nil, err
+	// Open outside the cache lock: cloud opens can be slow. A corrupt open
+	// is classified and repaired, then retried: for a local-tier table the
+	// damage is in the file itself (cloud-backed rewrite); for a cloud-tier
+	// table the authoritative object was not touched, so the garbage came
+	// from the locally cached metadata sidecar — drop it and the retry's
+	// overlayMetadata rebuilds it from the object's own tail.
+	var r *sstable.Reader
+	var err error
+	for attempt := 0; ; attempt++ {
+		r, err = tc.open(d, meta)
+		if err == nil || attempt >= 2 || !errors.Is(err, sstable.ErrCorrupt) {
+			break
+		}
+		if meta.Tier == storage.TierCloud {
+			if !d.repairSidecar(meta.Num, err) {
+				break
+			}
+			continue
+		}
+		if _, rerr := d.repairLocalTable(meta.Num, err, false); rerr != nil {
+			return nil, rerr
 		}
 	}
-	r, err := sstable.Open(f, meta.Num)
 	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("db: reading table %s metadata: %w", meta, err)
+		return nil, err
 	}
 	h := &tableHandle{reader: r, tier: meta.Tier, db: d, refs: 1, cache: tc}
 	r.SetFetch(tc.fetchFor(h))
@@ -161,6 +167,31 @@ func (tc *tableCache) get(d *DB, meta *manifest.FileMetadata) (*tableHandle, err
 	tc.enforceCapLocked()
 	tc.mu.Unlock()
 	return h, nil
+}
+
+// open performs one open attempt against the table's backend.
+func (tc *tableCache) open(d *DB, meta *manifest.FileMetadata) (*sstable.Reader, error) {
+	be := d.backendFor(meta.Tier)
+	f, err := be.Open(manifest.TableName(meta.Num))
+	if err != nil {
+		return nil, fmt.Errorf("db: opening table %s: %w", meta, err)
+	}
+	if meta.Tier == storage.TierCloud {
+		// Per the placement rule, table metadata lives locally: overlay
+		// the sidecar so Open performs zero cloud I/O. A missing sidecar
+		// (crash window) is rebuilt from the cloud copy.
+		f, err = d.overlayMetadata(f, meta)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	r, err := sstable.Open(f, meta.Num)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("db: reading table %s metadata: %w", meta, err)
+	}
+	return r, nil
 }
 
 // fetchFor builds the data-block fetch path for one table:
@@ -210,6 +241,17 @@ func (tc *tableCache) fetchFor(h *tableHandle) sstable.FetchFunc {
 			}
 		}
 		body, err := sstable.ReadRawBlock(h.reader.File(), hd)
+		if err != nil && h.tier != storage.TierCloud && errors.Is(err, sstable.ErrCorrupt) {
+			// A local-tier block failed its CRC: repair from the cloud copy
+			// and serve this read from the freshly verified bytes — never a
+			// silently wrong value, never a raw checksum error if a clean
+			// source exists.
+			data, rerr := db.repairLocalTable(fileNum, err, false)
+			if rerr != nil {
+				return nil, rerr
+			}
+			body, err = sstable.ReadRawBlock(bytesReader{data}, hd)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -248,7 +290,17 @@ func (tc *tableCache) compactionFetchFor(h *tableHandle) sstable.FetchFunc {
 				return body, nil
 			}
 		}
-		return sstable.ReadRawBlock(h.reader.File(), hd)
+		body, err := sstable.ReadRawBlock(h.reader.File(), hd)
+		if err != nil && h.tier != storage.TierCloud && errors.Is(err, sstable.ErrCorrupt) {
+			// Compaction inputs get the same cloud-backed repair as the read
+			// path, so one damaged block doesn't wedge the tree.
+			data, rerr := db.repairLocalTable(fileNum, err, false)
+			if rerr != nil {
+				return nil, rerr
+			}
+			return sstable.ReadRawBlock(bytesReader{data}, hd)
+		}
+		return body, err
 	}
 }
 
@@ -322,9 +374,10 @@ func (d *DB) overlayMetadata(f storage.Reader, meta *manifest.FileMetadata) (sto
 		if err != nil {
 			return f, fmt.Errorf("db: rebuilding metadata for %s: %w", meta, err)
 		}
-		if werr := d.writeMetaSidecar(meta.Num, tailOff, tail); werr != nil {
-			return f, werr
-		}
+		// Re-persisting is best-effort: the tail is already in hand, and a
+		// full local disk must not fail a read it cannot improve. The next
+		// open just rebuilds again.
+		_ = d.writeMetaSidecar(meta.Num, tailOff, tail)
 	}
 	return sstable.NewTailReader(f, int64(tailOff), tail), nil
 }

@@ -82,6 +82,13 @@ func (d *DB) VitalsSample() vitals.Sample {
 		PendingBytes:   m.PendingBytes,
 		Breaker:        m.BreakerState,
 
+		LocalBreaker:        m.LocalBreakerState,
+		MisplacedTables:     m.MisplacedTables,
+		LocalDegradedTables: m.LocalDegradedTables,
+		LocalDrainedBack:    m.LocalDrainedBack,
+		CorruptionsDetected: m.CorruptionsDetected,
+		CorruptionsRepaired: m.CorruptionsRepaired,
+
 		CostStorageMonthly: m.CloudCost.StorageCost,
 		CostRequest:        m.CloudCost.RequestCost,
 		CostEgress:         m.CloudCost.EgressCost,

@@ -38,6 +38,9 @@ const (
 	TCloudRetry      Type = "cloud_retry"
 	TBreakerState    Type = "breaker_state"
 	TSlowRead        Type = "slow_read"
+
+	TCorruptionDetected Type = "corruption_detected"
+	TCorruptionRepaired Type = "corruption_repaired"
 )
 
 // FlushBegin fires when a sealed memtable (or recovery memtables) starts
@@ -159,12 +162,40 @@ type CloudRetry struct {
 	Err     string `json:"err"`
 }
 
-// BreakerState fires when the cloud circuit breaker transitions (for
-// example "closed" -> "open" when an outage is detected, or
-// "half-open" -> "closed" when a probe succeeds).
+// BreakerState fires when a circuit breaker transitions (for example
+// "closed" -> "open" when an outage is detected, or "half-open" -> "closed"
+// when a probe succeeds). Tier identifies which breaker moved: "cloud"
+// (the cloud-outage breaker) or "local" (the local-media breaker guarding
+// disk-full / fsync-EIO degradation). Empty means cloud, for traces written
+// before the local breaker existed.
 type BreakerState struct {
 	From string `json:"from"`
 	To   string `json:"to"`
+	Tier string `json:"tier,omitempty"`
+}
+
+// CorruptionDetected fires when a checksum or structural verification
+// failure is classified on a local artifact — by the background scrubber or
+// by an in-flight read. Artifact is the artifact class: "sstable-block",
+// "sstable-meta", "sidecar", "wal-segment", "pcache". Object is the storage
+// object name; File the table/segment number when applicable.
+type CorruptionDetected struct {
+	Artifact string `json:"artifact"`
+	Object   string `json:"object"`
+	File     uint64 `json:"file,omitempty"`
+	Err      string `json:"err"`
+}
+
+// CorruptionRepaired fires when a damaged local artifact has been
+// re-materialized from its cloud source of truth. Source names where the
+// clean copy came from ("cloud-object", "cloud-mirror", "wal-backup",
+// "meta-tail").
+type CorruptionRepaired struct {
+	Artifact string        `json:"artifact"`
+	Object   string        `json:"object"`
+	File     uint64        `json:"file,omitempty"`
+	Source   string        `json:"source"`
+	Duration time.Duration `json:"dur"`
 }
 
 // SlowRead reports one of the worst timed Gets of a tracking interval,
@@ -207,6 +238,8 @@ type Listener interface {
 	OnCloudRetry(CloudRetry)
 	OnBreakerState(BreakerState)
 	OnSlowRead(SlowRead)
+	OnCorruptionDetected(CorruptionDetected)
+	OnCorruptionRepaired(CorruptionRepaired)
 }
 
 // NopListener implements Listener with no-ops; embed it in partial
@@ -227,6 +260,9 @@ func (NopListener) OnPCacheEvict(PCacheEvict)         {}
 func (NopListener) OnCloudRetry(CloudRetry)           {}
 func (NopListener) OnBreakerState(BreakerState)       {}
 func (NopListener) OnSlowRead(SlowRead)               {}
+
+func (NopListener) OnCorruptionDetected(CorruptionDetected) {}
+func (NopListener) OnCorruptionRepaired(CorruptionRepaired) {}
 
 // multi fans every event out to each listener in order.
 type multi []Listener
@@ -318,5 +354,15 @@ func (m multi) OnBreakerState(e BreakerState) {
 func (m multi) OnSlowRead(e SlowRead) {
 	for _, l := range m {
 		l.OnSlowRead(e)
+	}
+}
+func (m multi) OnCorruptionDetected(e CorruptionDetected) {
+	for _, l := range m {
+		l.OnCorruptionDetected(e)
+	}
+}
+func (m multi) OnCorruptionRepaired(e CorruptionRepaired) {
+	for _, l := range m {
+		l.OnCorruptionRepaired(e)
 	}
 }

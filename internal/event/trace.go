@@ -57,6 +57,10 @@ func (r Record) Decode() (any, error) {
 		p = &BreakerState{}
 	case TSlowRead:
 		p = &SlowRead{}
+	case TCorruptionDetected:
+		p = &CorruptionDetected{}
+	case TCorruptionRepaired:
+		p = &CorruptionRepaired{}
 	default:
 		return nil, fmt.Errorf("event: unknown trace record type %q", r.Type)
 	}
@@ -90,6 +94,10 @@ func (r Record) Decode() (any, error) {
 	case *CloudRetry:
 		return *e, nil
 	case *BreakerState:
+		return *e, nil
+	case *CorruptionDetected:
+		return *e, nil
+	case *CorruptionRepaired:
 		return *e, nil
 	default:
 		return *p.(*SlowRead), nil
@@ -183,6 +191,9 @@ func (t *TraceWriter) OnPCacheEvict(e PCacheEvict)         { t.emit(TPCacheEvict
 func (t *TraceWriter) OnCloudRetry(e CloudRetry)           { t.emit(TCloudRetry, e) }
 func (t *TraceWriter) OnBreakerState(e BreakerState)       { t.emit(TBreakerState, e) }
 func (t *TraceWriter) OnSlowRead(e SlowRead)               { t.emit(TSlowRead, e) }
+
+func (t *TraceWriter) OnCorruptionDetected(e CorruptionDetected) { t.emit(TCorruptionDetected, e) }
+func (t *TraceWriter) OnCorruptionRepaired(e CorruptionRepaired) { t.emit(TCorruptionRepaired, e) }
 
 // ReadTrace decodes a JSONL trace stream. Blank lines are skipped; a
 // malformed line aborts with its line number.
@@ -284,3 +295,6 @@ func (r *Recorder) OnPCacheEvict(e PCacheEvict)         { r.add(TPCacheEvict, e)
 func (r *Recorder) OnCloudRetry(e CloudRetry)           { r.add(TCloudRetry, e) }
 func (r *Recorder) OnBreakerState(e BreakerState)       { r.add(TBreakerState, e) }
 func (r *Recorder) OnSlowRead(e SlowRead)               { r.add(TSlowRead, e) }
+
+func (r *Recorder) OnCorruptionDetected(e CorruptionDetected) { r.add(TCorruptionDetected, e) }
+func (r *Recorder) OnCorruptionRepaired(e CorruptionRepaired) { r.add(TCorruptionRepaired, e) }

@@ -24,6 +24,7 @@ type GenericLRU struct {
 	heat     *heatMap
 	levels   *levelMap
 	ev       event.Listener // set once before concurrent use; nil disables events
+	admit    func() bool    // set once before concurrent use; nil always admits
 
 	mu    sync.Mutex
 	items map[blockKey]*genericEntry
@@ -35,6 +36,9 @@ type GenericLRU struct {
 // SetListener attaches an event listener. Must be called before the cache
 // is shared between goroutines; a nil listener keeps every path event-free.
 func (g *GenericLRU) SetListener(l event.Listener) { g.ev = l }
+
+// SetAdmit implements BlockCache.
+func (g *GenericLRU) SetAdmit(f func() bool) { g.admit = f }
 
 func (g *GenericLRU) takePendLocked() []event.PCacheEvict {
 	evs := g.pend
@@ -137,6 +141,10 @@ func (g *GenericLRU) get(fileNum, blockOff uint64) ([]byte, bool) {
 
 // Put implements BlockCache.
 func (g *GenericLRU) Put(fileNum, blockOff uint64, body []byte) {
+	if g.admit != nil && !g.admit() {
+		g.stats.AdmitDeclined.Add(1)
+		return
+	}
 	if int64(len(body)) > g.capacity {
 		return
 	}

@@ -58,6 +58,10 @@ type PCache struct {
 	heat   *heatMap
 	levels *levelMap
 	ev     event.Listener // set once before concurrent use; nil disables events
+	admit  func() bool    // set once before concurrent use; nil always admits
+	// indexCorrupt records that New found an INDEX snapshot that failed its
+	// checksum (as opposed to a clean cold start with no snapshot at all).
+	indexCorrupt bool
 
 	mu       sync.Mutex
 	regions  []region
@@ -75,6 +79,13 @@ type PCache struct {
 // SetListener attaches an event listener. Must be called before the cache
 // is shared between goroutines; a nil listener keeps every path event-free.
 func (c *PCache) SetListener(l event.Listener) { c.ev = l }
+
+// SetAdmit implements BlockCache.
+func (c *PCache) SetAdmit(f func() bool) { c.admit = f }
+
+// IndexWasCorrupt reports whether the startup index snapshot existed but
+// failed verification (the cache cold-started as the repair).
+func (c *PCache) IndexWasCorrupt() bool { return c.indexCorrupt }
 
 // takePendLocked drains the events collected under mu.
 func (c *PCache) takePendLocked() []event.PCacheEvict {
@@ -130,6 +141,9 @@ func New(opts Options) (*PCache, error) {
 	if err := c.loadIndex(); err != nil {
 		// Cold start on any index problem; cache contents are disposable.
 		c.resetLocked()
+		if errors.Is(err, errBadIndex) {
+			c.indexCorrupt = true
+		}
 	}
 	return c, nil
 }
@@ -200,15 +214,45 @@ func (c *PCache) get(fileNum, blockOff uint64) ([]byte, bool) {
 	}
 	if crc32.Checksum(buf, castagnoli) != wantCRC {
 		// Torn write or bit rot in the cache file: treat as a miss; the
-		// authoritative copy lives in cloud storage.
+		// authoritative copy lives in cloud storage. Drop the damaged entry
+		// so the next read re-fetches and re-admits clean bytes instead of
+		// re-verifying the same rot forever.
+		c.stats.CorruptReads.Add(1)
+		c.dropEntry(fileNum, blockOff)
+		if c.ev != nil {
+			c.ev.OnCorruptionDetected(event.CorruptionDetected{
+				Artifact: "pcache", Object: "DATA", File: fileNum,
+				Err: "pcache: block crc mismatch",
+			})
+		}
 		return nil, false
 	}
 	return buf, true
 }
 
+// dropEntry removes one block's index entry (its bytes stay dead in the
+// region until the region is reused).
+func (c *PCache) dropEntry(fileNum, blockOff uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, id := range c.byFile[fileNum] {
+		r := &c.regions[id]
+		es := r.entries
+		i := sort.Search(len(es), func(i int) bool { return es[i].blockOff >= blockOff })
+		if i < len(es) && es[i].blockOff == blockOff {
+			r.entries = append(es[:i], es[i+1:]...)
+			return
+		}
+	}
+}
+
 // Put implements BlockCache: append the block into the file's open region,
 // allocating (and if necessary evicting) regions as needed.
 func (c *PCache) Put(fileNum, blockOff uint64, body []byte) {
+	if c.admit != nil && !c.admit() {
+		c.stats.AdmitDeclined.Add(1)
+		return
+	}
 	c.mu.Lock()
 	n := c.putLocked(fileNum, blockOff, body)
 	evs := c.takePendLocked()
@@ -223,6 +267,10 @@ func (c *PCache) Put(fileNum, blockOff uint64, body []byte) {
 // Adjacent blocks of one file land back to back in the file's open regions,
 // preserving the compaction-aware layout.
 func (c *PCache) PutBulk(fileNum uint64, blocks []Block) {
+	if c.admit != nil && !c.admit() {
+		c.stats.AdmitDeclined.Add(int64(len(blocks)))
+		return
+	}
 	var n int64
 	var cnt int
 	c.mu.Lock()
@@ -456,7 +504,13 @@ func (c *PCache) SaveIndex() error {
 	return os.Rename(tmp, filepath.Join(c.opts.Dir, "INDEX"))
 }
 
-var errBadIndex = errors.New("pcache: bad index snapshot")
+var (
+	errBadIndex = errors.New("pcache: bad index snapshot")
+	// errStaleIndex marks a structurally intact snapshot written under a
+	// different geometry or format version: a clean invalidation, not
+	// corruption (IndexWasCorrupt stays false).
+	errStaleIndex = errors.New("pcache: stale index snapshot")
+)
 
 func (c *PCache) loadIndex() error {
 	data, err := os.ReadFile(filepath.Join(c.opts.Dir, "INDEX"))
@@ -479,17 +533,17 @@ func (c *PCache) loadIndex() error {
 	}
 	p = p[8:]
 	if binary.LittleEndian.Uint32(p) != indexVersion {
-		return errBadIndex
+		return errStaleIndex
 	}
 	p = p[4:]
 	if int64(binary.LittleEndian.Uint64(p)) != c.opts.RegionBytes {
-		return errBadIndex // geometry changed: discard
+		return errStaleIndex // geometry changed: discard
 	}
 	p = p[8:]
 	n := binary.LittleEndian.Uint32(p)
 	p = p[4:]
 	if int(n) != len(c.regions) {
-		return errBadIndex
+		return errStaleIndex
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -55,6 +55,14 @@ type Stats struct {
 	BytesInserted  atomic.Int64
 	RegionsEvicted atomic.Int64
 	FilesDropped   atomic.Int64
+	// CorruptReads counts Gets whose cached bytes failed their CRC (torn
+	// write or bit rot in the cache file). Each is served as a miss — the
+	// authoritative copy lives in cloud storage — and the damaged entry is
+	// dropped so the next read re-fetches and re-admits clean bytes.
+	CorruptReads atomic.Int64
+	// AdmitDeclined counts Puts refused by the admission gate (local-degraded
+	// mode: the cache must not write to a failing local device).
+	AdmitDeclined atomic.Int64
 	// LevelHits/LevelMisses break Get outcomes down by the requested
 	// file's LSM level (see LevelBucket); they sum to Hits/Misses.
 	LevelHits   [LevelBuckets]atomic.Int64
@@ -140,6 +148,12 @@ type BlockCache interface {
 	// attributed per level. The DB calls it when a table is installed
 	// (flush, compaction, open); unknown files land in the last bucket.
 	SetLevel(fileNum uint64, level int)
+	// SetAdmit installs an admission gate consulted before every Put and
+	// PutBulk; returning false declines the admission (counted in
+	// Stats.AdmitDeclined). The DB gates admissions off while the local
+	// tier is degraded — cache writes land on the failing device. Must be
+	// set before the cache is shared between goroutines; nil always admits.
+	SetAdmit(func() bool)
 	// FileHeat returns the number of reads issued against fileNum since
 	// it was first seen; compaction uses it for admission inheritance.
 	FileHeat(fileNum uint64) int64
@@ -185,6 +199,9 @@ func (n *Null) DropFile(uint64) {}
 
 // SetLevel is a no-op.
 func (n *Null) SetLevel(uint64, int) {}
+
+// SetAdmit is a no-op (nothing is ever admitted).
+func (n *Null) SetAdmit(func() bool) {}
 
 // FileHeat is always zero.
 func (n *Null) FileHeat(uint64) int64 { return 0 }

@@ -174,6 +174,9 @@ func TestMashCorruptIndexColdStarts(t *testing.T) {
 	if _, ok := c2.Get(9, 0); ok {
 		t.Fatal("corrupt index should cold-start")
 	}
+	if !c2.IndexWasCorrupt() {
+		t.Fatal("IndexWasCorrupt not reported for a checksum-failed snapshot")
+	}
 	// Cache still functions.
 	c2.Put(1, 0, []byte("y"))
 	if _, ok := c2.Get(1, 0); !ok {
@@ -195,6 +198,9 @@ func TestMashGeometryChangeColdStarts(t *testing.T) {
 	if _, ok := c2.Get(9, 0); ok {
 		t.Fatal("changed region size must invalidate the index")
 	}
+	if c2.IndexWasCorrupt() {
+		t.Fatal("geometry change is a clean invalidation, not corruption")
+	}
 }
 
 func TestMashCorruptDataDetected(t *testing.T) {
@@ -214,6 +220,22 @@ func TestMashCorruptDataDetected(t *testing.T) {
 	f.Close()
 	if _, ok := c.Get(4, 0); ok {
 		t.Fatal("corrupt cached block returned as hit")
+	}
+	if n := c.Stats().CorruptReads.Load(); n != 1 {
+		t.Fatalf("CorruptReads = %d, want 1", n)
+	}
+	// The damaged entry was dropped: the next read is a plain miss, not a
+	// second corruption.
+	if _, ok := c.Get(4, 0); ok {
+		t.Fatal("dropped entry still served")
+	}
+	if n := c.Stats().CorruptReads.Load(); n != 1 {
+		t.Fatalf("CorruptReads after drop = %d, want 1", n)
+	}
+	// Self-heal: re-admitting clean bytes serves hits again.
+	c.Put(4, 0, bytes.Repeat([]byte("z"), 512))
+	if _, ok := c.Get(4, 0); !ok {
+		t.Fatal("re-admitted block not served")
 	}
 }
 

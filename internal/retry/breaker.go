@@ -181,6 +181,17 @@ func (b *Breaker) State() State {
 	return b.state
 }
 
+// ProbeDue reports that the breaker is open with its cooldown elapsed: the
+// next Allow() would admit a half-open recovery probe. Background loops
+// that fail fast while the breaker is open use this to know when issuing a
+// request is worthwhile again — state transitions happen lazily in Allow,
+// so without ProbeDue a quiescent system would never leave StateOpen.
+func (b *Breaker) ProbeDue() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == StateOpen && time.Since(b.openedAt) >= b.cfg.Cooldown
+}
+
 // Trips returns how many times the breaker has opened.
 func (b *Breaker) Trips() int64 {
 	b.mu.Lock()

@@ -42,6 +42,18 @@ var ErrNotFound = errors.New("storage: object not found")
 // errors.Is to distinguish an outage from data-level errors.
 var ErrCloudUnavailable = errors.New("storage: cloud unavailable")
 
+// ErrLocalUnavailable is the local tier's twin of ErrCloudUnavailable: the
+// local device's circuit breaker is open (repeated ENOSPC or fsync
+// failures) and local writes fail fast while the store runs degraded.
+var ErrLocalUnavailable = errors.New("storage: local tier unavailable")
+
+// ErrCorruption classifies data-integrity failures: a checksum mismatch, a
+// bit-flipped block, a malformed footer. Unlike a transient request fault,
+// re-reading the same replica cannot fix corruption, so the Reliable
+// wrapper never retries an error wrapping this sentinel — the caller must
+// repair from another source or surface a typed error.
+var ErrCorruption = errors.New("storage: data corruption")
+
 // Writer is a handle for creating an object. Cloud semantics: the object
 // becomes visible atomically at Close; Sync is a no-op there. Local
 // semantics: Sync flushes to stable media.

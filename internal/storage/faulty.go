@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,6 +32,25 @@ type FaultConfig struct {
 	// of its unsynced bytes — a local-media power-loss model. The commit
 	// still reports failure so the caller knows the object is suspect.
 	TornWriteRate float64
+	// CorruptRate flips one random bit in the result of a successful read
+	// (ReadAt and ReadAll) with this probability — a silent-media-corruption
+	// model for the local tier. The request itself succeeds; only the bytes
+	// are wrong, so checksum verification is what must catch it.
+	CorruptRate float64
+	// WriteBudgetBytes, when positive, models a filling disk: once this many
+	// bytes have been written through the wrapper, every further write and
+	// object creation fails with an injected ENOSPC. Zero disables.
+	WriteBudgetBytes int64
+	// SyncFailures, when positive, fails the next N Sync calls with an
+	// injected EIO — the fsyncgate scenario. The writer is marked failed, so
+	// a subsequent Sync or Close must not silently succeed.
+	SyncFailures int
+	// BudgetExemptPrefixes lists object-name prefixes whose writes bypass
+	// the write budget — modeling the reserved metadata headroom real
+	// deployments keep (ext4 reserved blocks, ZFS slop space) so tiny
+	// version-edit appends survive a data disk that large table and WAL
+	// writes have filled.
+	BudgetExemptPrefixes []string
 	// ExtraLatency is added to every request that passes the fault checks.
 	ExtraLatency time.Duration
 }
@@ -49,7 +69,13 @@ type Faulty struct {
 	outage        bool
 	outageUntil   time.Time // zero = until EndOutage
 	hook          func(op, name string) error
+	corruptRate   float64 // guarded by mu; runtime-adjustable
 	injectedFault atomic.Int64
+
+	writeBudget atomic.Int64 // 0 = unlimited
+	written     atomic.Int64
+	syncFails   atomic.Int64
+	corrupted   atomic.Int64
 }
 
 // NewFaulty wraps b with the given fault configuration.
@@ -58,7 +84,11 @@ func NewFaulty(b Backend, cfg FaultConfig) *Faulty {
 	if seed == 0 {
 		seed = time.Now().UnixNano()
 	}
-	return &Faulty{b: b, cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	f := &Faulty{b: b, cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	f.corruptRate = cfg.CorruptRate
+	f.writeBudget.Store(cfg.WriteBudgetBytes)
+	f.syncFails.Store(int64(cfg.SyncFailures))
+	return f
 }
 
 // Unwrap returns the wrapped backend (BaseBackend compatibility).
@@ -114,6 +144,84 @@ func (f *Faulty) SetHook(fn func(op, name string) error) {
 
 // InjectedFaults returns how many requests this wrapper has failed.
 func (f *Faulty) InjectedFaults() int64 { return f.injectedFault.Load() }
+
+// CorruptedReads returns how many reads had a bit silently flipped.
+func (f *Faulty) CorruptedReads() int64 { return f.corrupted.Load() }
+
+// SetCorruptRate adjusts the silent read-corruption probability at runtime,
+// so a chaos phase can turn the bit-flip storm on and off mid-run.
+func (f *Faulty) SetCorruptRate(rate float64) {
+	f.mu.Lock()
+	f.corruptRate = rate
+	f.mu.Unlock()
+}
+
+// SetWriteBudget (re)arms the filling-disk model: writes fail with an
+// injected ENOSPC once the cumulative bytes written exceed budget. A zero
+// or negative budget clears the limit. The written counter is not reset, so
+// passing a budget at or below the bytes already written makes the very
+// next write fail — the "disk just filled up" chaos phase.
+func (f *Faulty) SetWriteBudget(budget int64) {
+	if budget < 0 {
+		budget = 0
+	}
+	f.writeBudget.Store(budget)
+}
+
+// SetSyncFailures arms the next n Sync calls to fail with an injected EIO.
+func (f *Faulty) SetSyncFailures(n int) { f.syncFails.Store(int64(n)) }
+
+// WrittenBytes returns the cumulative bytes written through the wrapper —
+// the counter the write budget is charged against. A chaos phase that
+// wants a nearly-full disk (big writes fail, small metadata appends still
+// fit) sets the budget to WrittenBytes() plus a little headroom.
+func (f *Faulty) WrittenBytes() int64 { return f.written.Load() }
+
+// overBudget reports whether n more bytes would exceed the write budget.
+func (f *Faulty) overBudget(n int) bool {
+	budget := f.writeBudget.Load()
+	return budget > 0 && f.written.Load()+int64(n) > budget
+}
+
+// budgetExempt reports whether writes to name draw from the reserved
+// metadata headroom instead of the budgeted data space.
+func (f *Faulty) budgetExempt(name string) bool {
+	for _, p := range f.cfg.BudgetExemptPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// corrupt flips one random bit of p when the corruption roll hits,
+// returning whether it did.
+func (f *Faulty) corrupt(p []byte) bool {
+	if len(p) == 0 {
+		return false
+	}
+	f.mu.Lock()
+	rate := f.corruptRate
+	hit := rate > 0 && f.rng.Float64() < rate
+	var idx, bit int
+	if hit {
+		idx = f.rng.Intn(len(p))
+		bit = f.rng.Intn(8)
+	}
+	f.mu.Unlock()
+	if !hit {
+		return false
+	}
+	p[idx] ^= 1 << uint(bit)
+	f.corrupted.Add(1)
+	return true
+}
+
+// errNoSpace builds the injected ENOSPC error.
+func (f *Faulty) errNoSpace(name string) error {
+	f.injectedFault.Add(1)
+	return fmt.Errorf("%w: no space left on device (%s)", ErrInjected, name)
+}
 
 // hookErr consults only the hook (used by writer sub-operations, where
 // rate-based faults would compound per Write call).
@@ -182,6 +290,7 @@ type faultyWriter struct {
 	name   string
 	buf    []byte
 	failed bool
+	exempt bool // draws from reserved metadata headroom, not the budget
 }
 
 func (w *faultyWriter) Write(p []byte) (int, error) {
@@ -189,14 +298,32 @@ func (w *faultyWriter) Write(p []byte) (int, error) {
 		w.failed = true
 		return 0, err
 	}
+	if !w.exempt {
+		if w.f.overBudget(len(p)) {
+			w.failed = true
+			return 0, w.f.errNoSpace(w.name)
+		}
+		w.f.written.Add(int64(len(p)))
+	}
 	w.buf = append(w.buf, p...)
 	return len(p), nil
 }
 
 func (w *faultyWriter) Sync() error {
+	// fsyncgate semantics: after one failed fsync the kernel has dropped the
+	// dirty pages, so re-fsyncing the same descriptor proves nothing. A
+	// failed writer stays failed; Sync and Close keep reporting the fault.
+	if w.failed {
+		return fmt.Errorf("%w: sync after failed write (%s)", ErrInjected, w.name)
+	}
 	if err := w.f.hookErr("PUT", w.name); err != nil {
 		w.failed = true
 		return err
+	}
+	if n := w.f.syncFails.Load(); n > 0 && w.f.syncFails.CompareAndSwap(n, n-1) {
+		w.failed = true
+		w.f.injectedFault.Add(1)
+		return fmt.Errorf("%w: fsync EIO (%s)", ErrInjected, w.name)
 	}
 	if err := w.flush(); err != nil {
 		w.failed = true
@@ -253,11 +380,15 @@ func (f *Faulty) Create(name string) (Writer, error) {
 	if err := f.check("PUT", name, f.cfg.PutErrorRate); err != nil {
 		return nil, err
 	}
+	exempt := f.budgetExempt(name)
+	if !exempt && f.overBudget(0) {
+		return nil, f.errNoSpace(name)
+	}
 	w, err := f.b.Create(name)
 	if err != nil {
 		return nil, err
 	}
-	return &faultyWriter{f: f, w: w, name: name}, nil
+	return &faultyWriter{f: f, w: w, name: name, exempt: exempt}, nil
 }
 
 type faultyReader struct {
@@ -270,7 +401,11 @@ func (r *faultyReader) ReadAt(p []byte, off int64) (int, error) {
 	if err := r.f.check("GET", r.name, r.f.cfg.GetErrorRate); err != nil {
 		return 0, err
 	}
-	return r.r.ReadAt(p, off)
+	n, err := r.r.ReadAt(p, off)
+	if n > 0 {
+		r.f.corrupt(p[:n])
+	}
+	return n, err
 }
 
 func (r *faultyReader) Size() int64  { return r.r.Size() }
@@ -295,7 +430,11 @@ func (f *Faulty) ReadAll(name string) ([]byte, error) {
 	if err := f.check("GET", name, f.cfg.GetErrorRate); err != nil {
 		return nil, err
 	}
-	return f.b.ReadAll(name)
+	data, err := f.b.ReadAll(name)
+	if err == nil {
+		f.corrupt(data)
+	}
+	return data, err
 }
 
 // Delete implements Backend.

@@ -54,20 +54,43 @@ func (l *Local) sleep() {
 type localWriter struct {
 	f *os.File
 	l *Local
+
+	// syncErr latches the first fsync failure. Once fsync reports an error
+	// the kernel may have dropped the dirty pages, so a second fsync on the
+	// same descriptor can "succeed" without the data ever reaching media
+	// (the fsyncgate failure mode). The file is failed permanently instead:
+	// every later Sync and the Close report the original fault.
+	syncErr error
 }
 
 func (w *localWriter) Write(p []byte) (int, error) {
+	if w.syncErr != nil {
+		return 0, w.syncErr
+	}
 	w.l.sleep()
 	n, err := w.f.Write(p)
 	w.l.stats.BytesWrite.Add(int64(n))
 	return n, err
 }
 
-func (w *localWriter) Sync() error { return w.f.Sync() }
+func (w *localWriter) Sync() error {
+	if w.syncErr != nil {
+		return w.syncErr
+	}
+	if err := w.f.Sync(); err != nil {
+		w.syncErr = err
+		return err
+	}
+	return nil
+}
 
 func (w *localWriter) Close() error {
 	w.l.stats.PutOps.Add(1)
-	return w.f.Close()
+	err := w.f.Close()
+	if w.syncErr != nil {
+		return w.syncErr
+	}
+	return err
 }
 
 // Create implements Backend.

@@ -1,0 +1,139 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestFaultyCorruptRateFlipsBits drives reads at CorruptRate=1 and asserts
+// the request succeeds while the bytes come back damaged — the
+// silent-media-corruption model checksums must catch.
+func TestFaultyCorruptRateFlipsBits(t *testing.T) {
+	f := NewFaulty(newTestLocal(t), FaultConfig{Seed: 3, CorruptRate: 1})
+	want := bytes.Repeat([]byte("payload"), 64)
+	if err := WriteObject(f, "obj", want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.ReadAll("obj")
+	if err != nil {
+		t.Fatalf("corrupted read must still succeed, got %v", err)
+	}
+	if bytes.Equal(got, want) {
+		t.Fatal("CorruptRate=1 read returned pristine bytes")
+	}
+	if n := f.CorruptedReads(); n == 0 {
+		t.Fatal("CorruptedReads not counted")
+	}
+	// The damage is injected on the wire, not the media: a rate of zero
+	// reads the object back intact.
+	f.SetCorruptRate(0)
+	got, err = f.ReadAll("obj")
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("underlying object damaged: err=%v equal=%v", err, bytes.Equal(got, want))
+	}
+}
+
+// TestFaultyWriteBudgetENOSPC exhausts the byte budget and asserts further
+// writes and creates fail with the injected ENOSPC, while budget-exempt
+// prefixes (reserved metadata headroom) keep writing.
+func TestFaultyWriteBudgetENOSPC(t *testing.T) {
+	f := NewFaulty(newTestLocal(t), FaultConfig{
+		Seed:                 5,
+		WriteBudgetBytes:     64,
+		BudgetExemptPrefixes: []string{"MANIFEST"},
+	})
+	if err := WriteObject(f, "a", make([]byte, 60)); err != nil {
+		t.Fatalf("write within budget: %v", err)
+	}
+	err := WriteObject(f, "b", make([]byte, 60))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("write past budget err = %v, want injected ENOSPC", err)
+	}
+	// Dropping the budget below what is already written models the disk
+	// having just filled: even creating a fresh object fails.
+	f.SetWriteBudget(32)
+	if _, err := f.Create("c"); err == nil {
+		t.Fatal("Create past budget must fail")
+	}
+	// The reserved metadata headroom still accepts writes.
+	if err := WriteObject(f, "MANIFEST-000001", make([]byte, 128)); err != nil {
+		t.Fatalf("budget-exempt write failed: %v", err)
+	}
+	// Lifting the budget restores normal writes.
+	f.SetWriteBudget(0)
+	if err := WriteObject(f, "d", make([]byte, 60)); err != nil {
+		t.Fatalf("write after budget lift: %v", err)
+	}
+	if f.WrittenBytes() < 120 {
+		t.Fatalf("WrittenBytes = %d, want >= 120", f.WrittenBytes())
+	}
+}
+
+// TestFaultySyncFailureLatches injects one fsync EIO and asserts fsyncgate
+// semantics: the failed writer stays failed — a later Sync or Close must
+// not report success for data the kernel already dropped.
+func TestFaultySyncFailureLatches(t *testing.T) {
+	f := NewFaulty(newTestLocal(t), FaultConfig{Seed: 7, SyncFailures: 1})
+	w, err := f.Create("obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed Sync err = %v, want injected EIO", err)
+	}
+	if err := w.Sync(); err == nil {
+		t.Fatal("Sync after failed Sync reported success")
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("Close after failed Sync reported success")
+	}
+	// The failure consumed the armed EIO; a fresh writer works.
+	w2, err := f.Create("obj2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w2.Write([]byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Sync(); err != nil {
+		t.Fatalf("fresh writer Sync: %v", err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatalf("fresh writer Close: %v", err)
+	}
+}
+
+// TestReliableNeverRetriesCorruption asserts the retry wrapper's contract
+// for checksum damage: re-reading the same replica returns the same bytes,
+// so a corruption-classified error must surface on the first attempt and
+// must not trip the availability breaker.
+func TestReliableNeverRetriesCorruption(t *testing.T) {
+	inner := NewFaulty(newTestCloud(t), FaultConfig{Seed: 11})
+	attempts := 0
+	inner.SetHook(func(op, name string) error {
+		if op == "GET" {
+			attempts++
+			return ErrCorruption
+		}
+		return nil
+	})
+	br := fastBreaker(1)
+	r := NewReliable(inner, fastPolicy(), br, nil, nil)
+	if err := WriteObject(r, "obj", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.ReadAll("obj")
+	if !errors.Is(err, ErrCorruption) {
+		t.Fatalf("err = %v, want ErrCorruption", err)
+	}
+	if attempts != 1 {
+		t.Fatalf("corrupt read attempted %d times, want exactly 1", attempts)
+	}
+	if br.State() != 0 { // retry.StateClosed
+		t.Fatalf("breaker state = %v after corruption, want closed: the tier is up", br.State())
+	}
+}

@@ -36,11 +36,20 @@ type Reliable struct {
 // NewReliable wraps b. br may be nil (retries only); onRetry may be nil;
 // cancel, when non-nil, aborts in-flight backoff waits when closed (the DB
 // passes its shutdown channel so Close never waits out an outage).
+//
+// The default Retryable classification excludes ErrCorruption: a checksum
+// mismatch is a property of the stored bytes, not of the request, so
+// re-reading the same replica can only return the same damage. Corruption
+// must surface immediately for repair from another source instead of
+// burning the retry budget (and masking the problem as latency).
 func NewReliable(b Backend, pol retry.Policy, br *retry.Breaker, onRetry RetryFunc, cancel <-chan struct{}) *Reliable {
 	pol = pol.Sanitize()
 	if pol.Retryable == nil {
 		pol.Retryable = func(err error) bool {
-			return isFault(err) && !errors.Is(err, ErrCloudUnavailable) && !errors.Is(err, retry.ErrAborted)
+			return isFault(err) &&
+				!errors.Is(err, ErrCloudUnavailable) &&
+				!errors.Is(err, ErrCorruption) &&
+				!errors.Is(err, retry.ErrAborted)
 		}
 	}
 	return &Reliable{b: b, pol: pol, br: br, onRetry: onRetry, cancel: cancel}
@@ -66,7 +75,10 @@ func (r *Reliable) do(op, name string, fn func() error) error {
 		}
 		err := fn()
 		if r.br != nil {
-			if isFault(err) {
+			// Corruption is a data-level answer from a live backend: it must
+			// not trip the availability breaker (the tier is up — one object
+			// is damaged), and it is never retried against the same replica.
+			if isFault(err) && !errors.Is(err, ErrCorruption) {
 				r.br.Failure()
 			} else {
 				r.br.Success()

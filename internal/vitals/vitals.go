@@ -83,6 +83,16 @@ type Sample struct {
 	PendingBytes   int64   `json:"pending_bytes"`
 	Breaker        string  `json:"breaker,omitempty"`
 
+	// Local-tier robustness: the local breaker gauge, tables misplaced in
+	// the cloud tier by local-degraded landings, and cumulative corruption
+	// scrub/repair outcomes.
+	LocalBreaker        string `json:"local_breaker,omitempty"`
+	MisplacedTables     int    `json:"misplaced_tables"`
+	LocalDegradedTables int64  `json:"local_degraded_tables"`
+	LocalDrainedBack    int64  `json:"local_drained_back"`
+	CorruptionsDetected int64  `json:"corruptions_detected"`
+	CorruptionsRepaired int64  `json:"corruptions_repaired"`
+
 	// Simulated cloud bill: storage is a $/month gauge at current
 	// capacity; request and egress are cumulative dollars.
 	CostStorageMonthly float64 `json:"cost_storage_monthly"`
@@ -145,9 +155,17 @@ type Window struct {
 
 	// Gauges at the window's end.
 	Breaker        string  `json:"breaker,omitempty"`
+	LocalBreaker   string  `json:"local_breaker,omitempty"`
 	CompactionDebt int64   `json:"compaction_debt"`
 	SpaceAmp       float64 `json:"space_amp"`
 	PendingTables  int     `json:"pending_tables"`
+	// MisplacedTables counts local-level tables currently living
+	// cloud-side after local-degraded landings (end-gauge).
+	MisplacedTables int `json:"misplaced_tables"`
+	// CorruptionsPerSec is the windowed rate of corruption detections
+	// (scrub plus read path); RepairsPerSec the matching repair rate.
+	CorruptionsPerSec float64 `json:"corruptions_per_sec"`
+	RepairsPerSec     float64 `json:"repairs_per_sec"`
 
 	// ShardSkew is (max-min)/mean of the per-shard op deltas in the
 	// window; 0 for perfect balance or a single shard.
@@ -178,9 +196,12 @@ func Derive(prev, cur Sample) Window {
 		StartUnixNano:  prev.UnixNano,
 		EndUnixNano:    cur.UnixNano,
 		Breaker:        cur.Breaker,
+		LocalBreaker:   cur.LocalBreaker,
 		CompactionDebt: cur.CompactionDebt,
 		SpaceAmp:       cur.SpaceAmp,
 		PendingTables:  cur.PendingTables,
+
+		MisplacedTables: cur.MisplacedTables,
 	}
 	dt := float64(cur.UnixNano-prev.UnixNano) / float64(time.Second)
 	if dt <= 0 {
@@ -217,6 +238,9 @@ func Derive(prev, cur Sample) Window {
 	w.CloudWriteBytesPerSec = per(prev.CloudWriteBytes, cur.CloudWriteBytes)
 	w.CloudGetsPerSec = per(prev.CloudGetOps, cur.CloudGetOps)
 	w.CloudPutsPerSec = per(prev.CloudPutOps, cur.CloudPutOps)
+
+	w.CorruptionsPerSec = per(prev.CorruptionsDetected, cur.CorruptionsDetected)
+	w.RepairsPerSec = per(prev.CorruptionsRepaired, cur.CorruptionsRepaired)
 
 	w.CommitGroupSize = ratio(
 		float64(cur.CommitGroupBatches-prev.CommitGroupBatches),

@@ -21,6 +21,10 @@ type SegmentMeta struct {
 	MaxSeq uint64 `json:"max_seq"` // 0 while the segment is still active
 	Closed bool   `json:"closed"`
 	Bytes  int64  `json:"bytes"`
+	// Spilled marks a segment created directly on the backup backend
+	// because the local tier could not accept it (disk full / EIO). Its
+	// only copy lives on the backup tier until DeleteObsolete retires it.
+	Spilled bool `json:"spilled,omitempty"`
 }
 
 type indexFile struct {
@@ -62,6 +66,8 @@ type Manager struct {
 	active   storage.Writer
 	activeRW *RecordWriter
 	nextNum  uint64
+	spills   int64 // segments created on the backup tier (local write failure)
+	restored int64 // corrupt/missing local segments re-read from the backup
 }
 
 // SegmentName formats the object name of segment n under dir.
@@ -170,16 +176,18 @@ func (m *Manager) writeIndexLocked() error {
 	}
 	// The index is advisory: recovery survives a missing or stale copy by
 	// reading the affected segments. Skipping the fsync keeps it off the
-	// commit and recovery critical paths.
+	// commit and recovery critical paths, and a failed write (e.g. local
+	// disk full) must not fail the append that triggered it.
 	w, err := m.be.Create(indexName(m.opts.Dir))
 	if err != nil {
-		return err
+		return nil
 	}
 	if _, err := w.Write(data); err != nil {
 		w.Close()
-		return err
+		return nil
 	}
-	return w.Close()
+	_ = w.Close()
+	return nil
 }
 
 // Entry is one logical record of a vectored append: a batch payload and
@@ -214,6 +222,59 @@ func (m *Manager) AppendBatch(entries []Entry) (uint64, error) {
 			return 0, err
 		}
 	}
+	num, err := m.appendGroupLocked(entries)
+	if err != nil && m.opts.Backup != nil {
+		// The local medium rejected the group (disk full, fsync EIO). The
+		// group was never acknowledged, so retrying it is safe: abandon the
+		// active segment — its intact prefix still replays; any partial
+		// record at its tail is tolerated as torn — and roll to a fresh
+		// segment, which rollLocked spills onto the backup tier when the
+		// local Create fails too.
+		m.abandonActiveLocked()
+		if rerr := m.rollLocked(); rerr != nil {
+			return 0, err
+		}
+		num, err = m.appendGroupLocked(entries)
+		if err != nil {
+			// The fresh local segment rejected the group too — the medium
+			// is refusing writes outright (disk full), not just one bad
+			// file. Spill the segment directly onto the backup tier and
+			// retry once more there.
+			m.abandonActiveLocked()
+			if rerr := m.rollBackupLocked(); rerr != nil {
+				return 0, err
+			}
+			num, err = m.appendGroupLocked(entries)
+		}
+	}
+	return num, err
+}
+
+// rollBackupLocked starts a new active segment directly on the backup
+// tier, bypassing the local medium entirely. Used when a freshly rolled
+// local segment still rejects writes: Create succeeded but the device is
+// out of space, so retrying locally is pointless. The next size-based
+// roll tries the local medium again — recovery is automatic.
+func (m *Manager) rollBackupLocked() error {
+	if m.opts.Backup == nil {
+		return errors.New("wal: no backup tier to spill to")
+	}
+	num := m.nextNum
+	m.nextNum++
+	w, err := m.opts.Backup.Create(SegmentName(m.opts.Dir, num))
+	if err != nil {
+		return err
+	}
+	m.active = w
+	m.activeRW = NewRecordWriter(w)
+	m.segments = append(m.segments, SegmentMeta{Num: num, Spilled: true})
+	m.spills++
+	return m.writeIndexLocked()
+}
+
+// appendGroupLocked writes one entry group into the active segment,
+// applying the group fsync and the size-based roll.
+func (m *Manager) appendGroupLocked(entries []Entry) (uint64, error) {
 	cur := &m.segments[len(m.segments)-1]
 	for _, e := range entries {
 		if err := m.activeRW.Append(e.Payload); err != nil {
@@ -227,12 +288,25 @@ func (m *Manager) AppendBatch(entries []Entry) (uint64, error) {
 			cur.MaxSeq = e.MaxSeq
 		}
 	}
+	num := cur.Num
 	if m.opts.Sync {
+		if cur.Spilled {
+			// A spilled segment lives on the backup (object) tier, where
+			// Sync is a no-op: bytes become durable only when the object
+			// commits atomically at Close. Acking a synced group against a
+			// still-open object would lose it on crash, so seal the segment
+			// — the group becomes a visible object — and leave no active
+			// segment. The next append rolls, retrying the local medium
+			// first, which doubles as the recovery probe.
+			if err := m.sealActiveLocked(); err != nil {
+				return 0, err
+			}
+			return num, nil
+		}
 		if err := m.active.Sync(); err != nil {
 			return 0, err
 		}
 	}
-	num := cur.Num
 	if cur.Bytes >= m.opts.SegmentBytes {
 		if err := m.rollLocked(); err != nil {
 			return 0, err
@@ -241,12 +315,45 @@ func (m *Manager) AppendBatch(entries []Entry) (uint64, error) {
 	return num, nil
 }
 
-// Sync forces the active segment to stable storage.
+// sealActiveLocked closes the active segment without opening a successor.
+// For spilled segments this is the durability barrier: the backup-tier
+// object becomes visible only when Close commits it, so a failed Close
+// means the whole segment's records never existed and the caller must not
+// acknowledge them.
+func (m *Manager) sealActiveLocked() error {
+	err := m.active.Close()
+	m.segments[len(m.segments)-1].Closed = true
+	m.active, m.activeRW = nil, nil
+	if err != nil {
+		return err
+	}
+	return m.writeIndexLocked()
+}
+
+// abandonActiveLocked closes the active segment after a write failure
+// without requiring a successful sync; the on-media prefix replays with
+// torn-tail tolerance.
+func (m *Manager) abandonActiveLocked() {
+	if m.active == nil {
+		return
+	}
+	_ = m.active.Close()
+	m.segments[len(m.segments)-1].Closed = true
+	m.active, m.activeRW = nil, nil
+}
+
+// Sync forces the active segment to stable storage. A spilled segment has
+// no sync primitive — its object tier persists only whole objects — so it
+// is sealed instead, which is the same barrier appendGroupLocked applies
+// per synced group.
 func (m *Manager) Sync() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.active == nil {
 		return nil
+	}
+	if m.segments[len(m.segments)-1].Spilled {
+		return m.sealActiveLocked()
 	}
 	return m.active.Sync()
 }
@@ -262,27 +369,46 @@ func (m *Manager) Roll() error {
 
 func (m *Manager) rollLocked() error {
 	if m.active != nil {
-		if err := m.active.Sync(); err != nil {
-			return err
-		}
-		if err := m.active.Close(); err != nil {
-			return err
-		}
+		serr := m.active.Sync()
+		cerr := m.active.Close()
 		m.segments[len(m.segments)-1].Closed = true
 		m.active, m.activeRW = nil, nil
-		if err := m.backupSegmentLocked(m.segments[len(m.segments)-1].Num); err != nil {
+		sealed := m.segments[len(m.segments)-1]
+		if serr != nil || cerr != nil {
+			err := serr
+			if err == nil {
+				err = cerr
+			}
+			if m.opts.Backup == nil {
+				return err
+			}
+			// Sealing failed on the local medium. The segment's durable
+			// prefix still replays (torn-tail tolerance) and its contents
+			// are also held by the memtable whose flush triggered this roll,
+			// so abandon the handle and keep rolling — onto the backup tier
+			// if the local Create below fails as well.
+			_ = m.backupSegmentLocked(sealed)
+		} else if err := m.backupSegmentLocked(sealed); err != nil {
 			return err
 		}
 	}
 	num := m.nextNum
 	m.nextNum++
+	meta := SegmentMeta{Num: num}
 	w, err := m.be.Create(SegmentName(m.opts.Dir, num))
 	if err != nil {
-		return err
+		if m.opts.Backup == nil {
+			return err
+		}
+		if w, err = m.opts.Backup.Create(SegmentName(m.opts.Dir, num)); err != nil {
+			return err
+		}
+		meta.Spilled = true
+		m.spills++
 	}
 	m.active = w
 	m.activeRW = NewRecordWriter(w)
-	m.segments = append(m.segments, SegmentMeta{Num: num})
+	m.segments = append(m.segments, meta)
 	return m.writeIndexLocked()
 }
 
@@ -297,6 +423,76 @@ func (m *Manager) ActiveSegment() uint64 {
 	return m.segments[len(m.segments)-1].Num
 }
 
+// Spills returns how many segments were created directly on the backup
+// tier because the local medium could not accept them.
+func (m *Manager) Spills() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.spills
+}
+
+// Restored returns how many corrupt or missing local segments were
+// re-materialized from the backup tier.
+func (m *Manager) Restored() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.restored
+}
+
+// scanRecords walks a whole segment image checking record structure and
+// checksums. Torn tails return nil — recovery tolerates them — so a non-nil
+// result means genuine mid-log corruption.
+func scanRecords(data []byte) error {
+	rr := NewRecordReader(data)
+	for {
+		_, err := rr.Next()
+		switch {
+		case err == io.EOF || err == io.ErrUnexpectedEOF:
+			return nil
+		case err != nil:
+			return err
+		}
+	}
+}
+
+// Scrub verifies the record checksums of every sealed segment's local copy,
+// restoring corrupt ones from the backup tier when a clean copy exists
+// there. It returns how many segments were checked, found corrupt, and
+// repaired in place.
+func (m *Manager) Scrub() (checked, corrupt, repaired int) {
+	segs := m.Segments()
+	activeNum := m.ActiveSegment()
+	for _, s := range segs {
+		if activeNum != 0 && s.Num == activeNum {
+			continue // being written; its tail is legitimately open
+		}
+		name := SegmentName(m.opts.Dir, s.Num)
+		data, err := m.be.ReadAll(name)
+		if err != nil {
+			continue // spilled or already retired; backup copy is authoritative
+		}
+		checked++
+		if scanRecords(data) == nil {
+			continue
+		}
+		corrupt++
+		if m.opts.Backup == nil {
+			continue
+		}
+		bdata, berr := m.opts.Backup.ReadAll(name)
+		if berr != nil || scanRecords(bdata) != nil {
+			continue
+		}
+		if storage.WriteObject(m.be, name, bdata) == nil {
+			m.mu.Lock()
+			m.restored++
+			m.mu.Unlock()
+			repaired++
+		}
+	}
+	return checked, corrupt, repaired
+}
+
 // Segments returns a copy of the segment metadata, ascending by number.
 func (m *Manager) Segments() []SegmentMeta {
 	m.mu.Lock()
@@ -306,12 +502,13 @@ func (m *Manager) Segments() []SegmentMeta {
 	return out
 }
 
-// backupSegmentLocked copies a sealed segment to the backup backend.
-func (m *Manager) backupSegmentLocked(num uint64) error {
-	if m.opts.Backup == nil {
+// backupSegmentLocked copies a sealed segment to the backup backend. A
+// spilled segment already lives there — it IS the backup copy.
+func (m *Manager) backupSegmentLocked(s SegmentMeta) error {
+	if m.opts.Backup == nil || s.Spilled {
 		return nil
 	}
-	name := SegmentName(m.opts.Dir, num)
+	name := SegmentName(m.opts.Dir, s.Num)
 	data, err := m.be.ReadAll(name)
 	if err != nil {
 		return err
@@ -386,7 +583,7 @@ func (m *Manager) Close() error {
 	}
 	m.segments[len(m.segments)-1].Closed = true
 	m.active, m.activeRW = nil, nil
-	if err := m.backupSegmentLocked(m.segments[len(m.segments)-1].Num); err != nil {
+	if err := m.backupSegmentLocked(m.segments[len(m.segments)-1]); err != nil {
 		return err
 	}
 	return m.writeIndexLocked()
@@ -460,16 +657,29 @@ func (m *Manager) Replay(flushedSeq uint64, parallelism int, fn func(segNum uint
 }
 
 func (m *Manager) replaySegment(s SegmentMeta, fn func(uint64, []byte) error) (int64, int64, error) {
-	data, err := m.be.ReadAll(SegmentName(m.opts.Dir, s.Num))
+	name := SegmentName(m.opts.Dir, s.Num)
+	data, err := m.be.ReadAll(name)
 	if errors.Is(err, storage.ErrNotFound) && m.opts.Backup != nil {
 		// Local copy gone (e.g. device loss): restore from the backup tier.
-		data, err = m.opts.Backup.ReadAll(SegmentName(m.opts.Dir, s.Num))
+		data, err = m.opts.Backup.ReadAll(name)
 	}
 	if errors.Is(err, storage.ErrNotFound) {
 		return 0, 0, nil
 	}
 	if err != nil {
 		return 0, 0, err
+	}
+	// Mid-log corruption (a failed record CRC that is not a tolerated torn
+	// tail): when the backup tier holds a clean copy, replay that instead
+	// and heal the local file — before delivering a single record.
+	if cerr := scanRecords(data); errors.Is(cerr, ErrCorrupt) && m.opts.Backup != nil {
+		if bdata, berr := m.opts.Backup.ReadAll(name); berr == nil && scanRecords(bdata) == nil {
+			data = bdata
+			m.mu.Lock()
+			m.restored++
+			m.mu.Unlock()
+			_ = storage.WriteObject(m.be, name, bdata) // best-effort heal
+		}
 	}
 	rr := NewRecordReader(data)
 	var records, bytes int64
