@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench shardcheck vitalscheck scrubcheck check
+.PHONY: all build test race vet bench shardcheck vitalscheck scrubcheck scancheck check
 
 all: build
 
@@ -38,4 +38,10 @@ vitalscheck:
 scrubcheck:
 	$(GO) test -race -count=1 -run 'LocalFault|Scrub|Corrupt|Quarantine|Mirror|Spill|LocalDegraded|SyncFail|WriteBudget' ./internal/db ./internal/wal ./internal/storage ./internal/pcache
 
-check: build vet test race shardcheck vitalscheck scrubcheck
+# Range-scan suite: sorted-view sidecars, the view-backed iterator, the
+# loser-tree merge, and the scan model equivalence traces — view builds and
+# invalidation run concurrently with scans, so race-run them.
+scancheck:
+	$(GO) test -race -count=1 -run 'View|Scan|Merging' ./internal/db ./internal/sstable ./internal/manifest
+
+check: build vet test race shardcheck vitalscheck scrubcheck scancheck

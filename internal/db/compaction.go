@@ -337,6 +337,10 @@ func (d *DB) doCompaction(c *compaction) error {
 	for _, t := range outputs {
 		d.pcache.SetLevel(t.meta.Num, c.output)
 	}
+	// Both levels' memberships just changed, so their sorted views are
+	// stale by fingerprint; drop the cached copies and sidecar objects now
+	// rather than waiting for the next scan to notice.
+	d.invalidateViews(d.vs.Current(), c.level, c.output)
 	if c.level > 0 && len(c.inputs) > 0 {
 		if d.compactPtr == nil {
 			d.compactPtr = map[int][]byte{}

@@ -138,6 +138,12 @@ type DB struct {
 	// Options.ScrubInterval is zero.
 	scrubDone chan struct{}
 
+	// views caches decoded sorted-view sidecars per level and dedupes their
+	// background builds; viewWG tracks in-flight builders so Close can drain
+	// them before tearing down the table cache.
+	views  viewRegistry
+	viewWG sync.WaitGroup
+
 	stats Stats
 	// lat holds the always-on per-operation latency histograms.
 	lat *latencies
@@ -1060,6 +1066,9 @@ func (d *DB) Close() error {
 	if d.scrubDone != nil {
 		<-d.scrubDone
 	}
+	// Bar new sorted-view builds and drain in-flight ones while their table
+	// handles are still valid.
+	d.stopViewBuilders()
 
 	// Flush any sealed or recovered memtables synchronously so no WAL
 	// data is stranded longer than necessary (the WAL still covers the
@@ -1142,6 +1151,7 @@ func (d *DB) Crash() {
 	if d.scrubDone != nil {
 		<-d.scrubDone
 	}
+	d.stopViewBuilders()
 	if !d.isShard() {
 		d.tables.close()
 	}

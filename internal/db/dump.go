@@ -264,6 +264,20 @@ func (d *DB) DumpStats() string {
 		}
 	}
 
+	if m.ScanViewHits+m.ScanViewMisses+m.ViewBuilds > 0 {
+		b.WriteString("\n** Range Scans **\n")
+		fmt.Fprintf(&b, "Sorted views: %d level hits, %d misses, %d builds (%s encoded)\n",
+			m.ScanViewHits, m.ScanViewMisses, m.ViewBuilds, humanBytes(m.ViewBuildBytes))
+		if m.IterKeys > 0 {
+			var iterBlocks int64
+			for t := 0; t < readprof.NumTiers; t++ {
+				iterBlocks += m.ReadAmp.IterBlocks[t]
+			}
+			fmt.Fprintf(&b, "Scanned keys: %d, %.4f blocks/scanned-key\n",
+				m.IterKeys, float64(iterBlocks)/float64(m.IterKeys))
+		}
+	}
+
 	b.WriteString("\n** Storage I/O **\n")
 	li := m.LocalIO.Sub(prev.localIO)
 	ci := m.CloudIO.Sub(prev.cloudIO)

@@ -120,6 +120,14 @@ func (d *DB) evCorruptionRepaired(artifact, object string, file uint64, source s
 	}
 }
 
+func (d *DB) evViewBuilt(level, members, entries, bytes int, dur time.Duration) {
+	if l := d.listener; l != nil {
+		l.OnViewBuilt(event.ViewBuilt{
+			Level: level, Members: members, Entries: entries, Bytes: bytes, Duration: dur,
+		})
+	}
+}
+
 // timedFetch wraps a block-fetch function, accumulating time spent blocked
 // on fetches into ns. Compaction uses it to separate read wait from merge
 // CPU in CompactionEnd stage timings; it is only installed when a listener

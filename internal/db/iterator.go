@@ -229,9 +229,16 @@ func (l *levelIter) Close() error {
 // on user keys resolve by internal-key order, which puts newer entries
 // first when moving forward. Switching direction mid-stream re-seeks the
 // non-current children around the current key (the LevelDB technique).
+//
+// Child selection runs on a loser tree: internal nodes 1..k-1 record the
+// loser of their match and tree[0] the overall winner, so a seek costs one
+// full O(k) tournament but every advance replays only the winner's
+// leaf-to-root path — O(log k) compares instead of the former linear
+// findSmallest/findLargest scan.
 type mergingIter struct {
 	children []internalIterator
-	cur      int // index of child at the merge frontier, -1 if exhausted
+	tree     []int // loser tree over child indices; tree[0] is the winner
+	cur      int   // index of child at the merge frontier, -1 if exhausted
 	reverse  bool
 	err      error
 }
@@ -240,36 +247,90 @@ func newMergingIter(children ...internalIterator) *mergingIter {
 	return &mergingIter{children: children, cur: -1}
 }
 
-func (m *mergingIter) findSmallest() {
-	m.cur = -1
-	var best []byte
-	for i, c := range m.children {
-		if err := c.Err(); err != nil && m.err == nil {
-			m.err = err
+// beats reports whether child a precedes child b in the current direction.
+// Exhausted children always lose, and the (exhausted, exhausted) tie breaks
+// by index, so the order is total.
+func (m *mergingIter) beats(a, b int) bool {
+	av, bv := m.children[a].Valid(), m.children[b].Valid()
+	switch {
+	case !av && !bv:
+		return a < b
+	case !av:
+		return false
+	case !bv:
+		return true
+	}
+	if c := keys.Compare(m.children[a].Key(), m.children[b].Key()); c != 0 {
+		if m.reverse {
+			return c > 0
 		}
-		if !c.Valid() {
-			continue
+		return c < 0
+	}
+	return a < b
+}
+
+// initNode computes the winner of the subtree rooted at node, recording
+// each match's loser at its internal node. Leaves live at k..2k-1; leaf
+// k+i stands for child i.
+func (m *mergingIter) initNode(node int) int {
+	if k := len(m.children); node >= k {
+		return node - k
+	}
+	a := m.initNode(2 * node)
+	b := m.initNode(2*node + 1)
+	if m.beats(a, b) {
+		m.tree[node] = b
+		return a
+	}
+	m.tree[node] = a
+	return b
+}
+
+// build replays the whole tournament (after a seek or direction switch).
+func (m *mergingIter) build() {
+	k := len(m.children)
+	if k == 0 {
+		m.cur = -1
+		return
+	}
+	if m.tree == nil {
+		m.tree = make([]int, k)
+	}
+	if k == 1 {
+		m.tree[0] = 0
+	} else {
+		m.tree[0] = m.initNode(1)
+	}
+	m.setCur()
+}
+
+// fix replays only the advanced winner's leaf-to-root path.
+func (m *mergingIter) fix(w int) {
+	if k := len(m.children); k >= 2 {
+		for node := (w + k) / 2; node >= 1; node /= 2 {
+			if m.beats(m.tree[node], w) {
+				m.tree[node], w = w, m.tree[node]
+			}
 		}
-		if best == nil || keys.Compare(c.Key(), best) < 0 {
-			best = c.Key()
-			m.cur = i
-		}
+		m.tree[0] = w
+	}
+	m.setCur()
+}
+
+func (m *mergingIter) setCur() {
+	if w := m.tree[0]; m.children[w].Valid() {
+		m.cur = w
+	} else {
+		m.cur = -1
 	}
 }
 
-func (m *mergingIter) findLargest() {
-	m.cur = -1
-	var best []byte
-	for i, c := range m.children {
+// captureErrs folds every child's error state, preserving the contract
+// that a child failure surfaces on the next positioning check.
+func (m *mergingIter) captureErrs() {
+	for _, c := range m.children {
 		if err := c.Err(); err != nil && m.err == nil {
 			m.err = err
-		}
-		if !c.Valid() {
-			continue
-		}
-		if best == nil || keys.Compare(c.Key(), best) > 0 {
-			best = c.Key()
-			m.cur = i
 		}
 	}
 }
@@ -279,7 +340,8 @@ func (m *mergingIter) First() {
 		c.First()
 	}
 	m.reverse = false
-	m.findSmallest()
+	m.captureErrs()
+	m.build()
 }
 
 func (m *mergingIter) Last() {
@@ -287,7 +349,8 @@ func (m *mergingIter) Last() {
 		c.Last()
 	}
 	m.reverse = true
-	m.findLargest()
+	m.captureErrs()
+	m.build()
 }
 
 func (m *mergingIter) SeekGE(ikey []byte) {
@@ -295,7 +358,8 @@ func (m *mergingIter) SeekGE(ikey []byte) {
 		c.SeekGE(ikey)
 	}
 	m.reverse = false
-	m.findSmallest()
+	m.captureErrs()
+	m.build()
 }
 
 func (m *mergingIter) SeekLT(ikey []byte) {
@@ -303,7 +367,8 @@ func (m *mergingIter) SeekLT(ikey []byte) {
 		c.SeekLT(ikey)
 	}
 	m.reverse = true
-	m.findLargest()
+	m.captureErrs()
+	m.build()
 }
 
 func (m *mergingIter) Next() {
@@ -321,9 +386,17 @@ func (m *mergingIter) Next() {
 			}
 		}
 		m.reverse = false
+		m.children[m.cur].Next()
+		m.captureErrs()
+		m.build()
+		return
 	}
-	m.children[m.cur].Next()
-	m.findSmallest()
+	w := m.cur
+	m.children[w].Next()
+	if err := m.children[w].Err(); err != nil && m.err == nil {
+		m.err = err
+	}
+	m.fix(w)
 }
 
 func (m *mergingIter) Prev() {
@@ -340,9 +413,17 @@ func (m *mergingIter) Prev() {
 			}
 		}
 		m.reverse = true
+		m.children[m.cur].Prev()
+		m.captureErrs()
+		m.build()
+		return
 	}
-	m.children[m.cur].Prev()
-	m.findLargest()
+	w := m.cur
+	m.children[w].Prev()
+	if err := m.children[w].Err(); err != nil && m.err == nil {
+		m.err = err
+	}
+	m.fix(w)
 }
 
 func (m *mergingIter) Valid() bool   { return m.cur >= 0 && m.err == nil }
@@ -383,9 +464,12 @@ type Iterator struct {
 	// prof accumulates the iterator's data-block reads by source tier over
 	// its whole lifetime (nil when profiling is disabled); seeks counts
 	// positioning operations. Both fold into the DB's scan-side aggregates
-	// at Close, kept separate from per-Get read-amp accounting.
+	// at Close, kept separate from per-Get read-amp accounting. nkeys
+	// counts live keys yielded, the denominator of the store's
+	// blocks-per-scanned-key rate.
 	prof  *readprof.Profile
 	seeks int64
+	nkeys int64
 
 	key    []byte
 	value  []byte
@@ -459,11 +543,33 @@ func (d *DB) NewIteratorAt(seq uint64) (*Iterator, error) {
 		children = append(children, ti)
 	}
 	for lvl := 1; lvl < manifest.NumLevels; lvl++ {
-		if len(v.Levels[lvl]) > 0 {
-			li := newLevelIter(d, v.Levels[lvl])
-			li.prof = prof
-			children = append(children, li)
+		files := v.Levels[lvl]
+		if len(files) == 0 {
+			continue
 		}
+		// A fresh sorted view replaces the level's lazy per-table merge with
+		// one cursor run; a stale or still-building view falls back to the
+		// plain levelIter (and records the miss so the rebuild lag is
+		// observable).
+		if vw := d.viewFor(lvl, files); vw != nil {
+			vi := newViewIter(d, vw, files)
+			vi.prof = prof
+			children = append(children, vi)
+			d.stats.ScanViewHits.Add(1)
+			if prof != nil {
+				prof.ViewHits++
+			}
+			continue
+		}
+		if !d.opts.DisableSortedViews {
+			d.stats.ScanViewMisses.Add(1)
+			if prof != nil {
+				prof.ViewMisses++
+			}
+		}
+		li := newLevelIter(d, files)
+		li.prof = prof
+		children = append(children, li)
 	}
 	return &Iterator{db: d, merged: newMergingIter(children...), seq: seq, prof: prof}, nil
 }
@@ -681,6 +787,7 @@ func (it *Iterator) settle(skipKey []byte) {
 			it.key = append(it.key[:0], uk...)
 			it.value = append(it.value[:0], it.merged.Value()...)
 			it.valid = true
+			it.nkeys++
 			return
 		}
 		it.merged.Next()
@@ -708,6 +815,7 @@ func (it *Iterator) settleReverse(boundKey []byte) {
 		it.key = append(it.key[:0], curKey...)
 		it.value = append(it.value[:0], curVal...)
 		it.valid = true
+		it.nkeys++
 	}
 	for it.merged.Valid() {
 		ik := it.merged.Key()
@@ -780,6 +888,9 @@ func (it *Iterator) Close() error {
 	}
 	if err := it.merged.Close(); err != nil && it.err == nil {
 		it.err = err
+	}
+	if it.nkeys > 0 {
+		it.db.stats.IterKeys.Add(it.nkeys)
 	}
 	if it.prof != nil {
 		it.db.readAgg.mergeIter(it.prof, it.seeks)

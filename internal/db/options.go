@@ -99,7 +99,10 @@ type Options struct {
 	// IteratorReadaheadBlocks escalates sequential scans over cloud-tier
 	// tables to multi-block range GETs of up to this many blocks; the extra
 	// blocks are bulk-admitted into the persistent cache and block cache.
-	// <= 1 disables readahead (today's behavior).
+	// <= 1 disables the plain path's adjacency-heuristic readahead.
+	// Sorted-view scans always read ahead (their block schedule is exact,
+	// so there is no misprediction to guard against): they use this width
+	// when it is set and a 16-block default otherwise.
 	IteratorReadaheadBlocks int
 
 	// L0CompactTrigger is the L0 file count that triggers compaction.
@@ -200,6 +203,15 @@ type Options struct {
 	// baseline; results are identical either way, including post-crash
 	// recovered state.
 	DisableCommitPipeline bool
+
+	// DisableSortedViews turns off the per-level sorted-view sidecars
+	// (REMIX-style cursor runs) that accelerate range scans over levels
+	// >= 1. With views disabled every scan merges the level's tables
+	// through per-table iterators; with them enabled (the default) a scan
+	// seeks once in the view's globally sorted block schedule and streams
+	// blocks with exact cloud readahead. Correctness is identical either
+	// way — views are derived data rebuilt from table indexes.
+	DisableSortedViews bool
 
 	// VitalsInterval enables continuous time-series telemetry: a background
 	// sampler snapshots Metrics() into a fixed-size lock-free ring at this

@@ -488,6 +488,23 @@ func (d *DB) cleanOrphans() {
 			}
 		}
 	}
+	// Sorted-view sidecars are valid only when named for the exact current
+	// membership of their level; anything else is leftover from a previous
+	// run's compactions.
+	viewRef := map[string]bool{}
+	cur := d.vs.Current()
+	for l := 1; l < manifest.NumLevels; l++ {
+		if len(cur.Levels[l]) > 0 {
+			viewRef[manifest.ViewName(l, manifest.ViewFingerprint(cur.Levels[l]))] = true
+		}
+	}
+	if names, err := d.local.List(manifest.ViewPrefix); err == nil {
+		for _, n := range names {
+			if !viewRef[n] {
+				_ = d.local.Delete(n)
+			}
+		}
+	}
 	if d.cloud == nil {
 		return
 	}

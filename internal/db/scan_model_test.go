@@ -1,0 +1,308 @@
+package db
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"rocksmash/internal/keys"
+)
+
+// TestScanViewMatchesPlainMerge drives two stores loaded with an identical
+// randomized history — one scanning through sorted views, one with
+// DisableSortedViews — through the same randomized trace of seeks, nexts,
+// prevs and direction switches, asserting byte-identical position, key and
+// value after every step. Runs unsharded and sharded.
+func TestScanViewMatchesPlainMerge(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			t.Parallel()
+			oa := viewTestOptions()
+			oa.Shards = shards
+			ob := viewTestOptions()
+			ob.Shards = shards
+			ob.DisableSortedViews = true
+			da, err := OpenAt(t.TempDir(), oa)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer da.Close()
+			dbPlain, err := OpenAt(t.TempDir(), ob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer dbPlain.Close()
+
+			rng := rand.New(rand.NewSource(int64(shards)*31 + 7))
+			pad := fmt.Sprintf("%0100d", 3)
+			for i := 0; i < 4000; i++ {
+				k := []byte(fmt.Sprintf("key%06d", rng.Intn(1500)))
+				if rng.Intn(12) == 0 {
+					if err := da.Delete(k); err != nil {
+						t.Fatal(err)
+					}
+					if err := dbPlain.Delete(k); err != nil {
+						t.Fatal(err)
+					}
+					continue
+				}
+				v := []byte(fmt.Sprintf("v%06d-%s", i, pad))
+				if err := da.Put(k, v); err != nil {
+					t.Fatal(err)
+				}
+				if err := dbPlain.Put(k, v); err != nil {
+					t.Fatal(err)
+				}
+				if i%977 == 976 {
+					if err := da.Flush(); err != nil {
+						t.Fatal(err)
+					}
+					if err := dbPlain.Flush(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			if err := da.CompactAll(); err != nil {
+				t.Fatal(err)
+			}
+			if err := dbPlain.CompactAll(); err != nil {
+				t.Fatal(err)
+			}
+			if err := da.BuildViews(); err != nil {
+				t.Fatal(err)
+			}
+
+			ita, err := da.NewIterator()
+			if err != nil {
+				t.Fatal(err)
+			}
+			itb, err := dbPlain.NewIterator()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			compare := func(step int, op string) {
+				t.Helper()
+				if ita.Err() != nil || itb.Err() != nil {
+					t.Fatalf("step %d %s: errs view=%v plain=%v", step, op, ita.Err(), itb.Err())
+				}
+				if ita.Valid() != itb.Valid() {
+					t.Fatalf("step %d %s: valid view=%t plain=%t", step, op, ita.Valid(), itb.Valid())
+				}
+				if !ita.Valid() {
+					return
+				}
+				if !bytes.Equal(ita.Key(), itb.Key()) {
+					t.Fatalf("step %d %s: key view=%q plain=%q", step, op, ita.Key(), itb.Key())
+				}
+				if !bytes.Equal(ita.Value(), itb.Value()) {
+					t.Fatalf("step %d %s: value mismatch at %q", step, op, ita.Key())
+				}
+			}
+
+			for step := 0; step < 3000; step++ {
+				var op string
+				switch rng.Intn(10) {
+				case 0:
+					k := []byte(fmt.Sprintf("key%06d", rng.Intn(1600)))
+					op = fmt.Sprintf("Seek(%s)", k)
+					ita.Seek(k)
+					itb.Seek(k)
+				case 1:
+					k := []byte(fmt.Sprintf("key%06d", rng.Intn(1600)))
+					op = fmt.Sprintf("SeekForPrev(%s)", k)
+					ita.SeekForPrev(k)
+					itb.SeekForPrev(k)
+				case 2:
+					op = "First"
+					ita.First()
+					itb.First()
+				case 3:
+					op = "Last"
+					ita.Last()
+					itb.Last()
+				case 4, 5, 6:
+					if !ita.Valid() {
+						op = "First"
+						ita.First()
+						itb.First()
+					} else {
+						op = "Next"
+						ita.Next()
+						itb.Next()
+					}
+				default:
+					if !ita.Valid() {
+						op = "Last"
+						ita.Last()
+						itb.Last()
+					} else {
+						op = "Prev"
+						ita.Prev()
+						itb.Prev()
+					}
+				}
+				compare(step, op)
+			}
+			if err := ita.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := itb.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if da.Metrics().ScanViewHits == 0 {
+				t.Fatal("trace never rode a sorted view; test is vacuous")
+			}
+		})
+	}
+}
+
+// TestScanViewUnderConcurrentCompaction walks full scans while a writer
+// overwrites the same keyspace and keeps forcing compactions and view
+// rebuilds: each snapshot scan must still see exactly the loaded key set,
+// in order, with no duplicates — views being invalidated and reinstalled
+// mid-scan must never surface. Run with -race this also proves the
+// registry's locking.
+func TestScanViewUnderConcurrentCompaction(t *testing.T) {
+	d, _ := openTest(t, PolicyMash)
+	defer d.Close()
+	model := loadAndSettle(t, d, 2500)
+	if err := d.BuildViews(); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := fmt.Sprintf("key%05d", i%2500)
+			if err := d.Put([]byte(k), []byte(fmt.Sprintf("new%07d", i))); err != nil {
+				return
+			}
+			i++
+			if i%400 == 0 {
+				if err := d.CompactAll(); err != nil {
+					return
+				}
+				_ = d.BuildViews()
+			}
+		}
+	}()
+
+	for round := 0; round < 6; round++ {
+		it, err := d.NewIterator()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var seen []string
+		for it.First(); it.Valid(); it.Next() {
+			seen = append(seen, string(it.Key()))
+		}
+		if it.Err() != nil {
+			t.Fatalf("round %d: %v", round, it.Err())
+		}
+		if err := it.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if len(seen) != len(model) {
+			t.Fatalf("round %d: scan saw %d keys, want %d", round, len(seen), len(model))
+		}
+		if !sort.StringsAreSorted(seen) {
+			t.Fatalf("round %d: scan out of order", round)
+		}
+		for _, k := range seen {
+			if _, ok := model[k]; !ok {
+				t.Fatalf("round %d: unexpected key %q", round, k)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// sliceIter is a synthetic internalIterator over pre-sorted internal keys,
+// used to benchmark the merging layer in isolation.
+type sliceIter struct {
+	ikeys [][]byte
+	i     int
+}
+
+func (s *sliceIter) First() { s.i = 0 }
+func (s *sliceIter) Last()  { s.i = len(s.ikeys) - 1 }
+func (s *sliceIter) Valid() bool {
+	return s.i >= 0 && s.i < len(s.ikeys)
+}
+func (s *sliceIter) SeekGE(ikey []byte) {
+	s.i = sort.Search(len(s.ikeys), func(i int) bool {
+		return keys.Compare(s.ikeys[i], ikey) >= 0
+	})
+}
+func (s *sliceIter) SeekLT(ikey []byte) {
+	s.i = sort.Search(len(s.ikeys), func(i int) bool {
+		return keys.Compare(s.ikeys[i], ikey) >= 0
+	}) - 1
+}
+func (s *sliceIter) Next() {
+	if s.i < len(s.ikeys) {
+		s.i++
+	}
+}
+func (s *sliceIter) Prev() {
+	if s.i >= 0 {
+		s.i--
+	}
+}
+func (s *sliceIter) Key() []byte   { return s.ikeys[s.i] }
+func (s *sliceIter) Value() []byte { return s.ikeys[s.i] }
+func (s *sliceIter) Err() error    { return nil }
+func (s *sliceIter) Close() error  { return nil }
+
+// BenchmarkMergingIter measures a full forward sweep through the loser
+// tree at varying fan-in: the same 64k total keys striped round-robin
+// across 2, 4, 8 and 16 children, so wider merges pay tree depth, not more
+// data.
+func BenchmarkMergingIter(b *testing.B) {
+	const total = 1 << 16
+	for _, fan := range []int{2, 4, 8, 16} {
+		fan := fan
+		b.Run(fmt.Sprintf("children=%d", fan), func(b *testing.B) {
+			kids := make([]*sliceIter, fan)
+			for i := range kids {
+				kids[i] = &sliceIter{}
+			}
+			for i := 0; i < total; i++ {
+				ik := keys.MakeInternalKey(nil, []byte(fmt.Sprintf("key%08d", i)), 1, keys.KindSet)
+				c := kids[i%fan]
+				c.ikeys = append(c.ikeys, ik)
+			}
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				children := make([]internalIterator, fan)
+				for i, k := range kids {
+					children[i] = k
+				}
+				m := newMergingIter(children...)
+				cnt := 0
+				for m.First(); m.Valid(); m.Next() {
+					cnt++
+				}
+				if cnt != total {
+					b.Fatalf("merged %d keys, want %d", cnt, total)
+				}
+			}
+			b.ReportMetric(float64(total), "keys/op")
+		})
+	}
+}

@@ -464,6 +464,11 @@ func (d *DB) shardMetrics() Metrics {
 		m.PrefetchBlocks += sh.stats.PrefetchBlocks.Load()
 		m.ReadaheadSpans += sh.stats.ReadaheadSpans.Load()
 		m.ReadaheadBlocks += sh.stats.ReadaheadBlocks.Load()
+		m.ScanViewHits += sh.stats.ScanViewHits.Load()
+		m.ScanViewMisses += sh.stats.ScanViewMisses.Load()
+		m.ViewBuilds += sh.stats.ViewBuilds.Load()
+		m.ViewBuildBytes += sh.stats.ViewBuildBytes.Load()
+		m.IterKeys += sh.stats.IterKeys.Load()
 		m.DegradedTables += sh.stats.DegradedTables.Load()
 		m.DrainedTables += sh.stats.DrainedTables.Load()
 		m.DeferredDeletes += sh.stats.DeferredDeletes.Load()

@@ -63,6 +63,16 @@ type Stats struct {
 	ReadaheadSpans  atomic.Int64
 	ReadaheadBlocks atomic.Int64
 
+	// Sorted-view counters: per-level iterators constructed on a valid view
+	// vs falling back to the per-table merge, background view builds and
+	// their encoded bytes, and live keys yielded by iterators (the
+	// denominator of blocks-per-scanned-key).
+	ScanViewHits   atomic.Int64
+	ScanViewMisses atomic.Int64
+	ViewBuilds     atomic.Int64
+	ViewBuildBytes atomic.Int64
+	IterKeys       atomic.Int64
+
 	// LevelCompact attributes compaction traffic to its source level: every
 	// compaction moves level → level+1, so indexing by the source level
 	// captures the full source→target pair. The per-level counters
@@ -156,6 +166,11 @@ type ReadAmp struct {
 	IterBlocks [readprof.NumTiers]int64
 	IterBytes  [readprof.NumTiers]int64
 	IterNanos  [readprof.NumTiers]int64
+	// Per-level sorted-view outcomes during iterator construction: levels
+	// served by a view cursor run vs levels that fell back to the
+	// per-table merge (view missing or still building).
+	IterViewHits   int64
+	IterViewMisses int64
 
 	// Persistent-cache outcomes by LSM level (see pcache.LevelBucket; the
 	// last bucket holds files with no registered level).
@@ -293,6 +308,13 @@ type Metrics struct {
 	ReadaheadSpans  int64
 	ReadaheadBlocks int64
 
+	// Sorted-view accounting (see Stats for the counter semantics).
+	ScanViewHits   int64
+	ScanViewMisses int64
+	ViewBuilds     int64
+	ViewBuildBytes int64
+	IterKeys       int64
+
 	// Per-source-level compaction attribution (always manifest.NumLevels
 	// entries; see LevelWriteAmp), plus the derived health gauges:
 	// CompactionDebt estimates the bytes the compactor must move to bring
@@ -410,6 +432,8 @@ func (r *ReadAmp) add(o ReadAmp) {
 	}
 	r.TotalNanos += o.TotalNanos
 	r.IterSeeks += o.IterSeeks
+	r.IterViewHits += o.IterViewHits
+	r.IterViewMisses += o.IterViewMisses
 }
 
 // WriteAmp is the store's exact cumulative write amplification: physical
@@ -494,6 +518,12 @@ func (d *DB) Metrics() Metrics {
 		PrefetchBlocks:  d.stats.PrefetchBlocks.Load(),
 		ReadaheadSpans:  d.stats.ReadaheadSpans.Load(),
 		ReadaheadBlocks: d.stats.ReadaheadBlocks.Load(),
+
+		ScanViewHits:   d.stats.ScanViewHits.Load(),
+		ScanViewMisses: d.stats.ScanViewMisses.Load(),
+		ViewBuilds:     d.stats.ViewBuilds.Load(),
+		ViewBuildBytes: d.stats.ViewBuildBytes.Load(),
+		IterKeys:       d.stats.IterKeys.Load(),
 
 		BreakerTrips:        d.stats.BreakerTrips.Load(),
 		BreakerHalfOpens:    d.stats.BreakerHalfOpens.Load(),

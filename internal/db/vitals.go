@@ -74,6 +74,11 @@ func (d *DB) VitalsSample() vitals.Sample {
 		ReadBlocks:      m.ReadAmp.BlocksTotal(),
 		ReadBlocksCloud: m.ReadAmp.Blocks[readprof.TierCloud],
 
+		ScanViewHits:   m.ScanViewHits,
+		ScanViewMisses: m.ScanViewMisses,
+		ViewBuilds:     m.ViewBuilds,
+		IterKeys:       m.IterKeys,
+
 		LocalBytes:     m.LocalBytes,
 		CloudBytes:     m.CloudBytes,
 		CompactionDebt: m.CompactionDebt,
@@ -103,6 +108,9 @@ func (d *DB) VitalsSample() vitals.Sample {
 	}
 	s.LevelServes = append(s.LevelServes, m.ReadAmp.LevelServes[:]...)
 	s.LevelProbes = append(s.LevelProbes, m.ReadAmp.LevelProbes[:]...)
+	for _, b := range m.ReadAmp.IterBlocks {
+		s.IterBlocks += b
+	}
 	if len(m.Shards) > 1 {
 		s.ShardOps = make([]int64, len(m.Shards))
 		for i, sh := range m.Shards {

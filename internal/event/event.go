@@ -41,6 +41,8 @@ const (
 
 	TCorruptionDetected Type = "corruption_detected"
 	TCorruptionRepaired Type = "corruption_repaired"
+
+	TViewBuilt Type = "view_built"
 )
 
 // FlushBegin fires when a sealed memtable (or recovery memtables) starts
@@ -198,6 +200,18 @@ type CorruptionRepaired struct {
 	Duration time.Duration `json:"dur"`
 }
 
+// ViewBuilt fires when a background builder finishes a level's sorted-view
+// sidecar (the globally sorted block-cursor run that accelerates range
+// scans). Members is the level's table count, Entries the cursor count,
+// Bytes the encoded sidecar size.
+type ViewBuilt struct {
+	Level    int           `json:"level"`
+	Members  int           `json:"members"`
+	Entries  int           `json:"entries"`
+	Bytes    int           `json:"bytes"`
+	Duration time.Duration `json:"dur"`
+}
+
 // SlowRead reports one of the worst timed Gets of a tracking interval,
 // with its full read-path attribution (see internal/readprof). The
 // per-tier arrays are indexed in readprof.Tier order: block cache,
@@ -240,6 +254,7 @@ type Listener interface {
 	OnSlowRead(SlowRead)
 	OnCorruptionDetected(CorruptionDetected)
 	OnCorruptionRepaired(CorruptionRepaired)
+	OnViewBuilt(ViewBuilt)
 }
 
 // NopListener implements Listener with no-ops; embed it in partial
@@ -263,6 +278,7 @@ func (NopListener) OnSlowRead(SlowRead)               {}
 
 func (NopListener) OnCorruptionDetected(CorruptionDetected) {}
 func (NopListener) OnCorruptionRepaired(CorruptionRepaired) {}
+func (NopListener) OnViewBuilt(ViewBuilt)                   {}
 
 // multi fans every event out to each listener in order.
 type multi []Listener
@@ -364,5 +380,10 @@ func (m multi) OnCorruptionDetected(e CorruptionDetected) {
 func (m multi) OnCorruptionRepaired(e CorruptionRepaired) {
 	for _, l := range m {
 		l.OnCorruptionRepaired(e)
+	}
+}
+func (m multi) OnViewBuilt(e ViewBuilt) {
+	for _, l := range m {
+		l.OnViewBuilt(e)
 	}
 }

@@ -61,6 +61,8 @@ func (r Record) Decode() (any, error) {
 		p = &CorruptionDetected{}
 	case TCorruptionRepaired:
 		p = &CorruptionRepaired{}
+	case TViewBuilt:
+		p = &ViewBuilt{}
 	default:
 		return nil, fmt.Errorf("event: unknown trace record type %q", r.Type)
 	}
@@ -98,6 +100,8 @@ func (r Record) Decode() (any, error) {
 	case *CorruptionDetected:
 		return *e, nil
 	case *CorruptionRepaired:
+		return *e, nil
+	case *ViewBuilt:
 		return *e, nil
 	default:
 		return *p.(*SlowRead), nil
@@ -194,6 +198,7 @@ func (t *TraceWriter) OnSlowRead(e SlowRead)               { t.emit(TSlowRead, e
 
 func (t *TraceWriter) OnCorruptionDetected(e CorruptionDetected) { t.emit(TCorruptionDetected, e) }
 func (t *TraceWriter) OnCorruptionRepaired(e CorruptionRepaired) { t.emit(TCorruptionRepaired, e) }
+func (t *TraceWriter) OnViewBuilt(e ViewBuilt)                   { t.emit(TViewBuilt, e) }
 
 // ReadTrace decodes a JSONL trace stream. Blank lines are skipped; a
 // malformed line aborts with its line number.
@@ -298,3 +303,4 @@ func (r *Recorder) OnSlowRead(e SlowRead)               { r.add(TSlowRead, e) }
 
 func (r *Recorder) OnCorruptionDetected(e CorruptionDetected) { r.add(TCorruptionDetected, e) }
 func (r *Recorder) OnCorruptionRepaired(e CorruptionRepaired) { r.add(TCorruptionRepaired, e) }
+func (r *Recorder) OnViewBuilt(e ViewBuilt)                   { r.add(TViewBuilt, e) }

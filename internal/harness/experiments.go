@@ -654,6 +654,10 @@ func fig14Readahead(cfg Config) error {
 	for _, n := range []int{0, 4, 16, 32} {
 		opts := expOptions(db.PolicyCloudOnly)
 		opts.IteratorReadaheadBlocks = n
+		// This figure ablates the plain path's adjacency heuristic; sorted
+		// views bring their own exact readahead (fig-scan) and would mask
+		// the sweep, so keep them out of the way here.
+		opts.DisableSortedViews = true
 		d, _, err := openExp(cfg, fmt.Sprintf("fig14-%d", n), opts)
 		if err != nil {
 			return err

@@ -1,0 +1,53 @@
+package manifest
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Sorted-view lifecycle. A view object's name carries both its level and a
+// fingerprint of the exact member table set it was built from, so validity
+// checks are pure name comparisons: a compaction that installs a new
+// version changes the level's membership, the fingerprint of the live file
+// set diverges, and every object named for the old set is implicitly
+// stale — no tombstones or epochs to log. Tier migrations (local <-> cloud
+// drains) change placement but not membership, so they leave views valid.
+
+// ViewPrefix roots all sorted-view sidecars in the local tier, beside the
+// "sst/" tables and "meta/" sidecars.
+const ViewPrefix = "view/"
+
+// ViewFingerprint hashes a level's member file numbers, in key order, with
+// FNV-1a 64. Two levels have the same fingerprint iff they hold the same
+// tables in the same order.
+func ViewFingerprint(files []*FileMetadata) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, f := range files {
+		n := f.Num
+		for i := 0; i < 8; i++ {
+			h ^= n & 0xff
+			h *= prime64
+			n >>= 8
+		}
+	}
+	return h
+}
+
+// ViewName returns the local-tier object name for a level's sorted view.
+func ViewName(level int, fp uint64) string {
+	return fmt.Sprintf("%sL%d-%016x.view", ViewPrefix, level, fp)
+}
+
+// ParseViewName inverts ViewName; ok is false for foreign names.
+func ParseViewName(name string) (level int, fp uint64, ok bool) {
+	rest, found := strings.CutPrefix(name, ViewPrefix)
+	if !found || !strings.HasSuffix(rest, ".view") {
+		return 0, 0, false
+	}
+	rest = strings.TrimSuffix(rest, ".view")
+	if _, err := fmt.Sscanf(rest, "L%d-%x", &level, &fp); err != nil {
+		return 0, 0, false
+	}
+	return level, fp, true
+}

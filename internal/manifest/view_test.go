@@ -1,0 +1,50 @@
+package manifest
+
+import (
+	"testing"
+
+	"rocksmash/internal/storage"
+)
+
+func TestViewNameRoundtrip(t *testing.T) {
+	for _, tc := range []struct {
+		level int
+		fp    uint64
+	}{{1, 0}, {2, 0xdeadbeef}, {6, ^uint64(0)}} {
+		name := ViewName(tc.level, tc.fp)
+		level, fp, ok := ParseViewName(name)
+		if !ok || level != tc.level || fp != tc.fp {
+			t.Fatalf("roundtrip %q -> (%d, %x, %t), want (%d, %x)", name, level, fp, ok, tc.level, tc.fp)
+		}
+	}
+	for _, bad := range []string{"sst/000001.sst", "view/L2-zzzz.view", "view/L2-1234", "L2-1234.view", ""} {
+		if _, _, ok := ParseViewName(bad); ok {
+			t.Fatalf("ParseViewName(%q) accepted a foreign name", bad)
+		}
+	}
+}
+
+// TestViewFingerprintMembership pins the invalidation rule: the
+// fingerprint tracks member file numbers and their order — nothing else —
+// so tier drains keep views valid and compactions invalidate them.
+func TestViewFingerprintMembership(t *testing.T) {
+	fm := func(num uint64, tier storage.Tier) *FileMetadata {
+		return &FileMetadata{Num: num, Tier: tier}
+	}
+	a := []*FileMetadata{fm(3, storage.TierLocal), fm(7, storage.TierLocal)}
+	moved := []*FileMetadata{fm(3, storage.TierCloud), fm(7, storage.TierCloud)}
+	if ViewFingerprint(a) != ViewFingerprint(moved) {
+		t.Fatal("tier change altered the fingerprint; drains must keep views valid")
+	}
+	swapped := []*FileMetadata{fm(7, storage.TierLocal), fm(3, storage.TierLocal)}
+	if ViewFingerprint(a) == ViewFingerprint(swapped) {
+		t.Fatal("member order must be part of the fingerprint")
+	}
+	grown := []*FileMetadata{fm(3, storage.TierLocal), fm(7, storage.TierLocal), fm(9, storage.TierLocal)}
+	if ViewFingerprint(a) == ViewFingerprint(grown) {
+		t.Fatal("membership change must move the fingerprint")
+	}
+	if ViewFingerprint(nil) != ViewFingerprint([]*FileMetadata{}) {
+		t.Fatal("empty fingerprints disagree")
+	}
+}

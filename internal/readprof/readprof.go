@@ -91,6 +91,11 @@ type Profile struct {
 	FetchNanos [NumTiers]int64
 	// TotalNanos is the whole request's wall time (populated when Timed).
 	TotalNanos int64
+	// ViewHits / ViewMisses count, per iterator construction, the LSM
+	// levels served by a sorted-view cursor run vs levels that fell back
+	// to the per-table merge. Unused on point Gets.
+	ViewHits   int32
+	ViewMisses int32
 }
 
 // New returns a reset Profile.

@@ -172,6 +172,32 @@ func (r *Reader) DataHandles() ([]Handle, error) {
 	return hs, nil
 }
 
+// IndexEntry pairs one data block's handle with its index separator (an
+// internal key upper-bounding the block's entries).
+type IndexEntry struct {
+	Sep []byte
+	H   Handle
+}
+
+// IndexEntries returns every data block's separator and handle in file
+// order, decoded from the pinned index block — no data I/O. The sorted-view
+// builder concatenates these across a level's members.
+func (r *Reader) IndexEntries() ([]IndexEntry, error) {
+	var es []IndexEntry
+	it := r.index.NewIter()
+	for it.First(); it.Valid(); it.Next() {
+		h, err := DecodeHandle(it.Value())
+		if err != nil {
+			return nil, err
+		}
+		es = append(es, IndexEntry{Sep: append([]byte(nil), it.Key()...), H: h})
+	}
+	if it.Err() != nil {
+		return nil, it.Err()
+	}
+	return es, nil
+}
+
 // MayContain consults the bloom filter for ukey. Tables without filters
 // always return true.
 func (r *Reader) MayContain(ukey []byte) bool {

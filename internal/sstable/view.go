@@ -1,0 +1,228 @@
+package sstable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"rocksmash/internal/keys"
+)
+
+// Sorted-view sidecars (REMIX-style). A view is a persisted, globally
+// sorted run of block cursors over every table of one LSM level: for each
+// data block, the owning member table, the block's handle within that
+// table's file, and the index separator bounding the block's keys. Because
+// levels >= 1 hold non-overlapping tables sorted by key, concatenating the
+// members' index entries in member order yields the level's global key
+// order — a scan that rides the view needs one binary search to seek and
+// then advances block-to-block with no per-key merge compares, and it
+// knows the exact upcoming block schedule across tables, so cloud
+// readahead becomes exact rather than heuristic.
+//
+// Views are derived data: they are rebuilt from the members' pinned index
+// blocks alone (no data-block or cloud I/O), so a missing or corrupt view
+// object is never an error — the reader falls back to the plain per-table
+// merge and the builder re-emits the sidecar in the background.
+
+// ViewEntry is one cursor of a sorted view: the data block at H inside
+// member table Members[Member], holding keys bounded above by Sep (the
+// table's index separator, an internal key).
+type ViewEntry struct {
+	Member int32
+	H      Handle
+	Sep    []byte
+}
+
+// View is the decoded sorted-view sidecar for one level.
+type View struct {
+	Level   int
+	Members []uint64 // member table file numbers, in key order
+	Entries []ViewEntry
+}
+
+// viewMagic brands the sidecar encoding; bump the suffix on format change.
+const viewMagic = "rmviewv1"
+
+// Seek returns the ordinal of the first entry whose separator is >= target
+// (an internal key), i.e. the first block that may contain target.
+// Returns len(v.Entries) when target is beyond every separator.
+func (v *View) Seek(target []byte) int {
+	return sort.Search(len(v.Entries), func(i int) bool {
+		return keys.Compare(v.Entries[i].Sep, target) >= 0
+	})
+}
+
+// EncodeView serializes the view: magic, level, member table numbers, then
+// the cursor run with delta-encoded offsets (consecutive blocks of one
+// member are physically adjacent, so the common delta is zero) and
+// prefix-compressed separators, sealed by a crc32c of everything prior.
+func EncodeView(v *View) []byte {
+	buf := append([]byte(nil), viewMagic...)
+	buf = binary.AppendUvarint(buf, uint64(v.Level))
+	buf = binary.AppendUvarint(buf, uint64(len(v.Members)))
+	for _, num := range v.Members {
+		buf = binary.AppendUvarint(buf, num)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(v.Entries)))
+	var prevSep []byte
+	prevMember := int32(-1)
+	var prevEnd uint64
+	for i := range v.Entries {
+		e := &v.Entries[i]
+		buf = binary.AppendUvarint(buf, uint64(e.Member-prevMember))
+		if e.Member != prevMember {
+			// First block of a member: absolute offset.
+			buf = binary.AppendUvarint(buf, e.H.Offset)
+		} else {
+			buf = binary.AppendUvarint(buf, e.H.Offset-prevEnd)
+		}
+		buf = binary.AppendUvarint(buf, e.H.Length)
+		shared := sharedPrefix(prevSep, e.Sep)
+		buf = binary.AppendUvarint(buf, uint64(shared))
+		buf = binary.AppendUvarint(buf, uint64(len(e.Sep)-shared))
+		buf = append(buf, e.Sep[shared:]...)
+		prevSep = e.Sep
+		prevMember = e.Member
+		prevEnd = e.H.End()
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], checksum(buf))
+	return append(buf, crc[:]...)
+}
+
+// DecodeView parses an encoded view, validating the magic and checksum.
+// Any damage yields an error wrapping ErrCorrupt; callers treat that as
+// "no view" and rebuild.
+func DecodeView(data []byte) (*View, error) {
+	if len(data) < len(viewMagic)+4 || string(data[:len(viewMagic)]) != viewMagic {
+		return nil, fmt.Errorf("%w: bad view magic", ErrCorrupt)
+	}
+	body, crc := data[:len(data)-4], data[len(data)-4:]
+	if binary.LittleEndian.Uint32(crc) != checksum(body) {
+		return nil, fmt.Errorf("%w: view checksum mismatch", ErrCorrupt)
+	}
+	p := body[len(viewMagic):]
+	next := func() (uint64, error) {
+		x, n := binary.Uvarint(p)
+		if n <= 0 {
+			return 0, fmt.Errorf("%w: truncated view varint", ErrCorrupt)
+		}
+		p = p[n:]
+		return x, nil
+	}
+	level, err := next()
+	if err != nil {
+		return nil, err
+	}
+	nMembers, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if nMembers > uint64(len(p)) {
+		return nil, fmt.Errorf("%w: view member count %d", ErrCorrupt, nMembers)
+	}
+	v := &View{Level: int(level), Members: make([]uint64, nMembers)}
+	for i := range v.Members {
+		if v.Members[i], err = next(); err != nil {
+			return nil, err
+		}
+	}
+	nEntries, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if nEntries > uint64(len(p)) {
+		return nil, fmt.Errorf("%w: view entry count %d", ErrCorrupt, nEntries)
+	}
+	v.Entries = make([]ViewEntry, nEntries)
+	var prevSep []byte
+	prevMember := int32(-1)
+	var prevEnd uint64
+	for i := range v.Entries {
+		e := &v.Entries[i]
+		md, err := next()
+		if err != nil {
+			return nil, err
+		}
+		e.Member = prevMember + int32(md)
+		if int(e.Member) >= len(v.Members) || e.Member < 0 {
+			return nil, fmt.Errorf("%w: view member index %d", ErrCorrupt, e.Member)
+		}
+		off, err := next()
+		if err != nil {
+			return nil, err
+		}
+		if e.Member == prevMember {
+			off += prevEnd
+		}
+		length, err := next()
+		if err != nil {
+			return nil, err
+		}
+		e.H = Handle{Offset: off, Length: length}
+		shared, err := next()
+		if err != nil {
+			return nil, err
+		}
+		unshared, err := next()
+		if err != nil {
+			return nil, err
+		}
+		if shared > uint64(len(prevSep)) || unshared > uint64(len(p)) {
+			return nil, fmt.Errorf("%w: view separator lengths", ErrCorrupt)
+		}
+		sep := make([]byte, 0, shared+unshared)
+		sep = append(sep, prevSep[:shared]...)
+		sep = append(sep, p[:unshared]...)
+		p = p[unshared:]
+		e.Sep = sep
+		prevSep = sep
+		prevMember = e.Member
+		prevEnd = e.H.End()
+	}
+	return v, nil
+}
+
+// BuildView assembles a level's view from its members' index entries, in
+// member (key) order. members[i] owns indexes[i].
+//
+// A table writer's final index separator is a short successor of the
+// table's largest key and may overshoot arbitrarily far past it — past the
+// next member's entire key range — which would break the run's global
+// separator order. uppers[i], when non-nil, is member i's largest internal
+// key; the member's final separator is clamped to it, the tightest valid
+// upper bound for the final block.
+func BuildView(level int, members []uint64, indexes [][]IndexEntry, uppers [][]byte) *View {
+	v := &View{Level: level, Members: members}
+	for mi, idx := range indexes {
+		for bi, e := range idx {
+			sep := e.Sep
+			if bi == len(idx)-1 && uppers != nil && uppers[mi] != nil {
+				sep = uppers[mi]
+			}
+			v.Entries = append(v.Entries, ViewEntry{
+				Member: int32(mi),
+				H:      e.H,
+				Sep:    append([]byte(nil), sep...),
+			})
+		}
+	}
+	return v
+}
+
+func sharedPrefix(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+func checksum(p []byte) uint32 {
+	return crc32.Checksum(p, castagnoli)
+}

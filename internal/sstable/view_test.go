@@ -1,0 +1,185 @@
+package sstable
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"rocksmash/internal/keys"
+)
+
+// testView builds a deterministic multi-member view whose entries exercise
+// the encoder's delta paths: adjacent blocks within a member (zero offset
+// delta), member transitions (absolute offsets), and shared separator
+// prefixes.
+func testView() *View {
+	v := &View{Level: 2, Members: []uint64{11, 42, 107}}
+	var off uint64
+	for mi := range v.Members {
+		off = uint64(mi) * 1000 // member switch: non-contiguous offsets
+		for b := 0; b < 4; b++ {
+			sep := keys.MakeSeekKey(nil, []byte(fmt.Sprintf("m%02d-block%03d", mi, b)), keys.MaxSequence)
+			length := uint64(200 + 13*b)
+			v.Entries = append(v.Entries, ViewEntry{
+				Member: int32(mi),
+				H:      Handle{Offset: off, Length: length},
+				Sep:    sep,
+			})
+			off += length
+		}
+	}
+	return v
+}
+
+func viewsEqual(a, b *View) bool {
+	if a.Level != b.Level || len(a.Members) != len(b.Members) || len(a.Entries) != len(b.Entries) {
+		return false
+	}
+	for i := range a.Members {
+		if a.Members[i] != b.Members[i] {
+			return false
+		}
+	}
+	for i := range a.Entries {
+		x, y := a.Entries[i], b.Entries[i]
+		if x.Member != y.Member || x.H != y.H || !bytes.Equal(x.Sep, y.Sep) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestViewEncodeDecodeRoundtrip(t *testing.T) {
+	v := testView()
+	got, err := DecodeView(EncodeView(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !viewsEqual(v, got) {
+		t.Fatalf("roundtrip mismatch:\n got %+v\nwant %+v", got, v)
+	}
+}
+
+func TestViewEncodeDecodeEmpty(t *testing.T) {
+	v := &View{Level: 1}
+	got, err := DecodeView(EncodeView(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Level != 1 || len(got.Members) != 0 || len(got.Entries) != 0 {
+		t.Fatalf("empty view roundtrip: %+v", got)
+	}
+}
+
+// TestViewDecodeCorruption flips every byte of the encoding in turn and
+// truncates it at every length; each damaged copy must fail with
+// ErrCorrupt — never panic, never decode silently.
+func TestViewDecodeCorruption(t *testing.T) {
+	enc := EncodeView(testView())
+	for i := range enc {
+		bad := append([]byte(nil), enc...)
+		bad[i] ^= 0x5a
+		if _, err := DecodeView(bad); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at %d: err = %v, want ErrCorrupt", i, err)
+		}
+	}
+	for n := 0; n < len(enc); n++ {
+		if _, err := DecodeView(enc[:n]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncate to %d: err = %v, want ErrCorrupt", n, err)
+		}
+	}
+}
+
+func TestViewSeek(t *testing.T) {
+	v := testView()
+	// Before everything.
+	if got := v.Seek(keys.MakeSeekKey(nil, []byte("a"), keys.MaxSequence)); got != 0 {
+		t.Fatalf("Seek(before-all) = %d, want 0", got)
+	}
+	// Beyond everything.
+	if got := v.Seek(keys.MakeSeekKey(nil, []byte("zzz"), keys.MaxSequence)); got != len(v.Entries) {
+		t.Fatalf("Seek(after-all) = %d, want %d", got, len(v.Entries))
+	}
+	// Each separator's own user key must land on (at latest) its entry,
+	// and a key just past it must land strictly later.
+	for i, e := range v.Entries {
+		uk := keys.UserKey(e.Sep)
+		if got := v.Seek(keys.MakeSeekKey(nil, uk, keys.MaxSequence)); got > i {
+			t.Fatalf("Seek(sep[%d]) = %d, want <= %d", i, got, i)
+		}
+		past := append(append([]byte(nil), uk...), 0xff)
+		if got := v.Seek(keys.MakeSeekKey(nil, past, keys.MaxSequence)); got <= i {
+			t.Fatalf("Seek(past sep[%d]) = %d, want > %d", i, got, i)
+		}
+	}
+}
+
+func TestViewSeekMonotonic(t *testing.T) {
+	v := testView()
+	prev := -1
+	// Seeking increasing targets must yield non-decreasing ordinals.
+	for i := range v.Entries {
+		got := v.Seek(v.Entries[i].Sep)
+		if got < prev {
+			t.Fatalf("Seek went backwards: %d then %d", prev, got)
+		}
+		prev = got
+	}
+}
+
+func TestBuildViewOrder(t *testing.T) {
+	v := testView()
+	var indexes [][]IndexEntry
+	for mi := range v.Members {
+		var idx []IndexEntry
+		for _, e := range v.Entries {
+			if int(e.Member) == mi {
+				idx = append(idx, IndexEntry{Sep: e.Sep, H: e.H})
+			}
+		}
+		indexes = append(indexes, idx)
+	}
+	rebuilt := BuildView(v.Level, v.Members, indexes, nil)
+	if !viewsEqual(v, rebuilt) {
+		t.Fatal("BuildView did not reproduce the member-order concatenation")
+	}
+	for i := 1; i < len(rebuilt.Entries); i++ {
+		if keys.Compare(rebuilt.Entries[i-1].Sep, rebuilt.Entries[i].Sep) > 0 {
+			t.Fatalf("entry %d out of global key order", i)
+		}
+	}
+}
+
+// TestBuildViewClampsFinalSeparator reproduces the overshoot hazard: a
+// member's final index separator is a short successor ("l") that sorts
+// past the next member's whole key range. Clamping to the member's largest
+// internal key must restore global separator order.
+func TestBuildViewClampsFinalSeparator(t *testing.T) {
+	sep := func(uk string) []byte { return keys.MakeSeekKey(nil, []byte(uk), keys.MaxSequence) }
+	indexes := [][]IndexEntry{
+		{
+			{Sep: sep("key100"), H: Handle{Offset: 0, Length: 10}},
+			// Writer's final separator: short successor of "key150".
+			{Sep: sep("l"), H: Handle{Offset: 10, Length: 10}},
+		},
+		{
+			{Sep: sep("key200"), H: Handle{Offset: 0, Length: 10}},
+			{Sep: sep("l"), H: Handle{Offset: 10, Length: 10}},
+		},
+	}
+	uppers := [][]byte{sep("key150"), sep("key250")}
+	v := BuildView(3, []uint64{1, 2}, indexes, uppers)
+	for i := 1; i < len(v.Entries); i++ {
+		if keys.Compare(v.Entries[i-1].Sep, v.Entries[i].Sep) > 0 {
+			t.Fatalf("entry %d out of order: %q > %q", i,
+				keys.UserKey(v.Entries[i-1].Sep), keys.UserKey(v.Entries[i].Sep))
+		}
+	}
+	if got := keys.UserKey(v.Entries[1].Sep); string(got) != "key150" {
+		t.Fatalf("member 0 final separator = %q, want clamped key150", got)
+	}
+	if got := keys.UserKey(v.Entries[3].Sep); string(got) != "key250" {
+		t.Fatalf("member 1 final separator = %q, want clamped key250", got)
+	}
+}

@@ -64,6 +64,15 @@ type Sample struct {
 	ReadBlocks      int64 `json:"read_blocks"`
 	ReadBlocksCloud int64 `json:"read_blocks_cloud"`
 
+	// Cumulative range-scan attribution: sorted-view outcomes at iterator
+	// construction, background view builds, live keys yielded by
+	// iterators, and the blocks those iterators fetched.
+	ScanViewHits   int64 `json:"scan_view_hits"`
+	ScanViewMisses int64 `json:"scan_view_misses"`
+	ViewBuilds     int64 `json:"view_builds"`
+	IterKeys       int64 `json:"iter_keys"`
+	IterBlocks     int64 `json:"iter_blocks"`
+
 	// Per-level shape and compaction attribution, indexed by level. The
 	// In/Out arrays are indexed by *source* level (outputs land one level
 	// deeper); LevelServes/LevelProbes are the read-path per-level totals.
@@ -138,6 +147,12 @@ type Window struct {
 	// ReadAmpBlocksPerGet is the windowed blocks-per-profiled-Get.
 	ReadAmpBlocksPerGet float64 `json:"read_amp_blocks_per_get"`
 	CloudBlocksPerSec   float64 `json:"cloud_blocks_per_sec"`
+
+	// ViewHitRatio is the windowed fraction of per-level iterator
+	// constructions served by a sorted view; ScanBlocksPerKey the windowed
+	// blocks fetched per live key yielded by iterators (scan read-amp).
+	ViewHitRatio     float64 `json:"view_hit_ratio"`
+	ScanBlocksPerKey float64 `json:"scan_blocks_per_key"`
 
 	// Windowed cache hit ratios (NaN-free: 0 when no lookups happened).
 	BlockHitRatio  float64 `json:"block_hit_ratio"`
@@ -224,6 +239,12 @@ func Derive(prev, cur Sample) Window {
 		float64(cur.ReadBlocks-prev.ReadBlocks),
 		float64(cur.ProfiledGets-prev.ProfiledGets))
 	w.CloudBlocksPerSec = per(prev.ReadBlocksCloud, cur.ReadBlocksCloud)
+	w.ViewHitRatio = ratio(
+		float64(cur.ScanViewHits-prev.ScanViewHits),
+		float64(cur.ScanViewHits-prev.ScanViewHits+cur.ScanViewMisses-prev.ScanViewMisses))
+	w.ScanBlocksPerKey = ratio(
+		float64(cur.IterBlocks-prev.IterBlocks),
+		float64(cur.IterKeys-prev.IterKeys))
 
 	w.BlockHitRatio = ratio(
 		float64(cur.BlockHits-prev.BlockHits),
