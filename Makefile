@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench shardcheck vitalscheck scrubcheck scancheck check
+.PHONY: all build test race vet bench shardcheck vitalscheck scrubcheck scancheck flightcheck check
 
 all: build
 
@@ -44,4 +44,10 @@ scrubcheck:
 scancheck:
 	$(GO) test -race -count=1 -run 'View|Scan|Merging' ./internal/db ./internal/sstable ./internal/manifest
 
-check: build vet test race shardcheck vitalscheck scrubcheck scancheck
+# Flight-recorder suite: the event ring tap, detector hysteresis, bundle
+# commit, and the health/incident surfaces all run concurrently with the
+# engine and the vitals sampler — race-run them end to end.
+flightcheck:
+	$(GO) test -race -count=1 -run 'Flight|Incident|Detector|Bundle|Doctor|Health|Recorder|Ring|Rotat' ./internal/flight ./internal/event ./internal/db ./internal/obs
+
+check: build vet test race shardcheck vitalscheck scrubcheck scancheck flightcheck

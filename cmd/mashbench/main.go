@@ -91,6 +91,7 @@ func main() {
 		compress   = flag.Bool("compress", false, "flate-compress SSTable data blocks")
 		metrics    = flag.String("metrics-addr", "", "serve live metrics over HTTP on this address (/metrics, /debug/vars, /stats, /vitals, /debug/pprof)")
 		vitalsEach = flag.Duration("vitals", 0, "sample time-series vitals at this interval (0 = off; view with `mashctl top` via -metrics-addr)")
+		flightRec  = flag.Bool("flight", false, "run the flight recorder: anomaly detection on vitals ticks plus postmortem incident bundles (see /health and /incidents with -metrics-addr)")
 		profSample = flag.Int("profile-sample", 0, "time 1-in-N reads for the read-path profiler (0 = engine default, 1 = every read, -1 = off)")
 		tracePath  = flag.String("trace", "", "append engine events as JSON lines to this file (see `mashctl trace`)")
 		dumpStats  = flag.Bool("stats", false, "print the DumpStats report after the benchmarks")
@@ -143,6 +144,7 @@ func main() {
 	opts.ReadProfileSampleRate = *profSample
 	opts.Shards = *shards
 	opts.VitalsInterval = *vitalsEach
+	opts.FlightRecorder = *flightRec
 	var d *db.DB
 	var faulty, localFaulty *storage.Faulty
 	localChaos := *faultLocalCorrupt > 0 || *faultLocalBudget > 0 || *faultLocalSync > 0

@@ -16,6 +16,8 @@
 //	mashctl profile  -addr host:port   # read-path attribution from a live /metrics
 //	mashctl profile  -f trace.jsonl    # slow-read records captured in a trace
 //	mashctl top      -addr host:port   # live refreshing dashboard from /vitals
+//	mashctl top      -addr host:port -json  # one /vitals report as JSON and exit
+//	mashctl doctor   /path/to/bundle   # ranked offline diagnosis of an incident bundle
 package main
 
 import (
@@ -54,10 +56,17 @@ func main() {
 	interval := fs.Duration("interval", time.Second, "dashboard refresh period (top command)")
 	iters := fs.Int("n", 0, "number of dashboard refreshes, 0 = until interrupted (top command)")
 	once := fs.Bool("once", false, "render a single dashboard frame and exit (top command)")
+	jsonOut := fs.Bool("json", false, "emit one machine-readable /vitals report and exit; implies -once (top command)")
 	fs.Parse(os.Args[2:])
 
+	if cmd == "doctor" {
+		// The bundle is self-contained: no -db, no live endpoint.
+		cmdDoctor(fs.Arg(0))
+		return
+	}
+
 	if cmd == "top" {
-		cmdTop(*addr, *interval, *iters, *once)
+		cmdTop(*addr, *interval, *iters, *once, *jsonOut)
 		return
 	}
 
@@ -166,7 +175,8 @@ func eachShard(local storage.Backend, shards int, fn func(sh storage.Backend, pr
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mashctl {manifest|sst|wal|pcache|cost|verify|scrub|trace|profile|top} -db DIR [-num N] [-f TRACE] [-top N] [-addr HOST:PORT] [-interval D] [-n N] [-once]")
+	fmt.Fprintln(os.Stderr, "usage: mashctl {manifest|sst|wal|pcache|cost|verify|scrub|trace|profile|top|doctor} -db DIR [-num N] [-f TRACE] [-top N] [-addr HOST:PORT] [-interval D] [-n N] [-once] [-json]")
+	fmt.Fprintln(os.Stderr, "       mashctl doctor BUNDLE-DIR   # offline diagnosis of a flight-recorder incident bundle")
 	os.Exit(2)
 }
 

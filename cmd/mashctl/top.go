@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"strings"
 	"time"
 
@@ -16,7 +17,9 @@ import (
 // ratios, the cloud bill rate, a breaker/degraded banner, shard balance,
 // and a per-level table. once renders a single frame without clearing
 // the screen (for scripts and tests); iters > 0 bounds the refresh count.
-func cmdTop(addr string, interval time.Duration, iters int, once bool) {
+// jsonOut emits one raw vitals.Report as indented JSON and exits —
+// machine-readable for scripts that would otherwise scrape the frame.
+func cmdTop(addr string, interval time.Duration, iters int, once, jsonOut bool) {
 	if addr == "" {
 		fatal(errors.New("top: -addr is required (a live obs endpoint, e.g. 127.0.0.1:8080)"))
 	}
@@ -24,6 +27,18 @@ func cmdTop(addr string, interval time.Duration, iters int, once bool) {
 		interval = time.Second
 	}
 	url := "http://" + addr + "/vitals"
+	if jsonOut {
+		rep, err := fetchVitals(url)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	for i := 0; ; i++ {
 		rep, err := fetchVitals(url)
 		if err != nil {

@@ -168,6 +168,12 @@ type DB struct {
 	// nil when vitals are off. In a sharded store only the facade runs one.
 	vit *vitals.Sampler
 
+	// flight is the flight recorder (Options.FlightRecorder): the event
+	// ring, anomaly detector, and incident-bundle writer. Nil when off —
+	// the off path is byte-identical to a build without the recorder. In a
+	// sharded store only the facade carries one.
+	flight *flightState
+
 	recovery RecoveryReport
 }
 
@@ -223,15 +229,19 @@ func Open(opts Options, local storage.Backend, cloud storage.Backend) (*DB, erro
 		d.cloudSim = cs
 	}
 	// Assemble the effective listener: user listener plus the JSONL trace
-	// writer when TracePath is set.
+	// writer when TracePath is set, plus the flight recorder's event ring.
 	listener := opts.EventListener
 	if opts.TracePath != "" {
-		tw, err := event.CreateTrace(opts.TracePath)
+		tw, err := event.CreateTraceRotating(opts.TracePath, opts.TraceRotateBytes, opts.TraceRotateKeep)
 		if err != nil {
 			return nil, fmt.Errorf("db: creating trace: %w", err)
 		}
 		d.trace = tw
 		listener = event.Multi(listener, tw)
+	}
+	if opts.FlightRecorder && opts.sharedSeqs == nil {
+		d.initFlight(local)
+		listener = event.Multi(listener, d.flight.rec)
 	}
 	d.listener = listener
 	// Route SSTable and sidecar I/O through recording wrappers so GET/PUT

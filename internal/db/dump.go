@@ -196,6 +196,18 @@ func (d *DB) DumpStats() string {
 		}
 	}
 
+	if fs := d.flight; fs != nil {
+		b.WriteString("\n** Flight Recorder **\n")
+		fmt.Fprintf(&b, "Incidents: %d triggered, %d suppressed; bundles: %d written, %d errors\n",
+			m.IncidentsTriggered, m.IncidentsSuppressed, m.BundlesWritten, m.BundleErrors)
+		if len(m.ActiveIncidents) > 0 {
+			fmt.Fprintf(&b, "Active rules: %s\n", strings.Join(m.ActiveIncidents, ", "))
+		}
+		ring := fs.rec.Ring()
+		fmt.Fprintf(&b, "Event ring: %d recorded, %d overwritten (cap %d)\n",
+			ring.Recorded(), ring.Dropped(), ring.Cap())
+	}
+
 	b.WriteString("\n** Latency (cumulative) **\n")
 	fmt.Fprintf(&b, "%-10s %10s %10s %10s %10s %10s %10s\n",
 		"op", "count", "mean", "p50", "p90", "p99", "max")

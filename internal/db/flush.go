@@ -304,9 +304,14 @@ func (d *DB) flushMemtable(imm *memtable.MemTable) error {
 	d.stats.Flushes.Add(1)
 	d.stats.FlushBytes.Add(int64(t.meta.Size))
 	// Sequence numbers up to FlushedSeq are durable in tables: the WAL
-	// segments covering them can go (eWAL GC).
+	// segments covering them can go (eWAL GC). GC is deferred, not fatal —
+	// a segment whose delete fails (an open breaker retiring its cloud
+	// backup, say) stays indexed for the next flush to retry; wedging the
+	// shard over retired-log cleanup would turn a cloud blip into a
+	// permanent write stall.
 	if err := d.wal.DeleteObsolete(d.vs.FlushedSeq()); err != nil {
-		return err
+		d.stats.DeferredDeletes.Add(1)
+		d.evCloudRetry("DELETE", "wal-gc", 0, err)
 	}
 	dur := time.Since(flushStart)
 	d.lat.flush.Record(dur)

@@ -8,6 +8,7 @@ import (
 
 	"rocksmash/internal/cache"
 	"rocksmash/internal/event"
+	"rocksmash/internal/flight"
 	"rocksmash/internal/pcache"
 	"rocksmash/internal/retry"
 	"rocksmash/internal/sstable"
@@ -226,6 +227,33 @@ type Options struct {
 	// minutes at a 1s interval).
 	VitalsHistory int
 
+	// FlightRecorder enables the flight recorder: a bounded lock-free ring
+	// of recent engine events tapped off the listener chain, an anomaly
+	// detector evaluated on every vitals tick (latency spikes, write-stall
+	// onset, breaker trips, compaction-debt growth, cache collapse, shard
+	// skew, cost spikes — see internal/flight and DESIGN.md §5j), and
+	// atomic postmortem bundle dumps when a detector fires. Off (the
+	// default) the flight path does not exist: no ring, no detector, no
+	// per-event or per-write cost. Enabling it defaults VitalsInterval to
+	// 1s when unset (the detector rides the vitals tick). In a sharded
+	// store the recorder and detector live on the facade.
+	FlightRecorder bool
+	// FlightHistory is the event-ring capacity (entries). 0 means 1024.
+	FlightHistory int
+	// FlightDir overrides where incident bundles are written. Empty derives
+	// <local root>/../flight when the local backend is a real directory;
+	// otherwise bundling is disabled (detection still runs).
+	FlightDir string
+	// FlightMaxBundles caps retained bundle directories (oldest pruned).
+	// 0 means 8.
+	FlightMaxBundles int
+	// FlightBundleInterval rate-limits bundle dumps: at most one bundle per
+	// interval regardless of how many detectors fire. 0 means 30s.
+	FlightBundleInterval time.Duration
+	// FlightThresholds tunes the detector rules; zero fields take the
+	// documented defaults.
+	FlightThresholds flight.Thresholds
+
 	// ReadProfileSampleRate selects 1-in-N Gets for full (timed) read-path
 	// profiling; the cheap counter core (levels probed, tables touched,
 	// bloom outcomes, blocks by tier) is recorded for every Get regardless.
@@ -242,6 +270,14 @@ type Options struct {
 	// (machine-readable run trace, decodable with event.ReadTraceFile and
 	// summarized by `mashctl trace`). Combines with EventListener.
 	TracePath string
+	// TraceRotateBytes rotates the trace file when it reaches this size:
+	// the live file shifts to TracePath.1 (older files to .2, .3, ...) and
+	// a fresh file opens, always between complete JSON lines. 0 (the
+	// default) never rotates.
+	TraceRotateBytes int64
+	// TraceRotateKeep is how many rotated trace files are retained beyond
+	// the live one. 0 means 1.
+	TraceRotateKeep int
 
 	// Cloud configures the simulated object store when the DB creates its
 	// own backends (OpenAt). Ignored when backends are supplied directly.
@@ -365,6 +401,20 @@ func (o Options) sanitize() Options {
 	}
 	if o.VitalsInterval < 0 {
 		o.VitalsInterval = 0
+	}
+	if o.FlightRecorder && o.VitalsInterval == 0 {
+		// The detector evaluates on vitals ticks; a recorder without a
+		// heartbeat would never detect anything.
+		o.VitalsInterval = time.Second
+	}
+	if o.FlightHistory < 0 {
+		o.FlightHistory = 0
+	}
+	if o.TraceRotateBytes < 0 {
+		o.TraceRotateBytes = 0
+	}
+	if o.TraceRotateKeep < 0 {
+		o.TraceRotateKeep = 0
 	}
 	if o.ScrubInterval < 0 {
 		o.ScrubInterval = 0

@@ -150,12 +150,19 @@ func openSharded(opts Options, local, cloud storage.Backend) (*DB, error) {
 	// events.
 	listener := opts.EventListener
 	if opts.TracePath != "" {
-		tw, err := event.CreateTrace(opts.TracePath)
+		tw, err := event.CreateTraceRotating(opts.TracePath, opts.TraceRotateBytes, opts.TraceRotateKeep)
 		if err != nil {
 			return nil, fmt.Errorf("db: creating trace: %w", err)
 		}
 		d.trace = tw
 		listener = event.Multi(listener, tw)
+	}
+	// The facade owns the one flight recorder: its ring taps the merged
+	// listener (so it sees every shard's events) and its detector rides the
+	// facade sampler. Shards get FlightRecorder forced off below.
+	if opts.FlightRecorder {
+		d.initFlight(local)
+		listener = event.Multi(listener, d.flight.rec)
 	}
 	d.listener = listener
 
@@ -202,6 +209,7 @@ func openSharded(opts Options, local, cloud storage.Backend) (*DB, error) {
 	child := opts
 	child.EventListener = listener
 	child.TracePath = ""
+	child.FlightRecorder = false
 	child.pcacheDir = ""
 	child.sharedSeqs = d.seqs
 	child.sharedCache = d.blockCache
@@ -521,6 +529,9 @@ func (d *DB) shardMetrics() Metrics {
 		m.LocalDegradedDur = d.localBreaker.DegradedDur()
 	}
 	m.PCacheCorruptReads = pcs.CorruptReads.Load()
+	// Flight counters are facade-owned: the one detector ticks on the
+	// facade's sampler, so these never sum across shards.
+	d.fillFlightMetrics(&m)
 	// The instrumented backends delegate Stats to the shared device, so
 	// any shard's snapshot is the global per-device I/O view.
 	m.LocalIO = d.shards[0].local.Stats().Snapshot()

@@ -73,6 +73,13 @@ type Stats struct {
 	ViewBuildBytes atomic.Int64
 	IterKeys       atomic.Int64
 
+	// Flight-recorder counters (facade-level in a sharded store: the
+	// detector runs once, on the facade's vitals tick).
+	IncidentsTriggered  atomic.Int64 // detector rules fired
+	IncidentsSuppressed atomic.Int64 // re-triggers absorbed by per-rule cooldowns
+	BundlesWritten      atomic.Int64 // postmortem bundles committed
+	BundleErrors        atomic.Int64 // bundle dumps that failed
+
 	// LevelCompact attributes compaction traffic to its source level: every
 	// compaction moves level → level+1, so indexing by the source level
 	// captures the full source→target pair. The per-level counters
@@ -365,6 +372,15 @@ type Metrics struct {
 	WALSpills             int64
 	WALRestored           int64
 
+	// Flight-recorder state (zero when Options.FlightRecorder is off):
+	// detector fires, cooldown-suppressed re-triggers, postmortem bundle
+	// outcomes, and the rule IDs active at snapshot time.
+	IncidentsTriggered  int64
+	IncidentsSuppressed int64
+	BundlesWritten      int64
+	BundleErrors        int64
+	ActiveIncidents     []string
+
 	// Read-path attribution (per-level serves, per-tier blocks, bloom
 	// effectiveness); zero-valued when ReadProfileSampleRate is negative.
 	ReadAmp ReadAmp
@@ -582,6 +598,7 @@ func (d *DB) Metrics() Metrics {
 		m.LocalDegradedDur = d.localBreaker.DegradedDur()
 	}
 	m.QuarantinedTables = d.quarantinedCount()
+	d.fillFlightMetrics(&m)
 	if d.wal != nil {
 		m.WALSpills = d.wal.Spills()
 		m.WALRestored = d.wal.Restored()

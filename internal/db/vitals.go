@@ -20,11 +20,22 @@ import (
 func (d *DB) Vitals() *vitals.Sampler { return d.vit }
 
 // startVitals launches the sampler; the caller has fully initialized d.
+// With the flight recorder on, the sampler's snapshot closure also feeds
+// each sample to the anomaly detector, so detection ticks at exactly the
+// vitals cadence with no goroutine of its own.
 func (d *DB) startVitals() {
 	if d.opts.VitalsInterval <= 0 {
 		return
 	}
-	d.vit = vitals.NewSampler(d.opts.VitalsInterval, d.opts.VitalsHistory, d.VitalsSample)
+	snap := d.VitalsSample
+	if d.flight != nil {
+		snap = func() vitals.Sample {
+			s := d.VitalsSample()
+			d.flightObserve(s)
+			return s
+		}
+	}
+	d.vit = vitals.NewSampler(d.opts.VitalsInterval, d.opts.VitalsHistory, snap)
 }
 
 // stopVitals halts the sampler goroutine; safe when vitals never started.
@@ -97,6 +108,9 @@ func (d *DB) VitalsSample() vitals.Sample {
 		CostStorageMonthly: m.CloudCost.StorageCost,
 		CostRequest:        m.CloudCost.RequestCost,
 		CostEgress:         m.CloudCost.EgressCost,
+
+		GetP99Nanos:        m.GetLat.P99.Nanoseconds(),
+		IncidentsTriggered: m.IncidentsTriggered,
 	}
 	s.LevelFiles = append(s.LevelFiles, m.LevelFiles...)
 	for _, b := range m.LevelBytes {

@@ -43,6 +43,8 @@ const (
 	TCorruptionRepaired Type = "corruption_repaired"
 
 	TViewBuilt Type = "view_built"
+
+	TIncidentTriggered Type = "incident_triggered"
 )
 
 // FlushBegin fires when a sealed memtable (or recovery memtables) starts
@@ -235,6 +237,20 @@ type SlowRead struct {
 	Path string `json:"path"`
 }
 
+// IncidentTriggered fires when a flight-recorder detector rule crosses its
+// threshold and opens an incident. Rule is the detector identifier (e.g.
+// "cloud-outage"), Severity "warn" or "critical", Value/Threshold the
+// observation that crossed, and Bundle the postmortem bundle directory when
+// one was written ("" when bundling was rate-limited or disabled).
+type IncidentTriggered struct {
+	Rule      string  `json:"rule"`
+	Severity  string  `json:"severity"`
+	Reason    string  `json:"reason"`
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+	Bundle    string  `json:"bundle,omitempty"`
+}
+
 // Listener receives engine lifecycle events. Embed NopListener to implement
 // only the methods of interest.
 type Listener interface {
@@ -255,6 +271,7 @@ type Listener interface {
 	OnCorruptionDetected(CorruptionDetected)
 	OnCorruptionRepaired(CorruptionRepaired)
 	OnViewBuilt(ViewBuilt)
+	OnIncidentTriggered(IncidentTriggered)
 }
 
 // NopListener implements Listener with no-ops; embed it in partial
@@ -279,6 +296,7 @@ func (NopListener) OnSlowRead(SlowRead)               {}
 func (NopListener) OnCorruptionDetected(CorruptionDetected) {}
 func (NopListener) OnCorruptionRepaired(CorruptionRepaired) {}
 func (NopListener) OnViewBuilt(ViewBuilt)                   {}
+func (NopListener) OnIncidentTriggered(IncidentTriggered)   {}
 
 // multi fans every event out to each listener in order.
 type multi []Listener
@@ -385,5 +403,10 @@ func (m multi) OnCorruptionRepaired(e CorruptionRepaired) {
 func (m multi) OnViewBuilt(e ViewBuilt) {
 	for _, l := range m {
 		l.OnViewBuilt(e)
+	}
+}
+func (m multi) OnIncidentTriggered(e IncidentTriggered) {
+	for _, l := range m {
+		l.OnIncidentTriggered(e)
 	}
 }

@@ -1,0 +1,106 @@
+package event
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestTraceRotationNeverTearsLine hammers a rotating TraceWriter from many
+// goroutines with a tiny rotation threshold, then re-parses the live file
+// and every retained generation: each must be a sequence of complete,
+// decodable JSON lines — rotation must never split a record across files.
+func TestTraceRotationNeverTearsLine(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.jsonl")
+	const keep = 3
+	tw, err := CreateTraceRotating(path, 2<<10, keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers, perWriter = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				tw.OnCloudRetry(CloudRetry{
+					Op:      "put",
+					Object:  fmt.Sprintf("tables/%06d-%06d.sst", w, i),
+					Attempt: i,
+					Err:     "transient failure injected by the rotation hammer",
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	total := 0
+	files := []string{path}
+	for i := 1; i <= keep; i++ {
+		files = append(files, fmt.Sprintf("%s.%d", path, i))
+	}
+	rotated := 0
+	for _, f := range files {
+		if _, err := os.Stat(f); err != nil {
+			continue
+		}
+		rotated++
+		recs, err := ReadTraceFile(f)
+		if err != nil {
+			t.Fatalf("%s: torn or malformed trace: %v", f, err)
+		}
+		for _, rec := range recs {
+			if _, err := rec.Decode(); err != nil {
+				t.Fatalf("%s: undecodable record: %v", f, err)
+			}
+			total++
+		}
+	}
+	if rotated < 2 {
+		t.Fatalf("expected rotation to produce at least one retained generation, saw %d files", rotated)
+	}
+	// Old generations are deleted, so at most (keep+1) files' worth of
+	// records survive — but never more than were written, and never zero.
+	if total == 0 || total > writers*perWriter {
+		t.Fatalf("recovered %d records, want (0, %d]", total, writers*perWriter)
+	}
+	// The retained-file cap holds: no generation past .keep may exist.
+	if _, err := os.Stat(fmt.Sprintf("%s.%d", path, keep+1)); err == nil {
+		t.Fatalf("generation beyond the retained cap exists: %s.%d", path, keep+1)
+	}
+}
+
+// TestTraceRotationDisabled verifies CreateTrace (no rotation) keeps one
+// unbounded file and produces no .1 generation.
+func TestTraceRotationDisabled(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.jsonl")
+	tw, err := CreateTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		tw.OnFlushBegin(FlushBegin{Reason: "memtable"})
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 500 {
+		t.Fatalf("got %d records, want 500", len(recs))
+	}
+	if _, err := os.Stat(path + ".1"); err == nil {
+		t.Fatal("unexpected rotated generation for a non-rotating trace")
+	}
+}

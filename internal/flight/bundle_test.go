@@ -1,0 +1,185 @@
+package flight
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"rocksmash/internal/event"
+	"rocksmash/internal/vitals"
+)
+
+func testInputs(nano int64) BundleInputs {
+	ring := NewRing(64)
+	ring.Add(event.TFlushBegin, event.FlushBegin{Reason: "memtable"})
+	ring.Add(event.TBreakerState, event.BreakerState{From: "closed", To: "open", Tier: "cloud"})
+	ring.Add(event.TCloudRetry, event.CloudRetry{Op: "put", Object: "tables/000001.sst", Attempt: 1, Err: "injected"})
+	return BundleInputs{
+		Incident: Incident{
+			Rule: RuleCloudOutage, Severity: SevCritical,
+			Reason: "cloud breaker open", Value: 1, Threshold: 0.5, UnixNano: nano,
+		},
+		Active:       []string{RuleCloudOutage},
+		Counts:       map[string]int64{RuleCloudOutage: 1},
+		Events:       ring.Snapshot(),
+		Vitals:       []vitals.Sample{{UnixNano: nano - int64(time.Second)}, {UnixNano: nano}},
+		MetricsJSON:  []byte(`{"QuarantinedTables": 0, "MisplacedTables": 2}`),
+		StatsText:    "** DB Stats **\n",
+		ManifestText: "L0: 3 files\n",
+	}
+}
+
+// TestBundleCrashPointSweep simulates a crash after every possible number
+// of written files: in every crashed state the half-written temp directory
+// must never be reported as an incident; the final uncrashed write commits
+// exactly one complete bundle.
+func TestBundleCrashPointSweep(t *testing.T) {
+	dir := t.TempDir()
+	cfg := BundleConfig{Dir: dir, MaxBundles: 8}
+	in := testInputs(time.Now().UnixNano())
+
+	// A full bundle writes 8 files (incident.json, events.jsonl,
+	// vitals.json, metrics.json, stats.txt, manifest.txt, goroutines.txt,
+	// heap.pprof); simulate a crash after each prefix of them in turn.
+	const bundleFiles = 8
+	for crash := 1; crash <= bundleFiles; crash++ {
+		crashAfterFiles = crash
+		if _, err := WriteBundle(cfg, in); err == nil {
+			t.Fatalf("crash point %d: WriteBundle succeeded, want simulated crash", crash)
+		}
+		bundles, err := ListBundles(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(bundles) != 0 {
+			t.Fatalf("crash point %d: half-written bundle reported as incident: %+v", crash, bundles)
+		}
+	}
+	crashAfterFiles = 0
+
+	// The clean write commits a complete bundle despite the crash debris.
+	path, err := WriteBundle(cfg, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundles, err := ListBundles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bundles) != 1 || bundles[0].Dir != path {
+		t.Fatalf("ListBundles = %+v, want exactly the committed bundle %s", bundles, path)
+	}
+	for _, f := range []string{"incident.json", "events.jsonl", "vitals.json",
+		"metrics.json", "stats.txt", "manifest.txt", "goroutines.txt", "heap.pprof"} {
+		if _, err := os.Stat(filepath.Join(path, f)); err != nil {
+			t.Fatalf("committed bundle missing %s: %v", f, err)
+		}
+	}
+	// Pruning after the commit removed the crash-abandoned temp dirs.
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), tmpPrefix) {
+			t.Fatalf("stale temp directory survived the commit prune: %s", e.Name())
+		}
+	}
+}
+
+// TestBundleRetentionPrunesOldest verifies MaxBundles keeps only the
+// newest bundles.
+func TestBundleRetentionPrunesOldest(t *testing.T) {
+	dir := t.TempDir()
+	cfg := BundleConfig{Dir: dir, MaxBundles: 2}
+	base := time.Now().UnixNano()
+	for i := 0; i < 4; i++ {
+		in := testInputs(base + int64(i)*int64(time.Second))
+		if _, err := WriteBundle(cfg, in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bundles, err := ListBundles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bundles) != 2 {
+		t.Fatalf("retained %d bundles, want 2", len(bundles))
+	}
+	for _, b := range bundles {
+		if b.Manifest.Incident.UnixNano < base+2*int64(time.Second) {
+			t.Fatalf("an old bundle survived pruning: %+v", b.Manifest.Incident)
+		}
+	}
+}
+
+// TestBundleEventCap verifies the size cap drops oldest events first and
+// records the truncation in the manifest.
+func TestBundleEventCap(t *testing.T) {
+	dir := t.TempDir()
+	in := testInputs(time.Now().UnixNano())
+	ring := NewRing(256)
+	for i := 0; i < 200; i++ {
+		ring.Add(event.TCloudRetry, event.CloudRetry{Op: "put", Attempt: i, Err: "padding-padding-padding"})
+	}
+	in.Events = ring.Snapshot()
+	path, err := WriteBundle(BundleConfig{Dir: dir, MaxBundles: 4, MaxEventBytes: 2 << 10}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, err := ReadBundleManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.EventsDroppedByCap == 0 {
+		t.Fatal("size cap did not drop any events")
+	}
+	recs, err := event.ReadTraceFile(filepath.Join(path, "events.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != man.EventCount {
+		t.Fatalf("events.jsonl has %d records, manifest says %d", len(recs), man.EventCount)
+	}
+	// The kept tail is the newest events: its last attempt must be 199.
+	last, err := recs[len(recs)-1].Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.(event.CloudRetry).Attempt != 199 {
+		t.Fatalf("cap dropped newest events instead of oldest: last attempt %d", last.(event.CloudRetry).Attempt)
+	}
+}
+
+// TestAnalyzeRanksTrigger verifies the offline doctor reads a bundle and
+// leads with the triggering rule.
+func TestAnalyzeRanksTrigger(t *testing.T) {
+	dir := t.TempDir()
+	in := testInputs(time.Now().UnixNano())
+	path, err := WriteBundle(BundleConfig{Dir: dir, MaxBundles: 4}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diag, err := Analyze(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diag.Findings) == 0 || !strings.Contains(diag.Findings[0].Title, RuleCloudOutage) {
+		t.Fatalf("doctor did not rank the trigger first: %+v", diag.Findings)
+	}
+	found := false
+	for _, f := range diag.Findings {
+		if strings.Contains(f.Title, "cloud breaker opened") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("doctor missed the breaker transition in events.jsonl: %+v", diag.Findings)
+	}
+	if out := diag.Render(); !strings.Contains(out, "ranked findings") {
+		t.Fatalf("Render missing findings section:\n%s", out)
+	}
+	// Analyzing an uncommitted (half-written) directory must fail.
+	if _, err := Analyze(dir); err == nil {
+		t.Fatal("Analyze accepted a non-bundle directory")
+	}
+}

@@ -1,0 +1,307 @@
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"rocksmash/internal/event"
+	"rocksmash/internal/vitals"
+)
+
+// Finding is one ranked observation from an offline bundle analysis.
+type Finding struct {
+	Score  float64 `json:"score"` // higher = more likely the root cause
+	Title  string  `json:"title"`
+	Detail string  `json:"detail"`
+}
+
+// Diagnosis is the result of Analyze: the triggering incident plus
+// findings ranked most-suspicious first.
+type Diagnosis struct {
+	Dir      string         `json:"dir"`
+	Manifest BundleManifest `json:"manifest"`
+	Findings []Finding      `json:"findings"`
+}
+
+// Analyze reads a postmortem bundle offline and ranks what it finds: the
+// triggering rule, breaker churn, retry storms, stall time, debt growth,
+// cache collapse, slow reads, and corruption — the `mashctl doctor` core.
+func Analyze(dir string) (Diagnosis, error) {
+	man, err := ReadBundleManifest(dir)
+	if err != nil {
+		return Diagnosis{}, fmt.Errorf("flight: not a committed bundle: %w", err)
+	}
+	d := Diagnosis{Dir: dir, Manifest: man}
+
+	d.Findings = append(d.Findings, Finding{
+		Score: 100,
+		Title: fmt.Sprintf("trigger: %s (%s)", man.Incident.Rule, man.Incident.Severity),
+		Detail: fmt.Sprintf("%s — observed %.4g vs threshold %.4g at %s",
+			man.Incident.Reason, man.Incident.Value, man.Incident.Threshold,
+			man.Incident.Time().Format(time.RFC3339)),
+	})
+	if len(man.Active) > 1 {
+		d.Findings = append(d.Findings, Finding{
+			Score: 60,
+			Title: fmt.Sprintf("%d detectors active simultaneously", len(man.Active)),
+			Detail: "co-active rules: " + strings.Join(man.Active, ", ") +
+				" — correlated failure, suspect a shared cause (device, network, workload shift)",
+		})
+	}
+
+	if recs, err := event.ReadTraceFile(filepath.Join(dir, "events.jsonl")); err == nil {
+		d.Findings = append(d.Findings, analyzeEvents(recs, man.Incident.UnixNano)...)
+	}
+	if samples, err := readBundleVitals(dir); err == nil {
+		d.Findings = append(d.Findings, analyzeVitals(samples)...)
+	}
+	if metrics, err := readBundleMetrics(dir); err == nil {
+		d.Findings = append(d.Findings, analyzeMetrics(metrics)...)
+	}
+
+	sort.SliceStable(d.Findings, func(i, j int) bool {
+		return d.Findings[i].Score > d.Findings[j].Score
+	})
+	return d, nil
+}
+
+func readBundleVitals(dir string) ([]vitals.Sample, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "vitals.json"))
+	if err != nil {
+		return nil, err
+	}
+	var payload struct {
+		Samples []vitals.Sample `json:"samples"`
+	}
+	if err := json.Unmarshal(data, &payload); err != nil {
+		return nil, err
+	}
+	return payload.Samples, nil
+}
+
+func readBundleMetrics(dir string) (map[string]any, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "metrics.json"))
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// analyzeEvents mines the captured ring for breaker churn, retry storms,
+// stalls, slow reads, and corruption in the window preceding the trigger.
+func analyzeEvents(recs []event.Record, triggerNano int64) []Finding {
+	var (
+		retries, preTrigger             int
+		stalls                          int
+		stallDur                        time.Duration
+		corruptions, repairs            int
+		slowReads                       int
+		worstRead                       time.Duration
+		cloudOpens, localOpens, reopens int
+	)
+	for _, rec := range recs {
+		if triggerNano > 0 && rec.TS <= triggerNano {
+			preTrigger++
+		}
+		p, err := rec.Decode()
+		if err != nil {
+			continue
+		}
+		switch e := p.(type) {
+		case event.CloudRetry:
+			retries++
+		case event.WriteStallEnd:
+			stalls++
+			stallDur += e.Duration
+		case event.CorruptionDetected:
+			corruptions++
+		case event.CorruptionRepaired:
+			repairs++
+		case event.SlowRead:
+			slowReads++
+			if e.Duration > worstRead {
+				worstRead = e.Duration
+			}
+		case event.BreakerState:
+			switch {
+			case e.To == "open" && e.Tier == "local":
+				localOpens++
+			case e.To == "open":
+				cloudOpens++
+			case e.To == "closed":
+				reopens++
+			}
+		}
+	}
+
+	var out []Finding
+	if cloudOpens > 0 {
+		out = append(out, Finding{
+			Score: 90,
+			Title: fmt.Sprintf("cloud breaker opened %d time(s) in the captured window", cloudOpens),
+			Detail: fmt.Sprintf("%d close transitions seen; repeated open/close cycles indicate a flapping "+
+				"cloud path rather than one clean outage", reopens),
+		})
+	}
+	if localOpens > 0 {
+		out = append(out, Finding{
+			Score:  90,
+			Title:  fmt.Sprintf("local breaker opened %d time(s) in the captured window", localOpens),
+			Detail: "local media errors (ENOSPC / fsync EIO); check device capacity and kernel logs",
+		})
+	}
+	if retries > 0 {
+		score := 40.0
+		if retries >= 20 {
+			score = 75
+		}
+		out = append(out, Finding{
+			Score:  score,
+			Title:  fmt.Sprintf("retry storm: %d cloud retries captured", retries),
+			Detail: "transient cloud errors were being retried in the pre-trigger window",
+		})
+	}
+	if stalls > 0 {
+		out = append(out, Finding{
+			Score:  55,
+			Title:  fmt.Sprintf("%d write stalls, %s total stall time", stalls, stallDur.Round(time.Millisecond)),
+			Detail: "the write path waited on flush/compaction; ingest was outrunning background work",
+		})
+	}
+	if corruptions > 0 {
+		out = append(out, Finding{
+			Score:  85,
+			Title:  fmt.Sprintf("%d corruption detections (%d repaired) in the window", corruptions, repairs),
+			Detail: "local artifacts failed checksum verification; the device may be failing",
+		})
+	}
+	if slowReads > 0 {
+		out = append(out, Finding{
+			Score:  35,
+			Title:  fmt.Sprintf("%d slow reads captured, worst %s", slowReads, worstRead.Round(time.Microsecond)),
+			Detail: "see events.jsonl slow_read records for per-level/per-tier attribution",
+		})
+	}
+	if preTrigger > 0 {
+		out = append(out, Finding{
+			Score:  10,
+			Title:  fmt.Sprintf("ring captured %d events preceding the trigger", preTrigger),
+			Detail: "the pre-incident window is intact; replay it with `mashctl trace`",
+		})
+	}
+	return out
+}
+
+// analyzeVitals compares the first and last thirds of the sample history
+// for debt growth and cache degradation trends.
+func analyzeVitals(samples []vitals.Sample) []Finding {
+	if len(samples) < 3 {
+		return nil
+	}
+	first, last := samples[0], samples[len(samples)-1]
+	windows := vitals.WindowsOf(samples)
+	var out []Finding
+
+	if growth := last.CompactionDebt - first.CompactionDebt; growth > 32<<20 {
+		out = append(out, Finding{
+			Score: 50,
+			Title: fmt.Sprintf("compaction debt grew %d MB across the captured window", growth>>20),
+			Detail: fmt.Sprintf("%d MB -> %d MB; compactions were losing to ingest well before the trigger",
+				first.CompactionDebt>>20, last.CompactionDebt>>20),
+		})
+	}
+	if n := len(windows); n >= 4 {
+		early, late := avgBlockHit(windows[:n/2]), avgBlockHit(windows[n/2:])
+		if early > 0.4 && late < early*0.6 {
+			out = append(out, Finding{
+				Score:  45,
+				Title:  fmt.Sprintf("block-cache hit ratio eroded %.2f -> %.2f across the window", early, late),
+				Detail: "the working set outgrew or shifted away from the cache before the trigger",
+			})
+		}
+	}
+	if last.PendingTables > 0 {
+		out = append(out, Finding{
+			Score: 48,
+			Title: fmt.Sprintf("%d degraded-mode tables pending cloud upload at capture", last.PendingTables),
+			Detail: fmt.Sprintf("%d MB awaiting drain; durability depends on the local tier until it completes",
+				last.PendingBytes>>20),
+		})
+	}
+	return out
+}
+
+func avgBlockHit(ws []vitals.Window) float64 {
+	if len(ws) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, w := range ws {
+		sum += w.BlockHitRatio
+	}
+	return sum / float64(len(ws))
+}
+
+// analyzeMetrics reads the point-in-time Metrics() snapshot generically
+// (the bundle format is stable JSON, not a Go type, so old bundles stay
+// analyzable as Metrics evolves).
+func analyzeMetrics(m map[string]any) []Finding {
+	num := func(key string) float64 {
+		v, _ := m[key].(float64)
+		return v
+	}
+	var out []Finding
+	if q := num("QuarantinedTables"); q > 0 {
+		out = append(out, Finding{
+			Score:  80,
+			Title:  fmt.Sprintf("%d table(s) quarantined with unrepairable corruption", int(q)),
+			Detail: "no clean cloud copy existed; data under those tables is unavailable until restored",
+		})
+	}
+	if u := num("CorruptionsUnrepaired"); u > 0 {
+		out = append(out, Finding{
+			Score:  78,
+			Title:  fmt.Sprintf("%d corruption(s) could not be repaired", int(u)),
+			Detail: "enable MirrorLocalLevels so local-only tables keep a cloud repair source",
+		})
+	}
+	if mt := num("MisplacedTables"); mt > 0 {
+		out = append(out, Finding{
+			Score:  30,
+			Title:  fmt.Sprintf("%d local-level table(s) living cloud-side at capture", int(mt)),
+			Detail: "local-degraded landings not yet drained back; reads on them pay cloud latency",
+		})
+	}
+	return out
+}
+
+// Render formats the diagnosis as the `mashctl doctor` report.
+func (d Diagnosis) Render() string {
+	var b strings.Builder
+	inc := d.Manifest.Incident
+	fmt.Fprintf(&b, "bundle:   %s\n", d.Dir)
+	fmt.Fprintf(&b, "incident: %s (%s) at %s\n", inc.Rule, inc.Severity,
+		inc.Time().Format(time.RFC3339Nano))
+	fmt.Fprintf(&b, "reason:   %s\n", inc.Reason)
+	if d.Manifest.EventsFrom > 0 {
+		span := time.Duration(d.Manifest.EventsTo - d.Manifest.EventsFrom)
+		pre := time.Duration(inc.UnixNano - d.Manifest.EventsFrom)
+		fmt.Fprintf(&b, "captured: %d events spanning %s (%s before the trigger), %d vitals samples\n",
+			d.Manifest.EventCount, span.Round(time.Millisecond), pre.Round(time.Millisecond),
+			d.Manifest.VitalsCount)
+	}
+	b.WriteString("\nranked findings:\n")
+	for i, f := range d.Findings {
+		fmt.Fprintf(&b, "%2d. [%3.0f] %s\n       %s\n", i+1, f.Score, f.Title, f.Detail)
+	}
+	return b.String()
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"rocksmash/internal/db"
+	"rocksmash/internal/flight"
 	"rocksmash/internal/pcache"
 	"rocksmash/internal/readprof"
 	"rocksmash/internal/vitals"
@@ -32,6 +33,10 @@ import (
 //	/metrics      Prometheus text exposition
 //	/vitals       vitals time-series JSON (ring dump + latest window);
 //	              {"enabled": false} when Options.VitalsInterval is 0
+//	/health       DB.Health() as JSON; HTTP 503 only when unhealthy, so
+//	              load-balancer probes eject a dead store but keep a
+//	              degraded one serving
+//	/incidents    flight-recorder incident log and on-disk bundle list
 //	/debug/pprof  runtime profiling (net/http/pprof)
 //
 // The returned server's Addr field holds the bound address (useful with
@@ -78,6 +83,46 @@ func NewMux(d *db.DB) *http.ServeMux {
 			if win, ok := s.LatestWindow(); ok {
 				WritePromVitals(w, win)
 			}
+		}
+		WritePromHealth(w, d.Health())
+	})
+	mux.HandleFunc("/health", func(w http.ResponseWriter, r *http.Request) {
+		h := d.Health()
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		// 503 only for unhealthy: a degraded store is still serving reads
+		// and writes, and a probe that ejects it would turn an impaired
+		// tier into an outage.
+		if h.Status == db.HealthUnhealthy {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(h); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/incidents", func(w http.ResponseWriter, r *http.Request) {
+		bundles, err := d.FlightBundles()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		resp := struct {
+			Enabled   bool                `json:"enabled"`
+			BundleDir string              `json:"bundle_dir,omitempty"`
+			Incidents []flight.Incident   `json:"incidents"`
+			Bundles   []flight.BundleMeta `json:"bundles"`
+		}{
+			Enabled:   d.FlightEnabled(),
+			BundleDir: d.FlightBundleDir(),
+			Incidents: d.Incidents(),
+			Bundles:   bundles,
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(resp); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
 	mux.HandleFunc("/vitals", func(w http.ResponseWriter, r *http.Request) {
@@ -289,6 +334,20 @@ func WriteProm(w io.Writer, m db.Metrics) {
 		}
 	}
 
+	// Flight-recorder incident counters (all zero when the recorder is off).
+	p.family("rocksmash_incidents_triggered_total", "counter",
+		"Anomaly-detector incidents fired by the flight recorder.")
+	p.sample("rocksmash_incidents_triggered_total", "", float64(m.IncidentsTriggered))
+	p.family("rocksmash_incidents_suppressed_total", "counter",
+		"Detector firings swallowed by per-rule cooldowns.")
+	p.sample("rocksmash_incidents_suppressed_total", "", float64(m.IncidentsSuppressed))
+	p.family("rocksmash_flight_bundles_written_total", "counter",
+		"Incident postmortem bundles committed to disk.")
+	p.sample("rocksmash_flight_bundles_written_total", "", float64(m.BundlesWritten))
+	p.family("rocksmash_flight_bundle_errors_total", "counter",
+		"Incident bundle dumps that failed to commit.")
+	p.sample("rocksmash_flight_bundle_errors_total", "", float64(m.BundleErrors))
+
 	p.family("rocksmash_get_latency_seconds", "summary", "Point-lookup latency quantiles.")
 	writePromSummary(p, "rocksmash_get_latency_seconds", m.GetLat)
 	p.family("rocksmash_put_latency_seconds", "summary", "Commit latency quantiles (includes stall time).")
@@ -344,6 +403,36 @@ func WritePromVitals(w io.Writer, win vitals.Window) {
 	p.family("rocksmash_vitals_ops_per_dollar", "gauge",
 		"Windowed throughput per dollar: ops/s over $/hour.")
 	p.sample("rocksmash_vitals_ops_per_dollar", "", win.OpsPerDollar)
+	p.family("rocksmash_vitals_get_p99_seconds", "gauge",
+		"Get-latency p99 gauge at the window's end sample.")
+	p.sample("rocksmash_vitals_get_p99_seconds", "", time.Duration(win.GetP99Nanos).Seconds())
+	p.family("rocksmash_vitals_incidents_per_second", "gauge",
+		"Windowed flight-recorder incident rate.")
+	p.sample("rocksmash_vitals_incidents_per_second", "", win.IncidentsPerSec)
+}
+
+// WritePromHealth renders the health surface as Prometheus gauges: a
+// numeric status (alertable with a plain threshold) and a one-hot series
+// per active detector rule.
+func WritePromHealth(w io.Writer, h db.Health) {
+	p := promWriter{w: w}
+	var status float64
+	switch h.Status {
+	case db.HealthDegraded:
+		status = 1
+	case db.HealthUnhealthy:
+		status = 2
+	}
+	p.family("rocksmash_health_status", "gauge",
+		"Store health: 0 healthy, 1 degraded, 2 unhealthy.")
+	p.sample("rocksmash_health_status", "", status)
+	if len(h.ActiveRules) > 0 {
+		p.family("rocksmash_incident_active", "gauge",
+			"Detector rules currently in the active (fired, not yet cleared) state.")
+		for _, rule := range h.ActiveRules {
+			p.sample("rocksmash_incident_active", fmt.Sprintf("rule=%q", rule), 1)
+		}
+	}
 }
 
 // promLevel renders a level="N" label.

@@ -184,10 +184,16 @@ func (f *Faulty) overBudget(n int) bool {
 }
 
 // budgetExempt reports whether writes to name draw from the reserved
-// metadata headroom instead of the budgeted data space.
+// metadata headroom instead of the budgeted data space. Prefixes match
+// the full object name and its basename: exemption is about the kind of
+// file ("MANIFEST"), which a sharded store nests under "shard-NNN/".
 func (f *Faulty) budgetExempt(name string) bool {
+	base := name
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		base = name[i+1:]
+	}
 	for _, p := range f.cfg.BudgetExemptPrefixes {
-		if strings.HasPrefix(name, p) {
+		if strings.HasPrefix(name, p) || strings.HasPrefix(base, p) {
 			return true
 		}
 	}

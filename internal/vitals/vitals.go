@@ -92,6 +92,12 @@ type Sample struct {
 	PendingBytes   int64   `json:"pending_bytes"`
 	Breaker        string  `json:"breaker,omitempty"`
 
+	// GetP99Nanos is the cumulative Get latency p99 gauge (0 before any
+	// reads); the flight recorder's latency-spike detector baselines it.
+	// IncidentsTriggered counts detector incidents fired so far.
+	GetP99Nanos        int64 `json:"get_p99_nanos,omitempty"`
+	IncidentsTriggered int64 `json:"incidents_triggered,omitempty"`
+
 	// Local-tier robustness: the local breaker gauge, tables misplaced in
 	// the cloud tier by local-degraded landings, and cumulative corruption
 	// scrub/repair outcomes.
@@ -186,6 +192,11 @@ type Window struct {
 	// window; 0 for perfect balance or a single shard.
 	ShardSkew float64 `json:"shard_skew"`
 
+	// GetP99Nanos carries the end sample's Get-latency p99 gauge;
+	// IncidentsPerSec is the windowed detector-incident rate.
+	GetP99Nanos     int64   `json:"get_p99_nanos,omitempty"`
+	IncidentsPerSec float64 `json:"incidents_per_sec,omitempty"`
+
 	// DollarsPerHour splits the windowed cloud cost rate: storage is the
 	// end-capacity monthly price rescaled to an hour; request and egress
 	// are the window's observed spend rescaled to an hour.
@@ -217,6 +228,7 @@ func Derive(prev, cur Sample) Window {
 		PendingTables:  cur.PendingTables,
 
 		MisplacedTables: cur.MisplacedTables,
+		GetP99Nanos:     cur.GetP99Nanos,
 	}
 	dt := float64(cur.UnixNano-prev.UnixNano) / float64(time.Second)
 	if dt <= 0 {
@@ -262,6 +274,7 @@ func Derive(prev, cur Sample) Window {
 
 	w.CorruptionsPerSec = per(prev.CorruptionsDetected, cur.CorruptionsDetected)
 	w.RepairsPerSec = per(prev.CorruptionsRepaired, cur.CorruptionsRepaired)
+	w.IncidentsPerSec = per(prev.IncidentsTriggered, cur.IncidentsTriggered)
 
 	w.CommitGroupSize = ratio(
 		float64(cur.CommitGroupBatches-prev.CommitGroupBatches),

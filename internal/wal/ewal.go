@@ -25,6 +25,11 @@ type SegmentMeta struct {
 	// because the local tier could not accept it (disk full / EIO). Its
 	// only copy lives on the backup tier until DeleteObsolete retires it.
 	Spilled bool `json:"spilled,omitempty"`
+	// BackupPending marks a sealed segment whose backup-tier copy has not
+	// landed yet (the upload failed — a cloud outage, say). The local copy
+	// is durable; the next roll retries the upload. Deferring beats
+	// failing the commit that triggered the roll over a redundant copy.
+	BackupPending bool `json:"backup_pending,omitempty"`
 }
 
 type indexFile struct {
@@ -371,9 +376,10 @@ func (m *Manager) rollLocked() error {
 	if m.active != nil {
 		serr := m.active.Sync()
 		cerr := m.active.Close()
-		m.segments[len(m.segments)-1].Closed = true
+		idx := len(m.segments) - 1
+		m.segments[idx].Closed = true
 		m.active, m.activeRW = nil, nil
-		sealed := m.segments[len(m.segments)-1]
+		sealed := m.segments[idx]
 		if serr != nil || cerr != nil {
 			err := serr
 			if err == nil {
@@ -387,11 +393,18 @@ func (m *Manager) rollLocked() error {
 			// are also held by the memtable whose flush triggered this roll,
 			// so abandon the handle and keep rolling — onto the backup tier
 			// if the local Create below fails as well.
-			_ = m.backupSegmentLocked(sealed)
+			if berr := m.backupSegmentLocked(sealed); berr != nil {
+				m.segments[idx].BackupPending = true
+			}
 		} else if err := m.backupSegmentLocked(sealed); err != nil {
-			return err
+			// The local copy is sealed and durable; only the redundant
+			// backup upload failed (an unreachable backup tier). Defer it —
+			// the next roll retries — rather than failing the commit whose
+			// append triggered this roll.
+			m.segments[idx].BackupPending = true
 		}
 	}
+	m.retryPendingBackupsLocked()
 	num := m.nextNum
 	m.nextNum++
 	meta := SegmentMeta{Num: num}
@@ -502,6 +515,22 @@ func (m *Manager) Segments() []SegmentMeta {
 	return out
 }
 
+// retryPendingBackupsLocked re-attempts deferred backup uploads. Runs on
+// every roll, so an outage's backlog drains as soon as the tier returns.
+func (m *Manager) retryPendingBackupsLocked() {
+	if m.opts.Backup == nil {
+		return
+	}
+	for i := range m.segments {
+		if !m.segments[i].BackupPending {
+			continue
+		}
+		if err := m.backupSegmentLocked(m.segments[i]); err == nil {
+			m.segments[i].BackupPending = false
+		}
+	}
+}
+
 // backupSegmentLocked copies a sealed segment to the backup backend. A
 // spilled segment already lives there — it IS the backup copy.
 func (m *Manager) backupSegmentLocked(s SegmentMeta) error {
@@ -517,7 +546,11 @@ func (m *Manager) backupSegmentLocked(s SegmentMeta) error {
 }
 
 // DeleteObsolete removes closed segments whose every sequence number is
-// ≤ flushedSeq (their contents are durable in SSTables).
+// ≤ flushedSeq (their contents are durable in SSTables). A segment whose
+// delete fails (an unreachable backup tier, a transient local error) stays
+// in the index so the next call retries it — GC never strands an orphan
+// object silently. Already-gone objects (a spilled segment's absent local
+// copy, a retried delete) are not failures.
 func (m *Manager) DeleteObsolete(flushedSeq uint64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -525,15 +558,24 @@ func (m *Manager) DeleteObsolete(flushedSeq uint64) error {
 	var firstErr error
 	for _, s := range m.segments {
 		if s.Closed && s.MaxSeq != 0 && s.MaxSeq <= flushedSeq {
-			if err := m.be.Delete(SegmentName(m.opts.Dir, s.Num)); err != nil && firstErr == nil {
-				firstErr = err
-			}
-			if m.opts.Backup != nil {
-				if err := m.opts.Backup.Delete(SegmentName(m.opts.Dir, s.Num)); err != nil && firstErr == nil {
+			ok := true
+			if err := m.be.Delete(SegmentName(m.opts.Dir, s.Num)); err != nil && !errors.Is(err, storage.ErrNotFound) {
+				ok = false
+				if firstErr == nil {
 					firstErr = err
 				}
 			}
-			continue
+			if m.opts.Backup != nil {
+				if err := m.opts.Backup.Delete(SegmentName(m.opts.Dir, s.Num)); err != nil && !errors.Is(err, storage.ErrNotFound) {
+					ok = false
+					if firstErr == nil {
+						firstErr = err
+					}
+				}
+			}
+			if ok {
+				continue
+			}
 		}
 		keep = append(keep, s)
 	}
@@ -581,10 +623,14 @@ func (m *Manager) Close() error {
 	if err := m.active.Close(); err != nil {
 		return err
 	}
-	m.segments[len(m.segments)-1].Closed = true
+	idx := len(m.segments) - 1
+	m.segments[idx].Closed = true
 	m.active, m.activeRW = nil, nil
-	if err := m.backupSegmentLocked(m.segments[len(m.segments)-1]); err != nil {
-		return err
+	// Same deferral as rollLocked: the local copy is durable, so a failed
+	// backup upload at close marks the segment pending (the reopened
+	// manager's first roll retries) instead of failing the shutdown.
+	if err := m.backupSegmentLocked(m.segments[idx]); err != nil {
+		m.segments[idx].BackupPending = true
 	}
 	return m.writeIndexLocked()
 }
